@@ -1,0 +1,265 @@
+package repro_test
+
+// The benchmark harness regenerates every experiment of the paper's
+// evaluation (see DESIGN.md §3 and EXPERIMENTS.md): one benchmark per table
+// (T1–T13, ablations A1–A2) and per claim-figure (F1–F3), each reporting the
+// experiment's headline quantity as a custom metric, plus micro-benchmarks
+// of the simulation substrate.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Tx/Fx benchmarks execute their full experiment at Quick scale per
+// iteration; absolute ns/op therefore measures experiment cost, while the
+// custom metrics carry the reproduced quantities (survivors, communicate
+// calls, message ratios, ...).
+
+import (
+	"strconv"
+	"testing"
+
+	"repro"
+	"repro/internal/expt"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// benchScale keeps every experiment benchmark in seconds; cmd/reproduce
+// regenerates the full-scale tables recorded in EXPERIMENTS.md.
+var benchScale = expt.Scale{Seeds: 2, MaxN: 64}
+
+// runTable executes one experiment generator per iteration.
+func runTable(b *testing.B, gen func(expt.Scale) *expt.Table) *expt.Table {
+	b.Helper()
+	var tab *expt.Table
+	for i := 0; i < b.N; i++ {
+		tab = gen(benchScale)
+	}
+	if len(tab.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	return tab
+}
+
+// lastField parses the numeric cell at column col of the last row matching
+// the given prefix filter (empty filter = last row).
+func lastField(b *testing.B, tab *expt.Table, col int, match func([]string) bool) float64 {
+	b.Helper()
+	for i := len(tab.Rows) - 1; i >= 0; i-- {
+		if match == nil || match(tab.Rows[i]) {
+			v, err := strconv.ParseFloat(tab.Rows[i][col], 64)
+			if err != nil {
+				b.Fatalf("parse %q: %v", tab.Rows[i][col], err)
+			}
+			return v
+		}
+	}
+	b.Fatal("no matching row")
+	return 0
+}
+
+func BenchmarkT1PoisonPillSurvivors(b *testing.B) {
+	tab := runTable(b, expt.T1PoisonPillSurvivors)
+	// Mean survivors per √n at the largest size under the sequential
+	// (worst-case) schedule: Claims 3.1+3.2 predict a Θ(1) ratio.
+	ratio := lastField(b, tab, 6, func(r []string) bool { return r[1] == "sequential" })
+	b.ReportMetric(ratio, "survivors/sqrt(n)")
+}
+
+func BenchmarkT2HetSurvivors(b *testing.B) {
+	tab := runTable(b, expt.T2HetSurvivors)
+	ratio := lastField(b, tab, 6, func(r []string) bool { return r[1] == "sequential" })
+	b.ReportMetric(ratio, "survivors/log2(k)")
+}
+
+func BenchmarkT3ElectionTime(b *testing.B) {
+	tab := runTable(b, expt.T3ElectionTime)
+	pp := lastField(b, tab, 3, func(r []string) bool {
+		return r[1] == string(expt.AlgoPoisonPill) && r[2] == "lockstep"
+	})
+	tn := lastField(b, tab, 3, func(r []string) bool {
+		return r[1] == string(expt.AlgoTournament) && r[2] == "lockstep"
+	})
+	b.ReportMetric(pp, "poisonpill-time")
+	b.ReportMetric(tn, "tournament-time")
+	b.ReportMetric(tn/pp, "speedup")
+}
+
+func BenchmarkT4ElectionMessages(b *testing.B) {
+	tab := runTable(b, expt.T4ElectionMessages)
+	b.ReportMetric(lastField(b, tab, 4, nil), "messages/(kn)")
+}
+
+func BenchmarkT5Adaptivity(b *testing.B) {
+	tab := runTable(b, expt.T5Adaptivity)
+	b.ReportMetric(lastField(b, tab, 2, nil), "time-at-max-k")
+}
+
+func BenchmarkT6RenamingMessages(b *testing.B) {
+	tab := runTable(b, expt.T6RenamingMessages)
+	ratio := lastField(b, tab, 3, func(r []string) bool { return r[1] == string(expt.AlgoRenaming) })
+	b.ReportMetric(ratio, "messages/n^2")
+}
+
+func BenchmarkT7RenamingTime(b *testing.B) {
+	tab := runTable(b, expt.T7RenamingTime)
+	t := lastField(b, tab, 3, func(r []string) bool { return r[1] == string(expt.AlgoRenaming) })
+	b.ReportMetric(t, "renaming-time")
+}
+
+func BenchmarkT8LowerBound(b *testing.B) {
+	tab := runTable(b, expt.T8LowerBound)
+	b.ReportMetric(lastField(b, tab, 4, nil), "messages/(kn)")
+}
+
+func BenchmarkT9RoundDecay(b *testing.B) {
+	tab := runTable(b, expt.T9RoundDecay)
+	b.ReportMetric(lastField(b, tab, 2, nil), "worst-max-round")
+}
+
+func BenchmarkT10NaiveVsPoisonPill(b *testing.B) {
+	tab := runTable(b, expt.T10NaiveVsPoisonPill)
+	naive := lastField(b, tab, 3, func(r []string) bool { return r[1] == string(expt.AlgoNaiveSift) })
+	pill := lastField(b, tab, 3, func(r []string) bool { return r[1] == string(expt.AlgoBasicSift) })
+	b.ReportMetric(naive, "naive-survivor-fraction")
+	b.ReportMetric(pill, "poisonpill-survivor-fraction")
+}
+
+func BenchmarkT11FaultTolerance(b *testing.B) {
+	tab := runTable(b, expt.T11FaultTolerance)
+	b.ReportMetric(lastField(b, tab, 4, nil), "violations")
+}
+
+func BenchmarkF1HeadlineCurve(b *testing.B) {
+	tab := runTable(b, expt.F1HeadlineCurve)
+	b.ReportMetric(lastField(b, tab, 3, nil), "tournament/poisonpill")
+}
+
+func BenchmarkF2SurvivorHistogram(b *testing.B) {
+	tab := runTable(b, expt.F2SurvivorHistogram)
+	b.ReportMetric(lastField(b, tab, 4, func(r []string) bool { return r[0] == string(expt.AlgoHetSift) }), "het-mean-survivors")
+}
+
+func BenchmarkF3RenamingDistributions(b *testing.B) {
+	tab := runTable(b, expt.F3RenamingDistributions)
+	b.ReportMetric(lastField(b, tab, 4, nil), "max-trials")
+}
+
+// --- substrate micro-benchmarks ------------------------------------------
+
+// BenchmarkKernelRoundtrip measures one message round-trip (send, deliver,
+// step, reply, deliver, step) through the kernel.
+func BenchmarkKernelRoundtrip(b *testing.B) {
+	type echo struct{}
+	k := sim.NewKernel(sim.Config{N: 2, Seed: 1, Budget: int64(b.N)*16 + 1024})
+	k.SetService(1, serviceFunc(func(from sim.ProcID, payload any) (any, bool) {
+		return echo{}, true
+	}))
+	got := 0
+	k.SetService(0, serviceFunc(func(from sim.ProcID, payload any) (any, bool) {
+		got++
+		return nil, false
+	}))
+	k.Spawn(0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Send(1, echo{})
+			want := i + 1
+			p.Await(func() bool { return got >= want })
+		}
+	})
+	b.ResetTimer()
+	if _, err := k.Run(nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// serviceFunc adapts a function to sim.Service.
+type serviceFunc func(sim.ProcID, any) (any, bool)
+
+func (f serviceFunc) HandleMessage(from sim.ProcID, payload any) (any, bool) {
+	return f(from, payload)
+}
+
+// BenchmarkQuorumPropagateCollect measures one propagate + collect pair over
+// a 32-processor system.
+func BenchmarkQuorumPropagateCollect(b *testing.B) {
+	const n = 32
+	k := sim.NewKernel(sim.Config{N: n, Seed: 1, Budget: int64(b.N)*int64(n)*8 + 4096})
+	stores := quorum.InstallStores(k)
+	k.Spawn(0, func(p *sim.Proc) {
+		c := quorum.NewComm(p, stores[0])
+		for i := 0; i < b.N; i++ {
+			c.Propagate("bench", i)
+			c.Collect("bench")
+		}
+	})
+	b.ResetTimer()
+	if _, err := k.Run(nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkElection64 measures one complete 64-processor election.
+func BenchmarkElection64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Elect(
+			repro.WithN(64),
+			repro.WithSchedule(repro.LockStep),
+			repro.WithSeed(int64(i)),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTournament64 measures the baseline on the same workload.
+func BenchmarkTournament64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Elect(
+			repro.WithN(64),
+			repro.WithAlgorithm(repro.Tournament),
+			repro.WithSchedule(repro.LockStep),
+			repro.WithSeed(int64(i)),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenaming32 measures one complete 32-processor renaming.
+func BenchmarkRenaming32(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Rename(
+			repro.WithN(32),
+			repro.WithSchedule(repro.LockStep),
+			repro.WithSeed(int64(i)),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT12TimeMetric(b *testing.B) {
+	tab := runTable(b, expt.T12TimeMetric)
+	b.ReportMetric(lastField(b, tab, 4, nil), "makespan/calls")
+}
+
+func BenchmarkT13RoundDecaySeries(b *testing.B) {
+	tab := runTable(b, expt.T13RoundDecaySeries)
+	b.ReportMetric(float64(len(tab.Rows)), "schedules")
+}
+
+func BenchmarkA1BiasAblation(b *testing.B) {
+	tab := runTable(b, expt.A1BiasAblation)
+	paper := lastField(b, tab, 2, func(r []string) bool { return r[1] == "1/√n (paper)" })
+	b.ReportMetric(paper, "paper-bias-survivors")
+}
+
+func BenchmarkA2HetBiasAblation(b *testing.B) {
+	tab := runTable(b, expt.A2HetBiasAblation)
+	paper := lastField(b, tab, 3, func(r []string) bool { return r[1] == "ln l/l (paper)" && r[2] == "sequential" })
+	fair := lastField(b, tab, 3, func(r []string) bool { return r[1] == "1/2" && r[2] == "sequential" })
+	b.ReportMetric(paper, "paper-bias-survivors")
+	b.ReportMetric(fair, "fair-bias-survivors")
+}

@@ -1,0 +1,66 @@
+// Command reproduce regenerates every experiment table of EXPERIMENTS.md:
+// one table (or claim-figure series) per quantitative statement of the
+// paper's evaluation.
+//
+// Usage:
+//
+//	reproduce                      # all experiments, quick scale
+//	reproduce -scale standard      # the EXPERIMENTS.md scale
+//	reproduce -only T1,T3,F1       # a subset
+//	reproduce -markdown            # GitHub-flavored markdown output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "quick", "quick | standard | large")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	)
+	flag.Parse()
+
+	sc, ok := map[string]expt.Scale{
+		"quick":    expt.Quick,
+		"standard": expt.Standard,
+		"large":    expt.Large,
+	}[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "reproduce: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, exp := range expt.Registry() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		t0 := time.Now()
+		tab := exp.Gen(sc)
+		if *markdown {
+			tab.Markdown(os.Stdout)
+		} else {
+			tab.Render(os.Stdout)
+			fmt.Printf("  (%.1fs)\n\n", time.Since(t0).Seconds())
+		}
+		ran++
+	}
+	fmt.Fprintf(os.Stderr, "reproduce: %d experiments in %.1fs at scale %s\n",
+		ran, time.Since(start).Seconds(), *scale)
+}

@@ -1,0 +1,66 @@
+// Sifting: the paper's Section 1 motivation, live.
+//
+// A sifting round wants to drop as many contenders as possible while keeping
+// at least one. The naive approach — flip a biased coin, announce it, drop
+// if you see a 1 — is destroyed by a strong adaptive adversary: it watches
+// the flips and schedules every 0-flipper to finish before any 1-flipper is
+// visible, so nobody ever drops. The PoisonPill technique defeats exactly
+// this attack: before flipping, each processor announces Commit ("I am about
+// to flip"), and any 0-flipper that sees a Commit without a visible low
+// priority kills itself — so the adversary can no longer exploit what it
+// learns.
+//
+// Run with:
+//
+//	go run ./examples/sifting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const n = 64
+	fmt.Printf("one sifting round over %d processors, flip-aware adversary:\n\n", n)
+
+	naive, err := repro.Sift(
+		repro.WithN(n),
+		repro.WithAlgorithm(repro.NaiveSift),
+		repro.WithSchedule(repro.FlipAware),
+		repro.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatalf("naive sift failed: %v", err)
+	}
+	fmt.Printf("  naive sifting:    %2d/%d survive — the adversary kept everyone alive\n",
+		naive.Survivors, n)
+
+	pill, err := repro.Sift(
+		repro.WithN(n),
+		repro.WithAlgorithm(repro.BasicSift),
+		repro.WithSchedule(repro.FlipAware),
+		repro.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatalf("poison pill failed: %v", err)
+	}
+	fmt.Printf("  PoisonPill:       %2d/%d survive — the commit state forced the drop (≈√n)\n",
+		pill.Survivors, n)
+
+	het, err := repro.Sift(
+		repro.WithN(n),
+		repro.WithAlgorithm(repro.HetSift),
+		repro.WithSchedule(repro.Fair),
+		repro.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatalf("heterogeneous sift failed: %v", err)
+	}
+	fmt.Printf("  heterogeneous:    %2d/%d survive — view-dependent biases reach O(log²n)\n",
+		het.Survivors, n)
+
+	fmt.Println("\nClaim 3.1 holds throughout: at least one processor always survives.")
+}

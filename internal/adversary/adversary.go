@@ -1,0 +1,248 @@
+// Package adversary implements strong adaptive scheduling strategies against
+// the algorithms of "How to Elect a Leader Faster than a Tournament".
+//
+// No experiment can quantify over every adversary, so this package provides
+// the extremal strategies the paper's analysis identifies, plus benign
+// baselines:
+//
+//   - Fair: seeded random schedule with message reordering (benign baseline);
+//   - LockStep: the kernel's deterministic fair schedule;
+//   - Sequential: runs participants one at a time to a phase boundary — the
+//     schedule of Section 3.2 that forces Ω(√n) survivors out of the basic
+//     PoisonPill;
+//   - SequentialRounds: the per-round variant for multi-round elections;
+//   - FlipAware: observes every coin flip and completes all 0-flippers
+//     before any 1-flipper's value can be seen — the Section 1 schedule that
+//     makes naive sifting keep every participant alive, and against which
+//     PoisonPill's commit state is the defense;
+//   - CrashTargeted: crashes up to f leaders-in-the-making at staggered
+//     times (fault-tolerance experiments, Theorem A.5);
+//   - Bubble: the Theorem B.2 construction — buffers all traffic of a set of
+//     processors until each has Θ(n) messages pending, forcing Ω(kn) total
+//     messages;
+//   - StaleViews: starves a fixed half of the system of propagations so
+//     collect views are as stale as quorum intersection allows (renaming
+//     collision experiments).
+//
+// Every strategy is deterministic given its seed and guarantees liveness:
+// once its malicious structure is exhausted it falls back to the kernel's
+// fair scheduler.
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Fair schedules uniformly at random among delivering a random in-flight
+// message (note: random, so channels reorder freely) and the kernel's fair
+// fallback. It is the "benign asynchrony" baseline of the experiments.
+type Fair struct {
+	rng *rand.Rand
+}
+
+// NewFair builds a fair random scheduler with its own seeded PRNG.
+func NewFair(seed int64) *Fair {
+	return &Fair{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements sim.Adversary.
+func (f *Fair) Next(k *sim.Kernel) sim.Action {
+	if k.InflightCount() > 0 && f.rng.Intn(2) == 0 {
+		if id, ok := k.RandomInflight(f.rng); ok {
+			return sim.Deliver{Msg: id}
+		}
+	}
+	return k.FairAction()
+}
+
+// LockStep is the kernel's deterministic fair schedule as an explicit
+// strategy: start everyone, deliver in send order, step in rotation. It
+// approximates a synchronous execution and is the fastest schedule for
+// large-scale measurements.
+type LockStep struct{}
+
+// Next implements sim.Adversary.
+func (LockStep) Next(k *sim.Kernel) sim.Action { return k.FairAction() }
+
+// Driver incrementally advances one designated processor, producing one
+// action per call:
+//
+//  1. step the processor when a step would do work;
+//  2. otherwise deliver the oldest message addressed to it;
+//  3. otherwise deliver the oldest message it has sent and then step the
+//     recipient, so the recipient's reactive half produces the pending
+//     acknowledgment (a recipient whose own algorithm is parked at a
+//     satisfied wait will also resume — exactly what a computation step
+//     means in the model).
+//
+// When none of these applies the processor cannot be advanced further by
+// local means and Progress returns nil.
+//
+// Driver is the canonical micro-scheduler shared by the sequential and
+// flip-aware strategies and by the explore package's schedule enumeration.
+type Driver struct {
+	pending []sim.Action
+}
+
+// Progress returns the next action advancing the active processor, or nil
+// when it cannot be advanced in isolation.
+func (d *Driver) Progress(k *sim.Kernel, active sim.ProcID) sim.Action {
+	return d.ProgressFiltered(k, active, nil)
+}
+
+// ProgressFiltered is Progress under a message embargo: messages for which
+// allow reports false are treated as if they were not in flight.
+func (d *Driver) ProgressFiltered(k *sim.Kernel, active sim.ProcID, allow func(*sim.Message) bool) sim.Action {
+	if len(d.pending) > 0 {
+		a := d.pending[0]
+		d.pending = d.pending[1:]
+		return a
+	}
+	if k.Ready(active) {
+		return sim.Start{Proc: active}
+	}
+	if k.Steppable(active) {
+		return sim.Step{Proc: active}
+	}
+	if m := oldestAllowed(k.EachInflightTo, active, allow); m != nil {
+		d.pending = append(d.pending, sim.Step{Proc: active})
+		return sim.Deliver{Msg: m.ID}
+	}
+	if m := oldestAllowed(k.EachInflightFrom, active, allow); m != nil {
+		if !k.Crashed(m.To) {
+			d.pending = append(d.pending, sim.Step{Proc: m.To})
+		}
+		return sim.Deliver{Msg: m.ID}
+	}
+	return nil
+}
+
+// oldestAllowed returns the oldest in-flight message of a per-processor
+// queue that passes the filter, or nil.
+func oldestAllowed(each func(sim.ProcID, func(*sim.Message) bool), id sim.ProcID, allow func(*sim.Message) bool) *sim.Message {
+	var found *sim.Message
+	each(id, func(m *sim.Message) bool {
+		if allow == nil || allow(m) {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// PhasePredicate reports whether a participant has reached the boundary the
+// sequential schedule is driving it to, given its published state (which may
+// be nil before the algorithm publishes).
+type PhasePredicate func(k *sim.Kernel, id sim.ProcID) bool
+
+// UntilDone is the phase predicate "the participant has returned".
+func UntilDone(k *sim.Kernel, id sim.ProcID) bool {
+	return k.Done(id) || k.Crashed(id)
+}
+
+// Sequential executes participants strictly one at a time, in ID order: the
+// active participant runs until its phase predicate holds before the next
+// one takes a single step. Acknowledgments for the active participant's
+// communicate calls come from processors that are either finished or not yet
+// started, which is precisely the schedule of Section 3.2: against the basic
+// PoisonPill it forces expected Ω(√n) survivors (all high-priority flippers
+// plus every low-priority flipper sequenced before the first high one).
+type Sequential struct {
+	until PhasePredicate
+	drv   Driver
+	order []sim.ProcID
+	pos   int
+}
+
+// NewSequential builds the sequential strategy; until defaults to UntilDone.
+func NewSequential(until PhasePredicate) *Sequential {
+	if until == nil {
+		until = UntilDone
+	}
+	return &Sequential{until: until}
+}
+
+// Next implements sim.Adversary.
+func (s *Sequential) Next(k *sim.Kernel) sim.Action {
+	if s.order == nil {
+		s.order = k.Participants()
+	}
+	for s.pos < len(s.order) {
+		active := s.order[s.pos]
+		if s.until(k, active) {
+			s.pos++
+			s.drv = Driver{}
+			continue
+		}
+		if a := s.drv.Progress(k, active); a != nil {
+			return a
+		}
+		// The active participant cannot be advanced in isolation (it may
+		// need quorum replies from processors we must not disturb, or it is
+		// genuinely stuck); hand the rest of the run to the fair scheduler.
+		return sim.Halt{}
+	}
+	return sim.Halt{}
+}
+
+// SequentialRounds sweeps participants one at a time through one sift
+// instance per pass: pass t runs every unfinished participant until it has
+// completed t sifts (or decided). It is the per-round extension of
+// Sequential for the multi-round leader election, keeping every round
+// maximally sequential while still letting all participants advance.
+type SequentialRounds struct {
+	drv   Driver
+	order []sim.ProcID
+	pos   int
+	sweep int
+}
+
+// NewSequentialRounds builds the per-round sequential strategy.
+func NewSequentialRounds() *SequentialRounds {
+	return &SequentialRounds{sweep: 1}
+}
+
+// siftsOf reads the published sift counter of a participant's State.
+func siftsOf(k *sim.Kernel, id sim.ProcID) (int, bool) {
+	type sifter interface{ SiftCount() int }
+	if st, ok := k.Published(id).(sifter); ok {
+		return st.SiftCount(), true
+	}
+	return 0, false
+}
+
+// Next implements sim.Adversary.
+func (s *SequentialRounds) Next(k *sim.Kernel) sim.Action {
+	if s.order == nil {
+		s.order = k.Participants()
+	}
+	for {
+		if s.pos >= len(s.order) {
+			if k.UnfinishedParticipants() == 0 {
+				return sim.Halt{}
+			}
+			s.pos = 0
+			s.sweep++
+			continue
+		}
+		active := s.order[s.pos]
+		done := UntilDone(k, active)
+		if !done {
+			if n, ok := siftsOf(k, active); ok && n >= s.sweep {
+				done = true
+			}
+		}
+		if done {
+			s.pos++
+			s.drv = Driver{}
+			continue
+		}
+		if a := s.drv.Progress(k, active); a != nil {
+			return a
+		}
+		return sim.Halt{}
+	}
+}

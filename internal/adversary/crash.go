@@ -1,0 +1,88 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// CrashTargeted crashes up to Faults participants at staggered points,
+// always targeting the participant that is furthest ahead (highest published
+// round, breaking ties by communicate count) — the most damaging choice,
+// since it repeatedly kills the likely winner mid-protocol. Between crashes
+// it schedules fairly with seeded random reordering.
+//
+// It drives the fault-tolerance experiments (T11): with at most ⌈n/2⌉−1
+// crashes, every surviving participant must still return, with a unique
+// winner (Theorem A.5) or unique names (Lemma A.6).
+type CrashTargeted struct {
+	faults       int
+	gap          int64
+	dropOutgoing bool
+	rng          *rand.Rand
+
+	crashed   int
+	nextCrash int64
+}
+
+// NewCrashTargeted builds the strategy: up to faults crashes, one every gap
+// actions (gap ≤ 0 selects a default spacing), dropping the victims'
+// undelivered outgoing messages when dropOutgoing is set.
+func NewCrashTargeted(faults int, gap int64, dropOutgoing bool, seed int64) *CrashTargeted {
+	if gap <= 0 {
+		gap = 500
+	}
+	return &CrashTargeted{
+		faults:       faults,
+		gap:          gap,
+		dropOutgoing: dropOutgoing,
+		rng:          rand.New(rand.NewSource(seed)),
+		nextCrash:    gap,
+	}
+}
+
+// roundOf reads the published election round of a participant, if any.
+func roundOf(k *sim.Kernel, id sim.ProcID) int {
+	type rounder interface{ CurrentRound() int }
+	if st, ok := k.Published(id).(rounder); ok {
+		return st.CurrentRound()
+	}
+	return 0
+}
+
+// victim picks the started, unfinished participant that is furthest ahead.
+func (c *CrashTargeted) victim(k *sim.Kernel) (sim.ProcID, bool) {
+	best := sim.ProcID(-1)
+	bestRound, bestCalls := -1, -1
+	for _, id := range k.Participants() {
+		if !k.Started(id) || k.Done(id) || k.Crashed(id) {
+			continue
+		}
+		r := roundOf(k, id)
+		calls := k.CommCallsOf(id)
+		if r > bestRound || (r == bestRound && calls > bestCalls) {
+			best, bestRound, bestCalls = id, r, calls
+		}
+	}
+	return best, best >= 0
+}
+
+// Next implements sim.Adversary.
+func (c *CrashTargeted) Next(k *sim.Kernel) sim.Action {
+	if c.crashed < c.faults && k.FaultBudget() > 0 && k.ActionCount() >= c.nextCrash {
+		if id, ok := c.victim(k); ok {
+			c.crashed++
+			c.nextCrash = k.ActionCount() + c.gap
+			return sim.Crash{Proc: id, DropOutgoing: c.dropOutgoing}
+		}
+	}
+	if k.InflightCount() > 0 && c.rng.Intn(2) == 0 {
+		if id, ok := k.RandomInflight(c.rng); ok {
+			return sim.Deliver{Msg: id}
+		}
+	}
+	return k.FairAction()
+}
+
+// Crashed reports how many participants the strategy has crashed so far.
+func (c *CrashTargeted) Crashed() int { return c.crashed }

@@ -1,0 +1,126 @@
+package adversary
+
+import (
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// FlipAware is the Section 1 attack on visible coin flips, generalised to
+// any single-sift protocol. The adaptive adversary watches every coin flip
+// and then completes all 0-flippers before any 1-flipper's value can reach
+// them, by embargoing the 1-flippers' outgoing information:
+//
+//  1. every participant is run just past its first coin flip (for the naive
+//     sifter this requires no communication at all — the flip is the first
+//     step — so the adversary learns all coins for free);
+//  2. the 0-flippers are completed one at a time; messages that could carry
+//     a 1 to them are held: no propagation from a 1-flipper is delivered
+//     (acknowledgments are fine) and no collect request is handed to a
+//     1-flipper (its reply would expose its own register cell);
+//  3. the embargo is lifted and the fair scheduler finishes the run.
+//
+// Against the naive sifter this keeps every participant alive: 0-flippers
+// observe only zeros and survive, 1-flippers survive by definition — sifting
+// achieves nothing. Against PoisonPill the same strategy fails exactly as
+// Claim 3.2 proves: to learn the flips the adversary first had to let every
+// participant propagate its Commit status (step 1 blocks inside the first
+// communicate call until then), so a completing 0-flipper sees committed
+// processors with no visible low priority and dies. The contrast is
+// experiment T10.
+type FlipAware struct {
+	drv   Driver
+	ff    filteredFair
+	stage int // 0: flip everyone; 1: finish 0-flippers; 2: release
+	order []sim.ProcID
+	pos   int
+	zeros []sim.ProcID
+}
+
+// NewFlipAware builds the flip-aware strategy.
+func NewFlipAware() *FlipAware { return &FlipAware{} }
+
+// tainted reports whether a processor has flipped 1 already (its outgoing
+// protocol information must be embargoed while 0-flippers finish).
+func tainted(k *sim.Kernel, id sim.ProcID) bool {
+	v, c := k.LastFlip(id)
+	return c >= 1 && v == 1
+}
+
+// allow is the embargo filter of stage 1.
+func (fa *FlipAware) allow(k *sim.Kernel) func(*sim.Message) bool {
+	return func(m *sim.Message) bool {
+		switch quorum.Classify(m.Payload) {
+		case quorum.KindPropagate:
+			// Propagations from a 1-flipper carry (or could carry) its high
+			// status: hold them.
+			return !tainted(k, m.From)
+		case quorum.KindCollect:
+			// A 1-flipper's collect reply would expose its own cell: do not
+			// hand collect requests to 1-flippers.
+			return !tainted(k, m.To)
+		case quorum.KindCollectAck:
+			return !tainted(k, m.From)
+		default:
+			// Acknowledgments and unknown payloads carry no register state.
+			return true
+		}
+	}
+}
+
+// Next implements sim.Adversary.
+func (fa *FlipAware) Next(k *sim.Kernel) sim.Action {
+	if fa.order == nil {
+		fa.order = k.Participants()
+	}
+	switch fa.stage {
+	case 0:
+		// Run every participant just past its first flip. Deliveries here
+		// follow the embargo filter too, so no early 1 leaks to a
+		// participant that has not yet flipped.
+		for fa.pos < len(fa.order) {
+			active := fa.order[fa.pos]
+			_, flips := k.LastFlip(active)
+			if flips >= 1 || UntilDone(k, active) {
+				fa.pos++
+				fa.drv = Driver{}
+				continue
+			}
+			if a := fa.drv.ProgressFiltered(k, active, fa.allow(k)); a != nil {
+				return a
+			}
+			// Cannot reach this participant's flip under the embargo
+			// (should not happen before any flip exists); move on.
+			fa.pos++
+			fa.drv = Driver{}
+		}
+		for _, id := range fa.order {
+			if v, c := k.LastFlip(id); c >= 1 && v == 0 {
+				fa.zeros = append(fa.zeros, id)
+			}
+		}
+		fa.stage = 1
+		fa.pos = 0
+		return fa.Next(k)
+	case 1:
+		for fa.pos < len(fa.zeros) {
+			active := fa.zeros[fa.pos]
+			if UntilDone(k, active) {
+				fa.pos++
+				fa.drv = Driver{}
+				continue
+			}
+			if a := fa.drv.ProgressFiltered(k, active, fa.allow(k)); a != nil {
+				return a
+			}
+			// The embargo leaves too few responders for this 0-flipper
+			// (fewer than a quorum of untainted processors): skip it; the
+			// release stage will let it finish.
+			fa.pos++
+			fa.drv = Driver{}
+		}
+		fa.stage = 2
+		return fa.Next(k)
+	default:
+		return sim.Halt{}
+	}
+}

@@ -1,0 +1,58 @@
+package adversary
+
+import "repro/internal/sim"
+
+// filteredFair is a fair scheduler that respects a message filter: held
+// messages (filter returns false) are never delivered, while starts, steps
+// and permitted deliveries proceed in rotation. Strategies that embargo
+// parts of the traffic (Bubble, StaleViews, FlipAware) build on it.
+type filteredFair struct {
+	participants []sim.ProcID
+	startPos     int
+	cursor       int
+}
+
+// next returns one fair action among those the filter permits, or nil when
+// nothing is enabled (the caller decides whether that means releasing the
+// embargo or halting).
+func (f *filteredFair) next(k *sim.Kernel, allow func(*sim.Message) bool) sim.Action {
+	if f.participants == nil {
+		f.participants = k.Participants()
+	}
+	// Starts first, as the kernel's fair scheduler does.
+	for f.startPos < len(f.participants) {
+		id := f.participants[f.startPos]
+		if k.Ready(id) {
+			return sim.Start{Proc: id}
+		}
+		f.startPos++
+	}
+	n := k.N()
+	// Permitted deliveries, rotating over recipients so no channel starves.
+	for i := 0; i < n; i++ {
+		q := sim.ProcID((f.cursor + i) % n)
+		var pick sim.MsgID
+		found := false
+		k.EachInflightTo(q, func(m *sim.Message) bool {
+			if allow == nil || allow(m) {
+				pick = m.ID
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			f.cursor = (int(q) + 1) % n
+			return sim.Deliver{Msg: pick}
+		}
+	}
+	// Steps, rotating over processors.
+	for i := 0; i < n; i++ {
+		q := sim.ProcID((f.cursor + i) % n)
+		if k.Steppable(q) {
+			f.cursor = (int(q) + 1) % n
+			return sim.Step{Proc: q}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package adversary
+
+import (
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// StaleViews keeps the register views of a "dark" half of the system
+// out-of-date: every propagation addressed to a dark processor is embargoed
+// for a fixed lag (measured in global message sends) before it may be
+// delivered, while everything else flows fairly. Collect calls served by
+// dark processors therefore return views that trail the bright half by the
+// lag — as stale as quorum intersection allows without starving anyone.
+//
+// This is the renaming experiments' skew strategy: Section 4 discusses how
+// "out-of-date or incoherent views can lead to wasted trials and increased
+// contention on the bins"; under StaleViews, concurrent processors pick
+// colliding names more often, and the O(n²)-message / O(log²n)-time bounds
+// must absorb it.
+//
+// The lag-based embargo (rather than an unbounded hold) keeps the strategy
+// linear-time — the held prefix of any delivery queue is bounded by the
+// number of messages sent within one lag window — and makes liveness
+// structural: every message becomes deliverable after its lag expires.
+type StaleViews struct {
+	ff   filteredFair
+	dark func(sim.ProcID) bool
+	// lag is the embargo length in message sends; 0 picks 4n at first use.
+	lag int64
+}
+
+// NewStaleViews builds the strategy; processors with ID ≥ ⌊n/2⌋+1 form the
+// dark set (the largest set whose starvation still lets every communicate
+// call assemble a quorum from bright processors).
+func NewStaleViews() *StaleViews { return &StaleViews{} }
+
+// allow embargoes propagations to dark processors until their lag expires.
+func (s *StaleViews) allow(k *sim.Kernel) func(*sim.Message) bool {
+	sent := k.MessagesSent()
+	return func(m *sim.Message) bool {
+		if !s.dark(m.To) || quorum.Classify(m.Payload) != quorum.KindPropagate {
+			return true
+		}
+		return sent > int64(m.ID)+s.lag
+	}
+}
+
+// scanBudget bounds the in-flight prefix examined per action when the
+// global head is embargoed; it trades a slightly weaker embargo for
+// linear-time scheduling.
+const scanBudget = 64
+
+// Next implements sim.Adversary.
+func (s *StaleViews) Next(k *sim.Kernel) sim.Action {
+	if s.dark == nil {
+		n := k.N()
+		bright := n/2 + 1
+		s.dark = func(id sim.ProcID) bool { return int(id) >= bright }
+		if s.lag == 0 {
+			s.lag = int64(4 * n)
+		}
+	}
+	// Deliver the oldest permitted message, scanning at most scanBudget
+	// entries past embargoed ones.
+	allow := s.allow(k)
+	var pick sim.MsgID
+	found := false
+	scanned := 0
+	k.EachInflight(func(m *sim.Message) bool {
+		scanned++
+		if allow(m) {
+			pick = m.ID
+			found = true
+			return false
+		}
+		return scanned < scanBudget
+	})
+	if found {
+		return sim.Deliver{Msg: pick}
+	}
+	// No permitted delivery in the scanned prefix: let computation advance.
+	if a := k.FairStepAction(); a != nil {
+		return a
+	}
+	// Nothing to step either: release the oldest message (its embargo is
+	// the nearest to expiry) or fall back for starts.
+	if id, ok := k.OldestInflight(); ok {
+		return sim.Deliver{Msg: id}
+	}
+	if a := k.FairAction(); a != nil {
+		return a
+	}
+	return sim.Halt{}
+}

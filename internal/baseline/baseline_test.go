@@ -1,0 +1,279 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// runTournament simulates the tournament baseline with participants on the
+// first k of n processors.
+func runTournament(t *testing.T, n, k int, seed int64, adv sim.Adversary) (map[sim.ProcID]core.Decision, sim.Stats) {
+	t.Helper()
+	k2 := sim.NewKernel(sim.Config{N: n, Seed: seed, MaxFaults: -1})
+	stores := quorum.InstallStores(k2)
+	decisions := make(map[sim.ProcID]core.Decision, k)
+	for i := 0; i < k; i++ {
+		id := sim.ProcID(i)
+		k2.Spawn(id, func(p *sim.Proc) {
+			c := quorum.NewComm(p, stores[id])
+			decisions[id] = Tournament(c, "tourn")
+		})
+	}
+	stats, err := k2.Run(adv)
+	if err != nil {
+		t.Fatalf("tournament run (n=%d k=%d seed=%d): %v", n, k, seed, err)
+	}
+	return decisions, stats
+}
+
+func checkUniqueWinner(t *testing.T, decisions map[sim.ProcID]core.Decision, k int) {
+	t.Helper()
+	if len(decisions) != k {
+		t.Fatalf("%d of %d participants decided", len(decisions), k)
+	}
+	winners := 0
+	for id, d := range decisions {
+		switch d {
+		case core.Win:
+			winners++
+		case core.Lose:
+		default:
+			t.Fatalf("processor %d returned %v", id, d)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("winners = %d, want exactly 1", winners)
+	}
+}
+
+func TestTournamentUniqueWinner(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 9, 16} {
+		for seed := int64(0); seed < 5; seed++ {
+			decisions, _ := runTournament(t, n, n, seed, nil)
+			checkUniqueWinner(t, decisions, n)
+		}
+	}
+}
+
+func TestTournamentPartialParticipation(t *testing.T) {
+	cases := []struct{ n, k int }{{8, 1}, {8, 2}, {16, 3}, {16, 7}, {17, 5}}
+	for _, tc := range cases {
+		for seed := int64(0); seed < 3; seed++ {
+			decisions, _ := runTournament(t, tc.n, tc.k, seed, nil)
+			checkUniqueWinner(t, decisions, tc.k)
+		}
+	}
+}
+
+func TestTournamentTimeGrowsLogarithmically(t *testing.T) {
+	// The winner plays ⌈log₂ n⌉ matches, each costing a constant expected
+	// number of communicate calls — so doubling n adds roughly a constant.
+	// Sanity-check the trend: max calls at n=64 must exceed max calls at
+	// n=8, and the per-level cost must be bounded.
+	maxAt := func(n int) int {
+		worst := 0
+		for seed := int64(0); seed < 3; seed++ {
+			_, stats := runTournament(t, n, n, seed, nil)
+			if mc := stats.MaxCommunicateCalls(); mc > worst {
+				worst = mc
+			}
+		}
+		return worst
+	}
+	at8, at64 := maxAt(8), maxAt(64)
+	if at64 <= at8 {
+		t.Fatalf("tournament time did not grow: %d calls at n=8, %d at n=64", at8, at64)
+	}
+	if at64 > 60*TournamentLevels(64) {
+		t.Fatalf("tournament cost per level too high: %d calls over %d levels", at64, TournamentLevels(64))
+	}
+}
+
+func TestTournamentLevels(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {1024, 10},
+	} {
+		if got := TournamentLevels(tc.n); got != tc.want {
+			t.Fatalf("TournamentLevels(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestTournamentLatecomerLoses(t *testing.T) {
+	// Doorway linearizability applies to the baseline too: a participant
+	// started after the winner finished must lose.
+	k2 := sim.NewKernel(sim.Config{N: 4, Seed: 3})
+	stores := quorum.InstallStores(k2)
+	decisions := make(map[sim.ProcID]core.Decision)
+	for i := 0; i < 2; i++ {
+		id := sim.ProcID(i)
+		k2.Spawn(id, func(p *sim.Proc) {
+			c := quorum.NewComm(p, stores[id])
+			decisions[id] = Tournament(c, "tourn")
+		})
+	}
+	adv := sim.AdversaryFunc(func(k *sim.Kernel) sim.Action {
+		if !k.Started(0) {
+			return sim.Start{Proc: 0}
+		}
+		if !k.Done(0) {
+			if k.Steppable(0) {
+				return sim.Step{Proc: 0}
+			}
+			return k.FairActionExcludingStarts()
+		}
+		if !k.Started(1) {
+			return sim.Start{Proc: 1}
+		}
+		return nil
+	})
+	if _, err := k2.Run(adv); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if decisions[0] != core.Win || decisions[1] != core.Lose {
+		t.Fatalf("decisions = %v, want 0 wins and 1 loses", decisions)
+	}
+}
+
+// runNaive runs one naive sifting round over all n processors with the basic
+// PoisonPill bias.
+func runNaive(t *testing.T, n int, seed int64, adv sim.Adversary) map[sim.ProcID]core.Outcome {
+	t.Helper()
+	k2 := sim.NewKernel(sim.Config{N: n, Seed: seed})
+	stores := quorum.InstallStores(k2)
+	outcomes := make(map[sim.ProcID]core.Outcome, n)
+	prob := 1 / float64(intSqrt(n))
+	for i := 0; i < n; i++ {
+		id := sim.ProcID(i)
+		k2.Spawn(id, func(p *sim.Proc) {
+			c := quorum.NewComm(p, stores[id])
+			s := core.NewState(p, "naive")
+			outcomes[id] = NaiveSift(c, "nv", prob, s)
+		})
+	}
+	if _, err := k2.Run(adv); err != nil {
+		t.Fatalf("naive run: %v", err)
+	}
+	return outcomes
+}
+
+func intSqrt(n int) int {
+	r := 1
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func TestNaiveSiftDropsUnderFairSchedule(t *testing.T) {
+	// Under a benign schedule the naive sifter does work: 0-flippers that
+	// see a 1 die. With n = 64 and bias 1/8 there is at least one 1-flipper
+	// with overwhelming probability, so across seeds some processors die.
+	died := 0
+	for seed := int64(0); seed < 5; seed++ {
+		outcomes := runNaive(t, 64, seed, nil)
+		for _, o := range outcomes {
+			if o == core.Die {
+				died++
+			}
+		}
+	}
+	if died == 0 {
+		t.Fatal("naive sifter never dropped anyone under a fair schedule")
+	}
+}
+
+func TestNaiveSiftAtLeastOneSurvivorAnySeed(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		outcomes := runNaive(t, 32, seed, nil)
+		alive := 0
+		for _, o := range outcomes {
+			if o == core.Survive {
+				alive++
+			}
+		}
+		if alive == 0 {
+			t.Fatalf("seed=%d: naive sifter killed everyone", seed)
+		}
+	}
+}
+
+func TestPairSiftNeverKillsBoth(t *testing.T) {
+	// The tournament's per-round pair sift inherits Claim 3.1: the two
+	// match contenders can never both die.
+	for seed := int64(0); seed < 20; seed++ {
+		k2 := sim.NewKernel(sim.Config{N: 5, Seed: seed})
+		stores := quorum.InstallStores(k2)
+		outcomes := make(map[sim.ProcID]core.Outcome, 2)
+		for i := 0; i < 2; i++ {
+			id := sim.ProcID(i)
+			k2.Spawn(id, func(p *sim.Proc) {
+				c := quorum.NewComm(p, stores[id])
+				s := core.NewState(p, "pair")
+				outcomes[id] = pairSift(c, "m", s)
+			})
+		}
+		if _, err := k2.Run(nil); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if outcomes[0] == core.Die && outcomes[1] == core.Die {
+			t.Fatalf("seed=%d: both match contenders died", seed)
+		}
+	}
+}
+
+// runRandomScan simulates the random-scan renaming baseline.
+func runRandomScan(t *testing.T, n, k int, seed int64) (map[sim.ProcID]int, map[sim.ProcID]*RandomScanState, sim.Stats) {
+	t.Helper()
+	k2 := sim.NewKernel(sim.Config{N: n, Seed: seed, MaxFaults: -1})
+	stores := quorum.InstallStores(k2)
+	names := make(map[sim.ProcID]int, k)
+	states := make(map[sim.ProcID]*RandomScanState, k)
+	for i := 0; i < k; i++ {
+		id := sim.ProcID(i)
+		k2.Spawn(id, func(p *sim.Proc) {
+			c := quorum.NewComm(p, stores[id])
+			s := &RandomScanState{}
+			states[id] = s
+			names[id] = RandomScanRename(c, s)
+		})
+	}
+	stats, err := k2.Run(nil)
+	if err != nil {
+		t.Fatalf("random-scan run: %v", err)
+	}
+	return names, states, stats
+}
+
+func TestRandomScanUniqueNames(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		for seed := int64(0); seed < 3; seed++ {
+			names, _, _ := runRandomScan(t, n, n, seed)
+			seen := make(map[int]bool, n)
+			for id, u := range names {
+				if u < 1 || u > n {
+					t.Fatalf("processor %d returned out-of-range name %d", id, u)
+				}
+				if seen[u] {
+					t.Fatalf("duplicate name %d", u)
+				}
+				seen[u] = true
+			}
+		}
+	}
+}
+
+func TestRandomScanTrialsBounded(t *testing.T) {
+	_, states, _ := runRandomScan(t, 16, 16, 2)
+	for id, s := range states {
+		if s.Trials < 1 || s.Trials > 16 {
+			t.Fatalf("processor %d made %d trials", id, s.Trials)
+		}
+		if s.Acquired == 0 {
+			t.Fatalf("processor %d state has no acquired name", id)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/renaming"
+)
+
+// RandomScanState is the experiment-visible progress of one random-scan
+// renaming participant.
+type RandomScanState struct {
+	// Trials counts the names the participant has competed for.
+	Trials int
+	// Picks lists those names in order.
+	Picks []int
+	// Acquired is the returned name (0 until decided).
+	Acquired int
+	// Election is the published state of the embedded leader elections.
+	Election *core.State
+}
+
+// scanContendedReg mirrors the contention register of the paper's renaming
+// algorithm, so both renaming algorithms expose the same information to
+// schedulers and measurements.
+const scanContendedReg = "scan/contended"
+
+func scanElectInst(u int) string { return "scan/elect/" + strconv.Itoa(u) }
+
+// RandomScanRename implements the renaming strategy of [AAG+10] discussed in
+// the paper's related work: each processor tries all n names in a private
+// uniformly random order, skipping names it has already seen contended, and
+// competes for each tried name with leader election until it wins one.
+//
+// The approach is message-light but slow: a processor that starts late may
+// have to walk past Ω(n) taken names before finding a free one, giving Ω(n)
+// expected time — the bound the paper's balls-into-bins renaming improves to
+// O(log² n). The function returns the acquired name in [1, n].
+func RandomScanRename(c *quorum.Comm, s *RandomScanState) int {
+	p := c.Proc()
+	n := p.N()
+	es := &core.State{Algorithm: "scan/elect", Stage: core.StageInit, Flip: -1}
+	s.Election = es
+	p.Publish(s)
+
+	order := p.Rand().Perm(n) // private random name order
+	mine := renaming.NewNameSet(n)
+	for _, idx := range order {
+		u := idx + 1
+		// Refresh contention knowledge, as the paper's Figure 3 does at the
+		// top of each iteration (lines 33-37).
+		views := c.Collect(scanContendedReg)
+		for _, v := range views {
+			for _, e := range v.Entries {
+				if set, ok := e.Val.(renaming.NameSet); ok {
+					mine = mine.Union(set)
+				}
+			}
+		}
+		if mine.Has(u) {
+			continue // already contended: trying it would just lose
+		}
+		mine = mine.With(u)
+		s.Trials++
+		s.Picks = append(s.Picks, u)
+		c.Propagate(scanContendedReg, mine)
+		if core.LeaderElectWithState(c, scanElectInst(u), es) == core.Win {
+			s.Acquired = u
+			return u
+		}
+	}
+	// Unreachable for k ≤ n participants: each name is won by at most one
+	// processor and a solo contender always wins, so a processor that tried
+	// every name must have won one.
+	panic("baseline: random-scan renaming exhausted all names")
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+func TestClaim34SequentialOrderDeterminesEll(t *testing.T) {
+	// Claim 3.4: a processor that completes its Commit propagation no later
+	// than p appears in p's ℓ list. Under the strictly sequential schedule
+	// processor i runs after processors 0..i−1 finished, so it must compute
+	// |ℓ| = i+1 exactly — a sharp, deterministic check of the claim.
+	const n = 24
+	k2 := sim.NewKernel(sim.Config{N: n, Seed: 4})
+	stores := quorum.InstallStores(k2)
+	states := make(map[sim.ProcID]*State, n)
+	for i := 0; i < n; i++ {
+		id := sim.ProcID(i)
+		k2.Spawn(id, func(p *sim.Proc) {
+			c := quorum.NewComm(p, stores[id])
+			s := NewState(p, "het")
+			states[id] = s
+			HetPoisonPill(c, "pp", s)
+		})
+	}
+	if _, err := k2.Run(adversary.NewSequential(nil)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got := states[sim.ProcID(i)].Ell; got != i+1 {
+			t.Fatalf("sequential processor %d computed |ℓ| = %d, want %d (Claim 3.4)", i, got, i+1)
+		}
+	}
+}
+
+func TestClaim33ClosureOfSurvivorLists(t *testing.T) {
+	// Claim 3.3 (closure): let U be the union of the ℓ lists propagated by
+	// low-priority survivors. Every processor named in the ℓ list of a
+	// member of U must itself have flipped 0. We verify the observable
+	// consequence on real executions: every low-priority survivor's ℓ list
+	// contains only processors that flipped 0 — a high-priority member
+	// would have forced the survivor to die.
+	for seed := int64(0); seed < 10; seed++ {
+		const n = 32
+		k2 := sim.NewKernel(sim.Config{N: n, Seed: seed})
+		stores := quorum.InstallStores(k2)
+		states := make(map[sim.ProcID]*State, n)
+		outcomes := make(map[sim.ProcID]Outcome, n)
+		lists := make(map[sim.ProcID][]sim.ProcID, n)
+		for i := 0; i < n; i++ {
+			id := sim.ProcID(i)
+			k2.Spawn(id, func(p *sim.Proc) {
+				c := quorum.NewComm(p, stores[id])
+				s := NewState(p, "het")
+				states[id] = s
+				outcomes[id] = HetPoisonPill(c, "pp", s)
+				if v, ok := stores[id].Local("pp/status", id); ok {
+					if st, ok := v.(Status); ok {
+						lists[id] = st.List
+					}
+				}
+			})
+		}
+		if _, err := k2.Run(nil); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		for id, o := range outcomes {
+			if o != Survive || states[id].Flip != 0 {
+				continue
+			}
+			for _, q := range lists[id] {
+				if states[q] != nil && states[q].Flip == 1 {
+					t.Fatalf("seed=%d: low-priority survivor %d has 1-flipper %d in its ℓ list",
+						seed, id, q)
+				}
+			}
+		}
+	}
+}
+
+func TestElectionPropertyRandomConfigs(t *testing.T) {
+	// Property-based sweep: for arbitrary (n, k, seed) the election always
+	// has exactly one winner and everyone returns.
+	f := func(nRaw, kRaw uint8, seed int64) bool {
+		n := int(nRaw)%24 + 1
+		k := int(kRaw)%n + 1
+		r := runElection(n, k, seed, nil)
+		if r.err != nil {
+			return false
+		}
+		winners := 0
+		for _, d := range r.decisions {
+			if d == Win {
+				winners++
+			}
+		}
+		return winners == 1 && len(r.decisions) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiftPropertyAlwaysOneSurvivor(t *testing.T) {
+	// Property-based Claim 3.1 over both sift variants and random sizes.
+	f := func(nRaw uint8, seed int64, het bool) bool {
+		n := int(nRaw)%20 + 1
+		outcomes, _, err := runSift(n, n, seed, nil, het)
+		if err != nil {
+			return false
+		}
+		return survivors(outcomes) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusWireSize(t *testing.T) {
+	if (Status{Stat: Commit}).WireSize() != 1 {
+		t.Fatal("commit status should cost 1 byte")
+	}
+	s := Status{Stat: LowPri, List: []sim.ProcID{1, 2, 3}}
+	if s.WireSize() != 1+12 {
+		t.Fatalf("status with 3-entry list = %d bytes, want 13", s.WireSize())
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Survive.String(), "SURVIVE"},
+		{Die.String(), "DIE"},
+		{Outcome(0).String(), "undecided"},
+		{Win.String(), "WIN"},
+		{Lose.String(), "LOSE"},
+		{Proceed.String(), "PROCEED"},
+		{Decision(0).String(), "undecided"},
+		{Commit.String(), "Commit"},
+		{LowPri.String(), "Low-Pri"},
+		{HighPri.String(), "High-Pri"},
+		{StatKind(0).String(), "⊥"},
+		{StageDoorway.String(), "doorway"},
+		{StageDone.String(), "done"},
+		{Stage(0).String(), "unknown"},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Fatalf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestStateProgressMonotone(t *testing.T) {
+	s := &State{}
+	last := s.Progress
+	for _, st := range []Stage{StageDoorway, StagePreRound, StageCommit, StageDone} {
+		s.setStage(st)
+		if s.Progress <= last {
+			t.Fatal("Progress not strictly increasing")
+		}
+		last = s.Progress
+	}
+}

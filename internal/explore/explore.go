@@ -1,0 +1,242 @@
+// Package explore systematically enumerates adversary schedules for small
+// systems and checks safety invariants over every explored execution — a
+// bounded model checker for the protocols in this repository.
+//
+// Randomized testing samples schedules; the theorems quantify over all of
+// them. For tiny configurations the gap can be closed: explore drives the
+// deterministic kernel through every interleaving of participant progress at
+// *yield granularity* (each choice advances one participant to its next
+// yield point — communicate-call boundary, coin flip, or return — using the
+// canonical micro-scheduler of adversary.Driver). The choice tree is walked
+// exhaustively up to a configurable depth; beyond it, each frontier run is
+// completed with the fair scheduler, so every explored node still ends in a
+// checked terminal state.
+//
+// The reduction is explicit: schedules differing only in how a single
+// advancement's deliveries are micro-ordered are represented by one
+// canonical path, and coin flips are fixed by the seed (exploration covers
+// scheduling nondeterminism; randomness is swept by running multiple seeds).
+// Within that space the exploration is exhaustive.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// Instance is one freshly constructed system to execute: a kernel with
+// participants spawned, and an invariant to evaluate after the run
+// terminates.
+type Instance struct {
+	// Kernel is ready to run (participants spawned, services installed).
+	Kernel *sim.Kernel
+	// Check is evaluated after the run completes; a non-nil error is a
+	// safety violation for this schedule.
+	Check func() error
+}
+
+// Factory builds a fresh Instance per explored schedule. It must be
+// deterministic: exploration assumes every instance behaves identically
+// under identical action sequences.
+type Factory func() *Instance
+
+// Config bounds the exploration.
+type Config struct {
+	// MaxDepth is the exhaustive choice depth; paths longer than this are
+	// completed by the fair scheduler rather than branched. 0 means
+	// unlimited (full exhaustive exploration — feasible only for the
+	// smallest systems).
+	MaxDepth int
+	// MaxNodes caps the total number of executed schedules, guarding
+	// against accidental blow-ups. 0 means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// DefaultMaxNodes bounds an exploration unless overridden.
+const DefaultMaxNodes = 200_000
+
+// Violation records a schedule whose terminal state failed the invariant.
+type Violation struct {
+	// Prefix is the participant-advancement choice sequence reproducing the
+	// failing schedule.
+	Prefix []int
+	// Err is the invariant failure.
+	Err error
+}
+
+// Report summarises one exploration.
+type Report struct {
+	// Nodes is the number of schedules executed (tree nodes).
+	Nodes int
+	// Leaves counts schedules that terminated with no further choice
+	// available (complete interleavings).
+	Leaves int
+	// DepthCapped counts schedules cut at MaxDepth and fair-completed.
+	DepthCapped int
+	// Truncated is set when MaxNodes stopped the exploration early.
+	Truncated bool
+	// Violations lists every invariant failure found.
+	Violations []Violation
+}
+
+// Failed reports whether any violation was found.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Run explores the schedule space of the factory's system and returns the
+// report. It only returns an error for harness-level failures (an instance
+// whose kernel run fails for reasons other than the invariant); invariant
+// violations are collected in the report.
+func Run(factory Factory, cfg Config) (*Report, error) {
+	maxNodes := cfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	rep := &Report{}
+	// Iterative DFS over choice prefixes.
+	stack := [][]int{{}}
+	for len(stack) > 0 {
+		if rep.Nodes >= maxNodes {
+			rep.Truncated = true
+			break
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		rep.Nodes++
+
+		options, err := runOne(factory, prefix, rep)
+		if err != nil {
+			return rep, fmt.Errorf("explore: prefix %v: %w", prefix, err)
+		}
+		switch {
+		case len(options) == 0:
+			rep.Leaves++
+		case cfg.MaxDepth > 0 && len(prefix) >= cfg.MaxDepth:
+			rep.DepthCapped++
+		default:
+			// Push in reverse so lower-numbered participants are explored
+			// first (deterministic order).
+			for i := len(options) - 1; i >= 0; i-- {
+				child := make([]int, len(prefix)+1)
+				copy(child, prefix)
+				child[len(prefix)] = options[i]
+				stack = append(stack, child)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runOne executes one schedule: follow the prefix choices, record the
+// options available at the frontier, fair-complete the run, and check the
+// invariant.
+func runOne(factory Factory, prefix []int, rep *Report) ([]int, error) {
+	inst := factory()
+	adv := &prefixAdversary{prefix: prefix}
+	if _, err := inst.Kernel.Run(adv); err != nil {
+		return nil, err
+	}
+	if inst.Check != nil {
+		if err := inst.Check(); err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Prefix: append([]int(nil), prefix...),
+				Err:    err,
+			})
+		}
+	}
+	return adv.options, nil
+}
+
+// prefixAdversary follows a choice prefix — each choice advances one
+// participant (by index into Kernel.Participants()) to its next yield point
+// — then records the remaining options and hands the run to the fair
+// scheduler.
+type prefixAdversary struct {
+	prefix []int
+	pos    int
+
+	parts []sim.ProcID
+	drv   adversary.Driver
+
+	advancing   bool
+	target      sim.ProcID
+	startYields int
+	guard       int
+
+	options []int
+}
+
+// advanceBudget bounds the micro-actions spent advancing one participant by
+// one yield; it exists to convert scheduler bugs into visible failures
+// rather than unbounded loops.
+const advanceBudget = 1 << 16
+
+// Next implements sim.Adversary.
+func (a *prefixAdversary) Next(k *sim.Kernel) sim.Action {
+	if a.parts == nil {
+		a.parts = k.Participants()
+	}
+	for {
+		if a.advancing {
+			if a.reachedYield(k) {
+				a.advancing = false
+				a.drv = adversary.Driver{}
+				continue
+			}
+			a.guard++
+			if a.guard > advanceBudget {
+				panic("explore: advancement budget exhausted (scheduler bug)")
+			}
+			if act := a.drv.Progress(k, a.target); act != nil {
+				return act
+			}
+			// The participant cannot advance in isolation (it waits on
+			// quorum replies that only other participants' progress can
+			// trigger). Treat the advancement as complete.
+			a.advancing = false
+			a.drv = adversary.Driver{}
+			continue
+		}
+		if a.pos >= len(a.prefix) {
+			a.options = a.available(k)
+			return sim.Halt{}
+		}
+		choice := a.prefix[a.pos]
+		a.pos++
+		if choice < 0 || choice >= len(a.parts) {
+			panic(fmt.Sprintf("explore: choice %d out of range", choice))
+		}
+		a.target = a.parts[choice]
+		if k.Done(a.target) || k.Crashed(a.target) {
+			continue // no-op advancement of a finished participant
+		}
+		a.startYields = k.YieldCount(a.target)
+		a.advancing = true
+		a.guard = 0
+	}
+}
+
+// reachedYield reports whether the target advanced by at least one yield (or
+// finished).
+func (a *prefixAdversary) reachedYield(k *sim.Kernel) bool {
+	if k.Done(a.target) || k.Crashed(a.target) {
+		return true
+	}
+	if k.Ready(a.target) {
+		return false // not even started yet
+	}
+	return k.YieldCount(a.target) > a.startYields
+}
+
+// available lists the indices of participants that are still unfinished —
+// the branching options at this node.
+func (a *prefixAdversary) available(k *sim.Kernel) []int {
+	var out []int
+	for i, id := range a.parts {
+		if !k.Done(id) && !k.Crashed(id) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

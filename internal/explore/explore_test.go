@@ -1,0 +1,211 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// siftFactory builds an n-participant basic or heterogeneous PoisonPill
+// round with the Claim 3.1 invariant (≥1 survivor).
+func siftFactory(n int, seed int64, het bool) Factory {
+	return func() *Instance {
+		k := sim.NewKernel(sim.Config{N: n, Seed: seed})
+		stores := quorum.InstallStores(k)
+		outcomes := make(map[sim.ProcID]core.Outcome, n)
+		for i := 0; i < n; i++ {
+			id := sim.ProcID(i)
+			k.Spawn(id, func(p *sim.Proc) {
+				c := quorum.NewComm(p, stores[id])
+				s := core.NewState(p, "sift")
+				if het {
+					outcomes[id] = core.HetPoisonPill(c, "pp", s)
+				} else {
+					outcomes[id] = core.PoisonPill(c, "pp", s)
+				}
+			})
+		}
+		return &Instance{
+			Kernel: k,
+			Check: func() error {
+				if len(outcomes) != n {
+					return fmt.Errorf("only %d of %d participants returned", len(outcomes), n)
+				}
+				for _, o := range outcomes {
+					if o == core.Survive {
+						return nil
+					}
+				}
+				return errors.New("all participants died (Claim 3.1 violated)")
+			},
+		}
+	}
+}
+
+// electionFactory builds an n-participant leader election with the
+// unique-winner invariant.
+func electionFactory(n int, seed int64) Factory {
+	return func() *Instance {
+		k := sim.NewKernel(sim.Config{N: n, Seed: seed})
+		stores := quorum.InstallStores(k)
+		decisions := make(map[sim.ProcID]core.Decision, n)
+		for i := 0; i < n; i++ {
+			id := sim.ProcID(i)
+			k.Spawn(id, func(p *sim.Proc) {
+				c := quorum.NewComm(p, stores[id])
+				decisions[id] = core.LeaderElect(c, "e")
+			})
+		}
+		return &Instance{
+			Kernel: k,
+			Check: func() error {
+				winners := 0
+				for _, d := range decisions {
+					if d == core.Win {
+						winners++
+					}
+				}
+				if winners != 1 {
+					return fmt.Errorf("%d winners", winners)
+				}
+				if len(decisions) != n {
+					return fmt.Errorf("only %d of %d decided", len(decisions), n)
+				}
+				return nil
+			},
+		}
+	}
+}
+
+func TestExhaustiveTwoProcessorBasicSift(t *testing.T) {
+	// Full exploration (no depth cap) of every yield-granular interleaving
+	// of a 2-participant basic PoisonPill round, across several coin seeds:
+	// Claim 3.1 must hold on every schedule.
+	for seed := int64(0); seed < 4; seed++ {
+		rep, err := Run(siftFactory(2, seed, false), Config{})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed=%d: %d violations, first: prefix=%v err=%v",
+				seed, len(rep.Violations), rep.Violations[0].Prefix, rep.Violations[0].Err)
+		}
+		if rep.Truncated {
+			t.Fatalf("seed=%d: exploration truncated at %d nodes", seed, rep.Nodes)
+		}
+		if rep.Leaves == 0 || rep.Nodes <= rep.Leaves {
+			t.Fatalf("seed=%d: degenerate exploration: %d nodes, %d leaves", seed, rep.Nodes, rep.Leaves)
+		}
+	}
+}
+
+func TestExhaustiveTwoProcessorHetSift(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rep, err := Run(siftFactory(2, seed, true), Config{})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed=%d: violation on prefix %v: %v",
+				seed, rep.Violations[0].Prefix, rep.Violations[0].Err)
+		}
+	}
+}
+
+func TestBoundedThreeProcessorSift(t *testing.T) {
+	// Depth-bounded exploration of the 3-participant round: every prefix of
+	// 7 choices, each completed fairly.
+	rep, err := Run(siftFactory(3, 1, false), Config{MaxDepth: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("violation on prefix %v: %v", rep.Violations[0].Prefix, rep.Violations[0].Err)
+	}
+	if rep.DepthCapped == 0 {
+		t.Fatal("expected some depth-capped paths at MaxDepth 7")
+	}
+}
+
+func TestBoundedTwoProcessorElection(t *testing.T) {
+	// The full election (doorway + pre-rounds + sifts) for two processors,
+	// exhaustive over the first 8 choices: exactly one winner on every
+	// explored schedule.
+	for seed := int64(0); seed < 2; seed++ {
+		rep, err := Run(electionFactory(2, seed), Config{MaxDepth: 8})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed=%d: violation on prefix %v: %v",
+				seed, rep.Violations[0].Prefix, rep.Violations[0].Err)
+		}
+		if rep.Nodes < 50 {
+			t.Fatalf("seed=%d: suspiciously small exploration (%d nodes)", seed, rep.Nodes)
+		}
+	}
+}
+
+func TestMaxNodesTruncates(t *testing.T) {
+	rep, err := Run(siftFactory(3, 2, false), Config{MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("MaxNodes did not truncate")
+	}
+	if rep.Nodes > 10 {
+		t.Fatalf("explored %d nodes past the cap", rep.Nodes)
+	}
+}
+
+func TestViolationDetection(t *testing.T) {
+	// A deliberately broken invariant must be caught and reported with a
+	// reproducible prefix.
+	factory := func() *Instance {
+		k := sim.NewKernel(sim.Config{N: 2, Seed: 1})
+		k.Spawn(0, func(p *sim.Proc) { p.Pause() })
+		k.Spawn(1, func(p *sim.Proc) {})
+		return &Instance{
+			Kernel: k,
+			Check:  func() error { return errors.New("always fails") },
+		}
+	}
+	rep, err := Run(factory, Config{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("violations not detected")
+	}
+	if len(rep.Violations) != rep.Nodes {
+		t.Fatalf("%d violations over %d nodes, want one per node", len(rep.Violations), rep.Nodes)
+	}
+}
+
+func TestDeterministicReplayOfPrefix(t *testing.T) {
+	// Running the same prefix twice yields identical frontier options: the
+	// foundation of the exploration's soundness.
+	f := siftFactory(2, 3, false)
+	rep := &Report{}
+	opts1, err := runOne(f, []int{0, 0, 1}, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts2, err := runOne(f, []int{0, 0, 1}, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts1) != len(opts2) {
+		t.Fatalf("options differ: %v vs %v", opts1, opts2)
+	}
+	for i := range opts1 {
+		if opts1[i] != opts2[i] {
+			t.Fatalf("options differ: %v vs %v", opts1, opts2)
+		}
+	}
+}

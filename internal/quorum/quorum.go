@@ -1,0 +1,427 @@
+// Package quorum implements the communicate primitive of Attiya, Bar-Noy and
+// Dolev [ABND95] as used by "How to Elect a Leader Faster than a Tournament"
+// (Section 2): communicate(m) sends m to all n processors and waits for at
+// least ⌊n/2⌋+1 acknowledgments before proceeding. Its key property — relied
+// on by every proof in the paper — is that any two communicate calls
+// intersect in at least one recipient.
+//
+// State is organised as register arrays: a register array is a named vector
+// with one cell per processor, and each cell is written only by its owner
+// with a monotonically increasing sequence number (so stale propagations
+// never overwrite fresh ones). Two operations are provided, matching the
+// paper's two message forms:
+//
+//   - Propagate (the paper's "propagate, v"): write the caller's own cell and
+//     push it to a quorum;
+//   - Collect (the paper's "collect, v"): gather the register array views of
+//     at least ⌊n/2⌋+1 processors and return them.
+//
+// Both count as one communicate call for time accounting (Claim 2.1), and
+// both cost O(n) messages.
+package quorum
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Value is the content of a register cell. Values must be treated as
+// immutable once propagated: stores hand out references, not copies.
+type Value any
+
+// Entry is one register cell in transit or in a view: the cell of register
+// array Reg owned by Owner, at write version Seq.
+type Entry struct {
+	Reg   string
+	Owner sim.ProcID
+	Seq   uint64
+	Val   Value
+}
+
+// WireSize implements sim.WireSizer with a coarse fixed estimate per entry
+// (identifier + sequence number + small payload); values that implement
+// WireSizer themselves are measured instead.
+func (e Entry) WireSize() int {
+	if s, ok := e.Val.(sim.WireSizer); ok {
+		return 16 + s.WireSize()
+	}
+	return 24
+}
+
+// View is one processor's register-array snapshot returned by Collect:
+// the non-⊥ cells of register Reg at replier From. In the paper's notation,
+// Views[k][j] is Get(j) on the k-th returned View.
+type View struct {
+	From    sim.ProcID
+	Entries []Entry
+}
+
+// Get returns the value of owner j's cell in this view; ok is false when the
+// view holds ⊥ for j.
+func (v View) Get(j sim.ProcID) (Value, bool) {
+	for _, e := range v.Entries {
+		if e.Owner == j {
+			return e.Val, true
+		}
+	}
+	return nil, false
+}
+
+// Message payloads exchanged by the layer.
+type (
+	// propagateMsg pushes register cells to a recipient, who merges them
+	// and acknowledges.
+	propagateMsg struct {
+		Call    int64
+		Entries []Entry
+	}
+	// ackMsg acknowledges a propagateMsg.
+	ackMsg struct {
+		Call int64
+	}
+	// collectMsg requests the recipient's view of one register array.
+	collectMsg struct {
+		Call int64
+		Reg  string
+	}
+	// collectAck carries the recipient's view back to the caller.
+	collectAck struct {
+		Call    int64
+		From    sim.ProcID
+		Entries []Entry
+
+		entriesSize int // precomputed WireSize of Entries (0 = unknown)
+	}
+)
+
+// WireSize implements sim.WireSizer.
+func (m propagateMsg) WireSize() int {
+	n := 8
+	for _, e := range m.Entries {
+		n += e.WireSize()
+	}
+	return n
+}
+
+// WireSize implements sim.WireSizer.
+func (ackMsg) WireSize() int { return 8 }
+
+// WireSize implements sim.WireSizer.
+func (m collectMsg) WireSize() int { return 8 + len(m.Reg) }
+
+// WireSize implements sim.WireSizer.
+func (m collectAck) WireSize() int {
+	if m.entriesSize > 0 || len(m.Entries) == 0 {
+		return 12 + m.entriesSize
+	}
+	n := 12
+	for _, e := range m.Entries {
+		n += e.WireSize()
+	}
+	return n
+}
+
+// pendingCall tracks one outstanding communicate call on the caller side.
+type pendingCall struct {
+	acks  int
+	views []View
+}
+
+// Store is the per-processor state of the layer: the local view of every
+// register array plus the bookkeeping for the processor's own outstanding
+// communicate calls. It implements sim.Service and must be installed on all
+// n processors (participants or not) so that everyone acknowledges, per the
+// model's standing assumption.
+type Store struct {
+	id   sim.ProcID
+	n    int
+	regs map[string]*regArray // register name -> cells indexed by owner
+
+	nextCall int64
+	pending  map[int64]*pendingCall
+}
+
+type cell struct {
+	seq uint64
+	val Value
+}
+
+// regArray holds one register array plus a version-tagged snapshot cache:
+// collect replies during a quiescent spell share one immutable entry slice
+// instead of re-copying the array per reply, which dominates large-n runs.
+type regArray struct {
+	cells    []cell
+	version  uint64 // bumped on every effective write
+	snapVer  uint64 // version the cached snapshot was built at
+	snap     []Entry
+	snapSize int // cached total WireSize of snap
+}
+
+// NewStore creates the store for processor id in a system of n processors.
+func NewStore(id sim.ProcID, n int) *Store {
+	return &Store{
+		id:      id,
+		n:       n,
+		regs:    make(map[string]*regArray),
+		pending: make(map[int64]*pendingCall),
+	}
+}
+
+// array returns the register array for reg, creating it on first use.
+func (s *Store) array(reg string) *regArray {
+	arr := s.regs[reg]
+	if arr == nil {
+		arr = &regArray{cells: make([]cell, s.n)}
+		s.regs[reg] = arr
+	}
+	return arr
+}
+
+// InstallStores equips every processor of the kernel with a fresh Store and
+// returns them indexed by processor.
+func InstallStores(k *sim.Kernel) []*Store {
+	n := k.N()
+	stores := make([]*Store, n)
+	for i := 0; i < n; i++ {
+		stores[i] = NewStore(sim.ProcID(i), n)
+		k.SetService(sim.ProcID(i), stores[i])
+	}
+	return stores
+}
+
+// HandleMessage implements sim.Service.
+func (s *Store) HandleMessage(from sim.ProcID, payload any) (any, bool) {
+	switch m := payload.(type) {
+	case propagateMsg:
+		for _, e := range m.Entries {
+			s.merge(e)
+		}
+		return ackMsg{Call: m.Call}, true
+	case collectMsg:
+		entries, size := s.snapshotSized(m.Reg)
+		return collectAck{Call: m.Call, From: s.id, Entries: entries, entriesSize: size}, true
+	case ackMsg:
+		if c, ok := s.pending[m.Call]; ok {
+			c.acks++
+		}
+		return nil, false
+	case collectAck:
+		if c, ok := s.pending[m.Call]; ok {
+			c.acks++
+			c.views = append(c.views, View{From: m.From, Entries: m.Entries})
+		}
+		return nil, false
+	default:
+		// Unknown payloads are ignored: the layer shares the network with
+		// nothing else, but stays robust.
+		return nil, false
+	}
+}
+
+// merge applies an entry if it is newer than the local cell (writer
+// versioning: higher sequence numbers win; owners never regress).
+func (s *Store) merge(e Entry) {
+	arr := s.array(e.Reg)
+	if e.Seq > arr.cells[e.Owner].seq {
+		arr.cells[e.Owner] = cell{seq: e.Seq, val: e.Val}
+		arr.version++
+	}
+}
+
+// Snapshot returns the non-⊥ cells of a register array as entries, in owner
+// order. The slice is cached per register version and shared across
+// callers: it and the values it references must be treated as immutable.
+func (s *Store) Snapshot(reg string) []Entry {
+	arr := s.regs[reg]
+	if arr == nil {
+		return nil
+	}
+	if arr.snapVer == arr.version && arr.snap != nil {
+		return arr.snap
+	}
+	out := make([]Entry, 0, s.n)
+	size := 0
+	for owner, c := range arr.cells {
+		if c.seq > 0 {
+			e := Entry{Reg: reg, Owner: sim.ProcID(owner), Seq: c.seq, Val: c.val}
+			size += e.WireSize()
+			out = append(out, e)
+		}
+	}
+	arr.snap = out
+	arr.snapVer = arr.version
+	arr.snapSize = size
+	return out
+}
+
+// snapshotSized returns the cached snapshot together with its total wire
+// size, so per-ack accounting does not re-walk the entries.
+func (s *Store) snapshotSized(reg string) ([]Entry, int) {
+	entries := s.Snapshot(reg)
+	arr := s.regs[reg]
+	if arr == nil {
+		return entries, 0
+	}
+	return entries, arr.snapSize
+}
+
+// Local returns this store's current value for owner j's cell of register
+// reg; ok is false for ⊥.
+func (s *Store) Local(reg string, j sim.ProcID) (Value, bool) {
+	arr := s.regs[reg]
+	if arr == nil || arr.cells[j].seq == 0 {
+		return nil, false
+	}
+	return arr.cells[j].val, true
+}
+
+// Comm is the algorithm-side handle for issuing communicate calls from one
+// processor. It pairs the processor's kernel handle with its store.
+type Comm struct {
+	p  *sim.Proc
+	st *Store
+}
+
+// NewComm builds the communicate handle for an algorithm running on p, using
+// the store installed on p's processor.
+func NewComm(p *sim.Proc, st *Store) *Comm {
+	if st.id != p.ID() {
+		panic(fmt.Sprintf("quorum: store of processor %d attached to processor %d", st.id, p.ID()))
+	}
+	return &Comm{p: p, st: st}
+}
+
+// Proc returns the underlying kernel handle.
+func (c *Comm) Proc() *sim.Proc { return c.p }
+
+// Store returns the processor's local store.
+func (c *Comm) Store() *Store { return c.st }
+
+// QuorumSize returns ⌊n/2⌋+1, the number of acknowledgments every
+// communicate call waits for.
+func (c *Comm) QuorumSize() int { return c.st.n/2 + 1 }
+
+// Propagate performs communicate(propagate, reg[self] = val): it bumps the
+// caller's cell of register reg to val and pushes it to at least a quorum.
+// One communicate call; blocks until ⌊n/2⌋+1 acks (self included) arrive.
+func (c *Comm) Propagate(reg string, val Value) {
+	arr := c.st.array(reg)
+	self := c.p.ID()
+	arr.cells[self] = cell{seq: arr.cells[self].seq + 1, val: val}
+	arr.version++
+	entry := Entry{Reg: reg, Owner: self, Seq: arr.cells[self].seq, Val: val}
+	c.broadcast(propagateEntriesCall{entries: []Entry{entry}})
+}
+
+// PropagateEntries pushes an arbitrary set of already-versioned entries
+// (typically a snapshot of cells learned from others) to a quorum. It is
+// used by the renaming algorithm's line 37, which relays contention
+// information originating at other processors. One communicate call.
+func (c *Comm) PropagateEntries(entries []Entry) {
+	// Relayed entries are merged locally first so the self-ack is honest:
+	// the caller's store reflects everything the call pushes.
+	for _, e := range entries {
+		c.st.merge(e)
+	}
+	c.broadcast(propagateEntriesCall{entries: entries})
+}
+
+// Collect performs communicate(collect, reg): it gathers the views of at
+// least ⌊n/2⌋+1 processors (the caller's own store included) and returns
+// them. One communicate call.
+func (c *Comm) Collect(reg string) []View {
+	call := c.newCall()
+	pc := c.st.pending[call]
+	// The caller's own view counts as one of the ⌊n/2⌋+1.
+	pc.acks++
+	pc.views = append(pc.views, View{From: c.p.ID(), Entries: c.st.Snapshot(reg)})
+	for i := 0; i < c.st.n; i++ {
+		if sim.ProcID(i) == c.p.ID() {
+			continue
+		}
+		c.p.Send(sim.ProcID(i), collectMsg{Call: call, Reg: reg})
+	}
+	c.await(call)
+	views := pc.views
+	delete(c.st.pending, call)
+	return views
+}
+
+type propagateEntriesCall struct {
+	entries []Entry
+}
+
+// broadcast implements the shared send-and-await-quorum path for propagate
+// calls.
+func (c *Comm) broadcast(pcall propagateEntriesCall) {
+	call := c.newCall()
+	pc := c.st.pending[call]
+	pc.acks++ // self-ack: the local store is updated synchronously
+	msg := propagateMsg{Call: call, Entries: pcall.entries}
+	for i := 0; i < c.st.n; i++ {
+		if sim.ProcID(i) == c.p.ID() {
+			continue
+		}
+		c.p.Send(sim.ProcID(i), msg)
+	}
+	c.await(call)
+	delete(c.st.pending, call)
+}
+
+func (c *Comm) newCall() int64 {
+	c.st.nextCall++
+	call := c.st.nextCall
+	c.st.pending[call] = &pendingCall{}
+	return call
+}
+
+// await blocks the algorithm until the call has a quorum of acks, counting
+// the call for time complexity.
+func (c *Comm) await(call int64) {
+	c.p.NoteCommunicate()
+	need := c.QuorumSize()
+	pc := c.st.pending[call]
+	if pc.acks >= need {
+		// Quorum already satisfied (n == 1): still yield once so the
+		// adversary keeps scheduling control at every communicate call.
+		c.p.Pause()
+		return
+	}
+	c.p.Await(func() bool { return pc.acks >= need })
+}
+
+// MsgKind classifies layer payloads for adversary strategies, which hold or
+// prioritise messages by role (e.g. delaying propagations while letting
+// acknowledgments through). The strong adversary may inspect payloads, so
+// exposing the classification is within the model.
+type MsgKind int
+
+const (
+	// KindOther: not a quorum-layer payload.
+	KindOther MsgKind = iota + 1
+	// KindPropagate: a propagate request carrying register cells.
+	KindPropagate
+	// KindPropagateAck: an acknowledgment of a propagate request.
+	KindPropagateAck
+	// KindCollect: a collect request.
+	KindCollect
+	// KindCollectAck: a collect reply carrying a register-array view.
+	KindCollectAck
+)
+
+// Classify reports the protocol role of a message payload.
+func Classify(payload any) MsgKind {
+	switch payload.(type) {
+	case propagateMsg:
+		return KindPropagate
+	case ackMsg:
+		return KindPropagateAck
+	case collectMsg:
+		return KindCollect
+	case collectAck:
+		return KindCollectAck
+	default:
+		return KindOther
+	}
+}

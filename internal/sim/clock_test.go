@@ -1,0 +1,198 @@
+package sim
+
+import "testing"
+
+// The virtual clock implements the paper's Section 2 timing with t1 = t2 = 1:
+// a delivery arrives one unit after its send, a computation step completes
+// one unit after its causes. The canonical pattern the paper computes below
+// Claim 2.1 — request out (t1), processed (t2), ack back (t1), resume (t2) —
+// must cost 4 units per communicate round-trip.
+
+func TestVirtualTimeSingleRoundTrip(t *testing.T) {
+	k := NewKernel(Config{N: 2, Seed: 1})
+	k.SetService(1, serviceFunc(func(from ProcID, payload any) (any, bool) {
+		return "ack", true
+	}))
+	acks := 0
+	k.SetService(0, serviceFunc(func(from ProcID, payload any) (any, bool) {
+		acks++
+		return nil, false
+	}))
+	k.Spawn(0, func(p *Proc) {
+		p.Send(1, "req")
+		p.Await(func() bool { return acks >= 1 })
+	})
+	stats, err := k.Run(nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Start step (1) + request in flight (arrives 2) + responder step (3,
+	// reply stamped at 3) + reply arrives (4) + resume step (5).
+	if stats.VirtualTime != 5 {
+		t.Fatalf("VirtualTime = %d, want 5", stats.VirtualTime)
+	}
+}
+
+func TestVirtualTimeRepliesDoNotChainThroughResponderBatching(t *testing.T) {
+	// Two requests to the same responder, delivered and stepped one at a
+	// time: the second reply's timing must depend on its own request, not
+	// on how many steps the responder took in between (the model bounds a
+	// reply by arrival + t2 regardless of adversary batching).
+	build := func() (*Kernel, *int) {
+		k := NewKernel(Config{N: 3, Seed: 1})
+		k.SetService(2, serviceFunc(func(from ProcID, payload any) (any, bool) {
+			return "ack", true
+		}))
+		acks := new(int)
+		k.SetService(0, serviceFunc(func(from ProcID, payload any) (any, bool) {
+			*acks++
+			return nil, false
+		}))
+		k.Spawn(0, func(p *Proc) {
+			p.Send(2, "a")
+			p.Send(2, "b")
+			p.Await(func() bool { return *acks >= 2 })
+		})
+		return k, acks
+	}
+
+	// Batched: deliver both, one responder step.
+	kBatched, _ := build()
+	statsBatched, err := kBatched.Run(nil)
+	if err != nil {
+		t.Fatalf("batched run: %v", err)
+	}
+
+	// Serialized: deliver one, step, deliver the other, step.
+	kSerial, _ := build()
+	serialOrder := []Action{
+		Start{Proc: 0},
+		Deliver{Msg: 0}, Step{Proc: 2},
+		Deliver{Msg: 1}, Step{Proc: 2},
+	}
+	pos := 0
+	adv := AdversaryFunc(func(k *Kernel) Action {
+		if pos < len(serialOrder) {
+			a := serialOrder[pos]
+			pos++
+			return a
+		}
+		return nil
+	})
+	statsSerial, err := kSerial.Run(adv)
+	if err != nil {
+		t.Fatalf("serialized run: %v", err)
+	}
+	if statsSerial.VirtualTime != statsBatched.VirtualTime {
+		t.Fatalf("batching changed the makespan: serial %d vs batched %d",
+			statsSerial.VirtualTime, statsBatched.VirtualTime)
+	}
+}
+
+func TestVirtualTimeChainsThroughAlgorithmSteps(t *testing.T) {
+	// A purely local chain of pauses costs one unit per resumption: the
+	// algorithm's own steps do causally chain.
+	k := NewKernel(Config{N: 1, Seed: 1})
+	k.Spawn(0, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Pause()
+		}
+	})
+	stats, err := k.Run(nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Start (1) + 5 resumes.
+	if stats.VirtualTime != 6 {
+		t.Fatalf("VirtualTime = %d, want 6", stats.VirtualTime)
+	}
+}
+
+func TestVirtualTimeParallelismIsFree(t *testing.T) {
+	// Two independent request/response pairs in parallel must cost the same
+	// makespan as one: time is the longest chain, not the event count.
+	run := func(pairs int) int64 {
+		k := NewKernel(Config{N: 2 * pairs, Seed: 1})
+		acks := make([]int, pairs)
+		for i := 0; i < pairs; i++ {
+			i := i
+			client, server := ProcID(2*i), ProcID(2*i+1)
+			k.SetService(server, serviceFunc(func(from ProcID, payload any) (any, bool) {
+				return "ack", true
+			}))
+			k.SetService(client, serviceFunc(func(from ProcID, payload any) (any, bool) {
+				acks[i]++
+				return nil, false
+			}))
+			k.Spawn(client, func(p *Proc) {
+				p.Send(server, "req")
+				p.Await(func() bool { return acks[i] >= 1 })
+			})
+		}
+		stats, err := k.Run(nil)
+		if err != nil {
+			t.Fatalf("Run(%d pairs): %v", pairs, err)
+		}
+		return stats.VirtualTime
+	}
+	if one, four := run(1), run(4); one != four {
+		t.Fatalf("parallel pairs changed makespan: %d vs %d", one, four)
+	}
+}
+
+func TestVirtualTimeCustomT1T2(t *testing.T) {
+	// One round-trip with t1 = 10, t2 = 3: start (3) + delivery (13) +
+	// responder step / reply stamp (16) + reply arrival (26) + resume (29).
+	k := NewKernel(Config{N: 2, Seed: 1, T1: 10, T2: 3})
+	k.SetService(1, serviceFunc(func(from ProcID, payload any) (any, bool) {
+		return "ack", true
+	}))
+	acks := 0
+	k.SetService(0, serviceFunc(func(from ProcID, payload any) (any, bool) {
+		acks++
+		return nil, false
+	}))
+	k.Spawn(0, func(p *Proc) {
+		p.Send(1, "req")
+		p.Await(func() bool { return acks >= 1 })
+	})
+	stats, err := k.Run(nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.VirtualTime != 29 {
+		t.Fatalf("VirtualTime = %d, want 29 (= 2·t1 + 3·t2)", stats.VirtualTime)
+	}
+}
+
+func TestVirtualTimeScalesLinearlyInT1PlusT2(t *testing.T) {
+	// The paper's definition: time complexity O(T·(t1+t2)). Doubling both
+	// bounds must exactly double the makespan of the same schedule.
+	run := func(t1, t2 int64) int64 {
+		k := NewKernel(Config{N: 2, Seed: 5, T1: t1, T2: t2})
+		k.SetService(1, serviceFunc(func(from ProcID, payload any) (any, bool) {
+			return "ack", true
+		}))
+		acks := 0
+		k.SetService(0, serviceFunc(func(from ProcID, payload any) (any, bool) {
+			acks++
+			return nil, false
+		}))
+		k.Spawn(0, func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				p.Send(1, i)
+				want := i + 1
+				p.Await(func() bool { return acks >= want })
+			}
+		})
+		stats, err := k.Run(nil)
+		if err != nil {
+			t.Fatalf("Run(t1=%d,t2=%d): %v", t1, t2, err)
+		}
+		return stats.VirtualTime
+	}
+	base, doubled := run(1, 1), run(2, 2)
+	if doubled != 2*base {
+		t.Fatalf("makespan did not scale: %d at (1,1) vs %d at (2,2)", base, doubled)
+	}
+}

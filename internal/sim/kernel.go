@@ -1,0 +1,545 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DefaultBudget is the default bound on adversary actions per run; it exists
+// to convert livelocked schedules into ErrBudget instead of hangs.
+const DefaultBudget = 200_000_000
+
+// Config parameterises a kernel run.
+type Config struct {
+	// N is the system size (number of processors). Required, N >= 1.
+	N int
+
+	// Seed drives every PRNG in the run (processors and the fair
+	// scheduler). Two runs with equal seeds, spawns, and adversary
+	// decisions are identical.
+	Seed int64
+
+	// Budget bounds the total number of adversary actions; 0 means
+	// DefaultBudget.
+	Budget int64
+
+	// MaxFaults bounds Crash actions. Negative means the model maximum
+	// ⌈n/2⌉−1; 0 disallows crashes.
+	MaxFaults int
+
+	// T1 and T2 are the virtual-clock bounds of the Section 2 timing model:
+	// the maximum message delay and the maximum gap between consecutive
+	// computation steps. Zero values default to 1 each, making
+	// Stats.VirtualTime the unit-latency makespan.
+	T1, T2 int64
+
+	// Record enables trace recording (see Kernel.Trace).
+	Record bool
+}
+
+// Kernel is the deterministic discrete-event executor of the asynchronous
+// message-passing model. Adversaries inspect it through the exported query
+// methods; algorithms interact through Proc handles.
+type Kernel struct {
+	n         int
+	seed      int64
+	budget    int64
+	maxFaults int
+	t1, t2    int64
+
+	procs []*Proc
+
+	msgs     []*Message // indexed by MsgID; nil = no longer in flight
+	inflight int
+	nextMsg  MsgID
+	global   msgQueue
+	toProc   []msgQueue
+	fromProc []msgQueue
+	liveIDs  []MsgID // for O(1) uniform random picks
+
+	yieldCh chan yieldEvent
+	fairRng *rand.Rand
+	cursor  int // fair-scheduler rotation cursor
+
+	// stepQueue holds processors that plausibly have step work (mailbox
+	// deliveries or fresh yields); the fair scheduler consumes it to avoid
+	// an O(n) scan per action. A full scan remains as fallback for wait
+	// predicates satisfied by out-of-band state changes.
+	stepQueue   []ProcID
+	inStepQueue []bool
+	readyQueue  []ProcID // spawned participants not yet started
+
+	stats        Stats
+	participants int
+	doneCount    int
+	crashedAlgos int
+
+	// Virtual (t1,t2)-clock with t1 = t2 = 1 (Section 2's time definition):
+	// a delivery completes one unit after its send, a computation step one
+	// unit after the processor's previous activity. clock[p] is processor
+	// p's local completion time; msgTime[m] the earliest arrival of m.
+	clocks []int64
+
+	trace    []Action
+	record   bool
+	finished bool
+	failure  error // first algorithm panic, surfaced from Run
+}
+
+// NewKernel builds a kernel with n processors and no participants. Attach
+// reactive services with SetService and participants with Spawn before Run.
+func NewKernel(cfg Config) *Kernel {
+	if cfg.N < 1 {
+		panic(fmt.Sprintf("sim: invalid system size %d", cfg.N))
+	}
+	budget := cfg.Budget
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	maxFaults := cfg.MaxFaults
+	if maxFaults < 0 {
+		maxFaults = (cfg.N+1)/2 - 1
+	}
+	t1, t2 := cfg.T1, cfg.T2
+	if t1 <= 0 {
+		t1 = 1
+	}
+	if t2 <= 0 {
+		t2 = 1
+	}
+	k := &Kernel{
+		n:           cfg.N,
+		seed:        cfg.Seed,
+		budget:      budget,
+		maxFaults:   maxFaults,
+		t1:          t1,
+		t2:          t2,
+		procs:       make([]*Proc, cfg.N),
+		toProc:      make([]msgQueue, cfg.N),
+		fromProc:    make([]msgQueue, cfg.N),
+		yieldCh:     make(chan yieldEvent),
+		fairRng:     newRand(cfg.Seed, 0xFA1),
+		record:      cfg.Record,
+		inStepQueue: make([]bool, cfg.N),
+		clocks:      make([]int64, cfg.N),
+		stats: Stats{
+			N:          cfg.N,
+			CommCalls:  make([]int, cfg.N),
+			SentBy:     make([]int64, cfg.N),
+			ReceivedBy: make([]int64, cfg.N),
+		},
+	}
+	for i := range k.procs {
+		k.procs[i] = &Proc{
+			id:     ProcID(i),
+			k:      k,
+			rng:    newRand(cfg.Seed, 0x9000+uint64(i)),
+			state:  stateIdle,
+			resume: make(chan struct{}),
+		}
+	}
+	return k
+}
+
+// N returns the system size.
+func (k *Kernel) N() int { return k.n }
+
+// SetService installs the reactive message handler for processor id. Every
+// processor that should acknowledge protocol messages needs one; the quorum
+// layer installs its store on all n processors.
+func (k *Kernel) SetService(id ProcID, s Service) {
+	k.procs[id].service = s
+}
+
+// Spawn attaches a protocol participant to processor id. The algorithm does
+// not begin executing until the adversary issues a Start action (or the fair
+// scheduler does so on its behalf).
+func (k *Kernel) Spawn(id ProcID, fn AlgoFunc) {
+	p := k.procs[id]
+	if p.algo != nil {
+		panic(fmt.Sprintf("sim: processor %d already has an algorithm", id))
+	}
+	if fn == nil {
+		panic("sim: Spawn requires a non-nil algorithm")
+	}
+	p.algo = fn
+	p.state = stateReady
+	k.readyQueue = append(k.readyQueue, id)
+	k.participants++
+	k.stats.Participants = k.participants
+}
+
+// Run drives the execution: it repeatedly asks the adversary for the next
+// action and applies it, until every participant has returned (nil error),
+// the budget is exhausted (ErrBudget), no progress is possible (ErrStuck),
+// an action is illegal (wrapping ErrIllegalAction), or an algorithm body
+// panicked. Run must be called exactly once per kernel. The returned Stats
+// are a snapshot owned by the caller.
+func (k *Kernel) Run(adv Adversary) (Stats, error) {
+	if k.finished {
+		return k.stats.clone(), fmt.Errorf("sim: kernel already ran")
+	}
+	defer k.shutdown()
+	for k.doneCount+k.crashedAlgos < k.participants {
+		if k.stats.Actions >= k.budget {
+			return k.stats.clone(), ErrBudget
+		}
+		var a Action
+		if adv != nil {
+			a = adv.Next(k)
+		}
+		if _, halt := a.(Halt); halt {
+			adv = nil // fair scheduler finishes the run
+			continue
+		}
+		if a == nil {
+			a = k.fairAction()
+			if a == nil {
+				return k.stats.clone(), ErrStuck
+			}
+		}
+		if err := k.apply(a); err != nil {
+			return k.stats.clone(), err
+		}
+		if k.record {
+			k.trace = append(k.trace, a)
+		}
+		k.stats.Actions++
+		if err := k.collectFailures(); err != nil {
+			return k.stats.clone(), err
+		}
+	}
+	k.finished = true
+	return k.stats.clone(), nil
+}
+
+// collectFailures surfaces algorithm panics as run errors.
+func (k *Kernel) collectFailures() error {
+	return k.failure
+}
+
+// apply executes one adversary action, validating model legality.
+func (k *Kernel) apply(a Action) error {
+	switch act := a.(type) {
+	case Deliver:
+		return k.doDeliver(act.Msg)
+	case Step:
+		return k.doStep(act.Proc)
+	case Start:
+		return k.doStart(act.Proc)
+	case Crash:
+		return k.doCrash(act.Proc, act.DropOutgoing)
+	default:
+		return fmt.Errorf("%w: unknown action %T", ErrIllegalAction, a)
+	}
+}
+
+func (k *Kernel) checkProc(id ProcID) error {
+	if id < 0 || int(id) >= k.n {
+		return fmt.Errorf("%w: processor %d out of range", ErrIllegalAction, id)
+	}
+	return nil
+}
+
+func (k *Kernel) doDeliver(id MsgID) error {
+	m := k.lookup(id)
+	if m == nil {
+		return fmt.Errorf("%w: message %d is not in flight", ErrIllegalAction, id)
+	}
+	k.removeInflight(id)
+	k.stats.Deliveries++
+	k.stats.ReceivedBy[m.To]++
+	dst := k.procs[m.To]
+	if dst.state == stateCrashed {
+		return nil // delivered into the void: crashed processors never step
+	}
+	dst.mailbox = append(dst.mailbox, m)
+	k.noteSteppable(m.To)
+	return nil
+}
+
+func (k *Kernel) doStep(id ProcID) error {
+	if err := k.checkProc(id); err != nil {
+		return err
+	}
+	p := k.procs[id]
+	if p.state == stateCrashed {
+		return fmt.Errorf("%w: step of crashed processor %d", ErrIllegalAction, id)
+	}
+	k.stats.Steps++
+	// A resumption is timed by the arrival of the message that *enabled*
+	// the wait condition, not by unrelated co-delivered traffic: the model
+	// forces a step within t2 of any delivery, so a satisfied condition
+	// cannot sit unprocessed behind later messages. consumeMailbox records
+	// the enabling arrival.
+	p.enableAt = -1
+	waitPending := p.state == stateBlocked && p.wait != nil && !p.wait()
+	k.consumeMailbox(p)
+	if p.state == stateBlocked && (p.wait == nil || p.wait()) {
+		t := k.clocks[p.id]
+		if waitPending && p.enableAt > t {
+			t = p.enableAt
+		}
+		k.clocks[p.id] = t + k.t2
+		k.noteVirtualTime(t + k.t2)
+		p.wait = nil
+		p.resume <- struct{}{}
+		k.awaitYield()
+	}
+	return nil
+}
+
+// noteVirtualTime tracks the execution makespan.
+func (k *Kernel) noteVirtualTime(t int64) {
+	if t > k.stats.VirtualTime {
+		k.stats.VirtualTime = t
+	}
+}
+
+func (k *Kernel) doStart(id ProcID) error {
+	if err := k.checkProc(id); err != nil {
+		return err
+	}
+	p := k.procs[id]
+	if p.state != stateReady {
+		return fmt.Errorf("%w: start of processor %d in state %v", ErrIllegalAction, id, p.state)
+	}
+	k.stats.Starts++
+	k.clocks[id] += k.t2
+	k.noteVirtualTime(k.clocks[id])
+	go p.run()
+	k.awaitYield()
+	return nil
+}
+
+func (k *Kernel) doCrash(id ProcID, dropOutgoing bool) error {
+	if err := k.checkProc(id); err != nil {
+		return err
+	}
+	p := k.procs[id]
+	if p.state == stateCrashed {
+		return fmt.Errorf("%w: processor %d already crashed", ErrIllegalAction, id)
+	}
+	if k.stats.Crashes >= k.maxFaults {
+		return fmt.Errorf("%w: fault budget %d exhausted", ErrIllegalAction, k.maxFaults)
+	}
+	k.stats.Crashes++
+	if p.state == stateBlocked {
+		k.kill(p)
+	}
+	if p.algo != nil && p.state != stateDone {
+		k.crashedAlgos++
+	}
+	p.state = stateCrashed
+	p.mailbox = nil
+	if dropOutgoing {
+		k.fromProc[id].each(k.alive, func(mid MsgID) bool {
+			k.removeInflight(mid)
+			return true
+		})
+	}
+	return nil
+}
+
+// consumeMailbox delivers every pending message to the reactive service in
+// arrival order, sending replies.
+func (k *Kernel) consumeMailbox(p *Proc) {
+	waitUnsatisfied := p.state == stateBlocked && p.wait != nil && !p.wait()
+	for len(p.mailbox) > 0 {
+		mb := p.mailbox
+		p.mailbox = nil
+		for _, m := range mb {
+			if p.service == nil {
+				continue
+			}
+			reply, ok := p.service.HandleMessage(m.From, m.Payload)
+			if waitUnsatisfied && p.wait() {
+				// This message satisfied the algorithm's wait condition:
+				// its arrival bounds the resumption time.
+				p.enableAt = m.sentAt + k.t1
+				waitUnsatisfied = false
+			}
+			if ok {
+				// The model bounds a reactive reply by arrival + t2: the
+				// recipient's next step consumes the message no matter how
+				// the adversary interleaves (Section 2); replies therefore
+				// never chain through unrelated steps of the responder.
+				at := m.sentAt + k.t1 + k.t2
+				k.noteVirtualTime(at)
+				k.sendAt(p.id, m.From, reply, at)
+			}
+		}
+	}
+}
+
+// awaitYield blocks until the currently running algorithm goroutine parks or
+// finishes, re-establishing the single-runner invariant.
+func (k *Kernel) awaitYield() {
+	ev := <-k.yieldCh
+	if ev.done {
+		if ev.proc.state != stateCrashed {
+			ev.proc.state = stateDone
+			k.doneCount++
+		}
+		return
+	}
+	ev.proc.state = stateBlocked
+	ev.proc.yieldCount++
+	k.noteSteppable(ev.proc.id)
+}
+
+// kill unwinds a parked algorithm goroutine (crash or shutdown).
+func (k *Kernel) kill(p *Proc) {
+	p.killed = true
+	p.resume <- struct{}{}
+	ev := <-k.yieldCh
+	if !ev.done {
+		panic("sim: killed goroutine yielded without finishing")
+	}
+}
+
+// shutdown releases every parked goroutine so runs never leak them.
+func (k *Kernel) shutdown() {
+	for _, p := range k.procs {
+		if p.state == stateBlocked {
+			k.kill(p)
+			p.state = stateCrashed
+		}
+	}
+}
+
+// send creates an in-flight message. Self-sends are delivered immediately
+// into the local mailbox: a processor always observes its own state.
+func (k *Kernel) send(from, to ProcID, payload any) {
+	k.sendAt(from, to, payload, k.clocks[from])
+}
+
+// sendAt is send with an explicit virtual send time (reactive replies carry
+// the arrival-derived time of the request they answer).
+func (k *Kernel) sendAt(from, to ProcID, payload any, at int64) {
+	k.stats.MessagesSent++
+	k.stats.SentBy[from]++
+	if sz, ok := payload.(WireSizer); ok {
+		k.stats.PayloadBytes += int64(sz.WireSize())
+	}
+	m := &Message{ID: k.nextMsg, From: from, To: to, Payload: payload, sentAt: at}
+	k.nextMsg++
+	if from == to {
+		k.msgs = append(k.msgs, nil) // keep msgs indexed by MsgID
+		k.stats.Deliveries++
+		k.stats.ReceivedBy[to]++
+		k.procs[to].mailbox = append(k.procs[to].mailbox, m)
+		k.noteSteppable(to)
+		return
+	}
+	k.msgs = append(k.msgs, m)
+	k.inflight++
+	k.global.push(m.ID)
+	k.toProc[to].push(m.ID)
+	k.fromProc[from].push(m.ID)
+	m.livePos = len(k.liveIDs)
+	k.liveIDs = append(k.liveIDs, m.ID)
+}
+
+// lookup returns the in-flight message with the given ID, or nil. msgs is
+// indexed directly by MsgID (self-sends occupy a nil placeholder slot).
+func (k *Kernel) lookup(id MsgID) *Message {
+	if id < 0 || int64(id) >= int64(len(k.msgs)) {
+		return nil
+	}
+	return k.msgs[id]
+}
+
+// removeInflight drops a message from the live set and index structures.
+func (k *Kernel) removeInflight(id MsgID) {
+	m := k.msgs[id]
+	if m == nil {
+		return
+	}
+	k.msgs[id] = nil
+	k.inflight--
+	last := len(k.liveIDs) - 1
+	k.liveIDs[m.livePos] = k.liveIDs[last]
+	if mm := k.lookup(k.liveIDs[m.livePos]); mm != nil {
+		mm.livePos = m.livePos
+	}
+	k.liveIDs = k.liveIDs[:last]
+}
+
+func (k *Kernel) alive(id MsgID) bool {
+	return k.lookup(id) != nil
+}
+
+// fairAction computes the kernel's built-in fair fallback action: start any
+// unstarted participant, otherwise deliver the globally oldest message,
+// otherwise step (in rotating order) a processor with pending mailbox work
+// or a resumable algorithm. Returns nil when nothing is enabled.
+func (k *Kernel) fairAction() Action {
+	for len(k.readyQueue) > 0 {
+		id := k.readyQueue[0]
+		if k.procs[id].state != stateReady {
+			k.readyQueue = k.readyQueue[1:]
+			continue
+		}
+		return Start{Proc: id}
+	}
+	return k.fairActionNoStart()
+}
+
+// fairActionNoStart is the fair fallback restricted to deliveries and steps.
+func (k *Kernel) fairActionNoStart() Action {
+	if id, ok := k.global.front(k.alive); ok {
+		return Deliver{Msg: id}
+	}
+	return k.fairStepAction()
+}
+
+// fairStepAction returns a fair Step action only (no deliveries, no starts).
+func (k *Kernel) fairStepAction() Action {
+	for len(k.stepQueue) > 0 {
+		id := k.stepQueue[0]
+		k.stepQueue = k.stepQueue[1:]
+		k.inStepQueue[id] = false
+		if k.stepWouldWork(id) {
+			return Step{Proc: id}
+		}
+	}
+	// Fallback scan: catches wait predicates satisfied by state changes the
+	// queue cannot observe (e.g. another processor's local variable).
+	for i := 0; i < k.n; i++ {
+		p := k.procs[(k.cursor+i)%k.n]
+		if p.state == stateCrashed {
+			continue
+		}
+		if k.stepWouldWork(p.id) {
+			k.cursor = (int(p.id) + 1) % k.n
+			return Step{Proc: p.id}
+		}
+	}
+	return nil
+}
+
+// noteSteppable marks a processor as a step candidate for the fair
+// scheduler.
+func (k *Kernel) noteSteppable(id ProcID) {
+	if !k.inStepQueue[id] {
+		k.inStepQueue[id] = true
+		k.stepQueue = append(k.stepQueue, id)
+	}
+}
+
+// stepWouldWork reports whether a Step of id would consume mail or resume
+// the algorithm.
+func (k *Kernel) stepWouldWork(id ProcID) bool {
+	p := k.procs[id]
+	if p.state == stateCrashed {
+		return false
+	}
+	return len(p.mailbox) > 0 || (p.state == stateBlocked && (p.wait == nil || p.wait()))
+}
+
+// Trace returns the recorded action sequence (Config.Record must be set).
+// The slice is a copy.
+func (k *Kernel) Trace() []Action {
+	return append([]Action(nil), k.trace...)
+}

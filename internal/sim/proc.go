@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// procState tracks where a processor's algorithm is in its lifecycle.
+type procState int
+
+const (
+	// stateIdle: no algorithm attached (pure reactive processor).
+	stateIdle procState = iota + 1
+	// stateReady: algorithm spawned, invocation not yet started.
+	stateReady
+	// stateBlocked: algorithm parked at a yield point.
+	stateBlocked
+	// stateDone: algorithm returned.
+	stateDone
+	// stateCrashed: processor failed.
+	stateCrashed
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateIdle:
+		return "idle"
+	case stateReady:
+		return "ready"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	case stateCrashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("procState(%d)", int(s))
+	}
+}
+
+// killedSignal unwinds an algorithm goroutine when its processor crashes or
+// the kernel shuts down. It never escapes the package: Proc.run recovers it.
+type killedSignal struct{}
+
+// yieldEvent is the algorithm goroutine's half of the rendezvous: it is sent
+// to the kernel whenever the goroutine parks or finishes, returning control.
+type yieldEvent struct {
+	proc *Proc
+	done bool
+}
+
+// Proc is a processor's handle into the kernel. Algorithm code receives a
+// *Proc and interacts with the system exclusively through it. All methods
+// must be called from the algorithm goroutine unless documented otherwise.
+type Proc struct {
+	id      ProcID
+	k       *Kernel
+	rng     *rand.Rand
+	service Service
+
+	algo    AlgoFunc
+	state   procState
+	wait    func() bool // nil while paused: resumable at any step
+	resume  chan struct{}
+	killed  bool
+	failure error // panic captured from algorithm code
+
+	mailbox []*Message
+
+	// enableAt is the virtual arrival time of the message that first
+	// satisfied the current wait condition during this step's mailbox
+	// consumption; -1 when the condition was not newly enabled.
+	enableAt int64
+
+	// Adversary-visible state.
+	published  any
+	lastFlip   int
+	flipCount  int
+	yieldCount int
+}
+
+// ID returns the processor's identifier. Safe from any context.
+func (p *Proc) ID() ProcID { return p.id }
+
+// N returns the system size. Safe from any context.
+func (p *Proc) N() int { return p.k.n }
+
+// Rand returns the processor's deterministic private PRNG.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Send transmits a message to processor "to". The message becomes in-flight;
+// the adversary decides when (and, after a crash with DropOutgoing, whether)
+// it is delivered. Sending to self is delivered immediately into the local
+// mailbox: a processor always sees its own writes at its next step.
+func (p *Proc) Send(to ProcID, payload any) {
+	p.k.send(p.id, to, payload)
+}
+
+// Await parks the algorithm until cond() holds. The condition is evaluated
+// by the kernel at each of the processor's computation steps, after the
+// mailbox has been consumed; it must be a pure function of processor-local
+// state. Await is the only blocking primitive: every communicate call in the
+// quorum layer reduces to Send + Await.
+func (p *Proc) Await(cond func() bool) {
+	if cond == nil {
+		panic("sim: Await requires a non-nil condition; use Pause")
+	}
+	p.yield(cond)
+}
+
+// Pause yields to the scheduler without a condition: the algorithm resumes
+// at the processor's next scheduled step. Pause creates the scheduling
+// points that make local transitions (such as coin flips) visible to the
+// adaptive adversary before the algorithm can act on them.
+func (p *Proc) Pause() {
+	p.yield(nil)
+}
+
+// Flip performs a biased local coin flip: 1 with probability prob, else 0.
+// The outcome is published to the adversary and the processor pauses before
+// the value is returned, so the adaptive adversary observes every flip
+// before the algorithm can react to it (Section 2's adversary model).
+func (p *Proc) Flip(prob float64) int {
+	v := 0
+	if p.rng.Float64() < prob {
+		v = 1
+	}
+	p.lastFlip = v
+	p.flipCount++
+	p.Pause()
+	return v
+}
+
+// Publish registers an adversary-visible view of the algorithm's local
+// state. The strong adversary may inspect it at any point through
+// Kernel.Published. Algorithms typically publish a pointer to a state struct
+// once and mutate it as they progress.
+func (p *Proc) Publish(state any) {
+	p.published = state
+}
+
+// NoteCommunicate records one communicate call for time-complexity
+// accounting (Claim 2.1). Called by the quorum layer.
+func (p *Proc) NoteCommunicate() {
+	p.k.stats.CommCalls[p.id]++
+}
+
+// yield parks the goroutine and hands control to the kernel.
+func (p *Proc) yield(wait func() bool) {
+	p.wait = wait
+	p.k.yieldCh <- yieldEvent{proc: p}
+	<-p.resume
+	if p.killed {
+		panic(killedSignal{})
+	}
+}
+
+// run is the algorithm goroutine's entry point. It executes the algorithm
+// body and guarantees a final done-yield so the kernel never deadlocks, even
+// if the body panics (the panic is captured as a failure and surfaced from
+// Kernel.Run) or the processor is killed.
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedSignal); !ok {
+				p.failure = fmt.Errorf("sim: processor %d algorithm panicked: %v", p.id, r)
+				if p.k.failure == nil {
+					p.k.failure = p.failure
+				}
+			}
+		}
+		p.k.yieldCh <- yieldEvent{proc: p, done: true}
+	}()
+	p.algo(p)
+}

@@ -1,0 +1,50 @@
+package sim
+
+// msgQueue is a FIFO of message IDs with lazy deletion: delivered or dropped
+// messages are skipped when encountered rather than removed eagerly, keeping
+// every queue operation amortised O(1). Liveness of an ID is checked against
+// the kernel's in-flight map.
+type msgQueue struct {
+	ids  []MsgID
+	head int
+}
+
+func (q *msgQueue) push(id MsgID) {
+	q.ids = append(q.ids, id)
+}
+
+// front returns the oldest live ID, compacting dead prefix entries.
+// ok is false when the queue holds no live message.
+func (q *msgQueue) front(alive func(MsgID) bool) (MsgID, bool) {
+	for q.head < len(q.ids) {
+		id := q.ids[q.head]
+		if alive(id) {
+			return id, true
+		}
+		q.head++
+	}
+	// Fully drained: reset storage so the backing array can be reused.
+	q.ids = q.ids[:0]
+	q.head = 0
+	return 0, false
+}
+
+// each visits every live ID in FIFO order until fn returns false.
+func (q *msgQueue) each(alive func(MsgID) bool, fn func(MsgID) bool) {
+	for i := q.head; i < len(q.ids); i++ {
+		id := q.ids[i]
+		if !alive(id) {
+			continue
+		}
+		if !fn(id) {
+			return
+		}
+	}
+}
+
+// countLive reports the number of live messages in the queue. O(len).
+func (q *msgQueue) countLive(alive func(MsgID) bool) int {
+	n := 0
+	q.each(alive, func(MsgID) bool { n++; return true })
+	return n
+}

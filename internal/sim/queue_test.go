@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+func TestMsgQueueFIFOWithLazyDeletion(t *testing.T) {
+	live := map[MsgID]bool{1: true, 2: true, 3: true}
+	alive := func(id MsgID) bool { return live[id] }
+	var q msgQueue
+	q.push(1)
+	q.push(2)
+	q.push(3)
+
+	if id, ok := q.front(alive); !ok || id != 1 {
+		t.Fatalf("front = %d,%v want 1,true", id, ok)
+	}
+	delete(live, 1)
+	delete(live, 2)
+	if id, ok := q.front(alive); !ok || id != 3 {
+		t.Fatalf("front after deletions = %d,%v want 3,true", id, ok)
+	}
+	if n := q.countLive(alive); n != 1 {
+		t.Fatalf("countLive = %d, want 1", n)
+	}
+	delete(live, 3)
+	if _, ok := q.front(alive); ok {
+		t.Fatal("front on drained queue should report empty")
+	}
+	// Reusable after drain.
+	live[4] = true
+	q.push(4)
+	if id, ok := q.front(alive); !ok || id != 4 {
+		t.Fatalf("front after reuse = %d,%v want 4,true", id, ok)
+	}
+}
+
+func TestMsgQueueEachStopsEarly(t *testing.T) {
+	live := map[MsgID]bool{1: true, 2: true, 3: true}
+	alive := func(id MsgID) bool { return live[id] }
+	var q msgQueue
+	q.push(1)
+	q.push(2)
+	q.push(3)
+	var seen []MsgID
+	q.each(alive, func(id MsgID) bool {
+		seen = append(seen, id)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("each visited %v, want [1 2]", seen)
+	}
+}
+
+func TestDeriveSeedStreamsDiffer(t *testing.T) {
+	a := deriveSeed(42, 1)
+	b := deriveSeed(42, 2)
+	c := deriveSeed(43, 1)
+	if a == b || a == c {
+		t.Fatalf("seed streams collide: %d %d %d", a, b, c)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	r1 := newRand(7, 3)
+	r2 := newRand(7, 3)
+	for i := 0; i < 10; i++ {
+		if r1.Int63() != r2.Int63() {
+			t.Fatal("same seed/stream produced different values")
+		}
+	}
+}

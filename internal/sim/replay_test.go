@@ -1,0 +1,125 @@
+package sim
+
+import "testing"
+
+// spawnPingPong wires a deterministic two-processor protocol for replay
+// tests: proc 0 sends pings and waits for echoes, flipping coins in between.
+func spawnPingPong(k *Kernel) {
+	acks := 0
+	k.SetService(1, serviceFunc(func(from ProcID, payload any) (any, bool) {
+		return "echo", true
+	}))
+	k.SetService(0, serviceFunc(func(from ProcID, payload any) (any, bool) {
+		acks++
+		return nil, false
+	}))
+	k.Spawn(0, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Flip(0.5)
+			p.Send(1, "ping")
+			want := i + 1
+			p.Await(func() bool { return acks >= want })
+		}
+	})
+}
+
+type serviceFunc func(ProcID, any) (any, bool)
+
+func (f serviceFunc) HandleMessage(from ProcID, payload any) (any, bool) {
+	return f(from, payload)
+}
+
+func TestRecordAndReplayReproducesRun(t *testing.T) {
+	k1 := NewKernel(Config{N: 2, Seed: 99, Record: true})
+	spawnPingPong(k1)
+	stats1, err := k1.Run(nil)
+	if err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+	trace := k1.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+
+	k2 := NewKernel(Config{N: 2, Seed: 99, Record: true})
+	spawnPingPong(k2)
+	stats2, err := k2.Run(NewReplay(trace))
+	if err != nil {
+		t.Fatalf("replayed run: %v", err)
+	}
+	if stats1.MessagesSent != stats2.MessagesSent ||
+		stats1.Deliveries != stats2.Deliveries ||
+		stats1.Steps != stats2.Steps ||
+		stats1.Actions != stats2.Actions {
+		t.Fatalf("replay diverged: %+v vs %+v", stats1, stats2)
+	}
+	// The replayed trace must match the recorded one action for action.
+	trace2 := k2.Trace()
+	if len(trace2) != len(trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(trace), len(trace2))
+	}
+	for i := range trace {
+		if trace[i] != trace2[i] {
+			t.Fatalf("action %d differs: %#v vs %#v", i, trace[i], trace2[i])
+		}
+	}
+}
+
+func TestReplayRemainingAndHalt(t *testing.T) {
+	r := NewReplay([]Action{Step{Proc: 0}, Deliver{Msg: 1}})
+	if r.Remaining() != 2 {
+		t.Fatalf("Remaining = %d, want 2", r.Remaining())
+	}
+	if a := r.Next(nil); a != (Step{Proc: 0}) {
+		t.Fatalf("first action = %#v", a)
+	}
+	if a := r.Next(nil); a != (Deliver{Msg: 1}) {
+		t.Fatalf("second action = %#v", a)
+	}
+	if a := r.Next(nil); a != (Halt{}) {
+		t.Fatalf("exhausted replay returned %#v, want Halt", a)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining after exhaustion = %d", r.Remaining())
+	}
+}
+
+func TestReplayCopiesTrace(t *testing.T) {
+	actions := []Action{Step{Proc: 0}}
+	r := NewReplay(actions)
+	actions[0] = Step{Proc: 9}
+	if a := r.Next(nil); a != (Step{Proc: 0}) {
+		t.Fatal("replay aliased the caller's slice")
+	}
+}
+
+func TestFlipSequenceDeterministicPerSeed(t *testing.T) {
+	flipsOf := func(seed int64) []int {
+		k := NewKernel(Config{N: 1, Seed: seed})
+		var flips []int
+		k.Spawn(0, func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				flips = append(flips, p.Flip(0.5))
+			}
+		})
+		if _, err := k.Run(nil); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return flips
+	}
+	a, b, c := flipsOf(5), flipsOf(5), flipsOf(6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different flips")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 20-flip sequences (suspicious)")
+	}
+}

@@ -1,0 +1,24 @@
+package sim
+
+import "math/rand"
+
+// splitmix64 advances the classic SplitMix64 generator once. It is used only
+// to derive well-separated seeds for the per-processor and adversary PRNGs
+// from the single kernel seed, so that streams do not correlate.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// deriveSeed produces a deterministic sub-seed for a named stream.
+func deriveSeed(seed int64, stream uint64) int64 {
+	return int64(splitmix64(uint64(seed) ^ splitmix64(stream)))
+}
+
+// newRand builds a deterministic PRNG for one stream of a kernel run.
+func newRand(seed int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(seed, stream)))
+}

@@ -1,0 +1,157 @@
+// Package sim implements the asynchronous message-passing model of
+// Alistarh, Gelashvili and Vladu, "How to Elect a Leader Faster than a
+// Tournament" (PODC 2015), Section 2.
+//
+// The model: n processors communicate through point-to-point channels, one
+// in each direction between every pair. Messages can be arbitrarily delayed
+// and reordered, but are not corrupted. Computation proceeds in steps that a
+// strong adaptive adversary schedules: the adversary picks every message
+// delivery, every computation step, every protocol invocation, and may crash
+// up to ⌈n/2⌉−1 processors, all while inspecting the full system state —
+// including the outcome of every local coin flip.
+//
+// The package is a deterministic discrete-event kernel. Algorithm code runs
+// on goroutines in direct, blocking style, but only one goroutine (either
+// the kernel or a single processor) executes at any instant; the handoff is
+// a strict rendezvous over unbuffered channels. Combined with seeded
+// per-processor PRNGs this makes executions fully reproducible: the same
+// seed and the same adversary decisions yield the same trace.
+//
+// Each processor has two halves:
+//
+//   - a reactive service that handles incoming messages and produces
+//     replies. It runs at computation steps on every processor — including
+//     processors that do not participate in the protocol and processors that
+//     have already returned — implementing the paper's standing assumption
+//     that "all non-faulty processors always take part in the computation by
+//     replying to the messages";
+//   - an optional algorithm goroutine (the protocol participant), started by
+//     an explicit Start action so that invocation times are under adversary
+//     control, as the contention-adaptive analysis requires.
+//
+// Coin flips are scheduling points: Proc.Flip records the outcome where the
+// adversary can read it and yields before the algorithm can act on the
+// value, exactly matching the strong-adversary model.
+package sim
+
+import "errors"
+
+// ProcID identifies one of the n processors, in the range [0, n).
+type ProcID int
+
+// MsgID uniquely identifies an in-flight message within a kernel run.
+type MsgID int64
+
+// Message is a point-to-point message travelling from one processor to
+// another. The adversary may read Payload: the strong adversary inspects all
+// state.
+type Message struct {
+	ID      MsgID
+	From    ProcID
+	To      ProcID
+	Payload any
+
+	livePos int   // index in the kernel's live-ID slice
+	sentAt  int64 // sender's virtual clock at send time (t1/t2 accounting)
+}
+
+// Service is the reactive half of a processor. HandleMessage is invoked for
+// every message consumed at a computation step; if ok is true, reply is sent
+// back to the sender as a new message.
+//
+// HandleMessage runs on the kernel goroutine and must not block.
+type Service interface {
+	HandleMessage(from ProcID, payload any) (reply any, ok bool)
+}
+
+// AlgoFunc is the body of a protocol participant. It runs on a dedicated
+// goroutine under the kernel's strict one-at-a-time rendezvous and may only
+// interact with the system through the Proc handle.
+type AlgoFunc func(p *Proc)
+
+// WireSizer is implemented by payloads that can report their size in bytes
+// for bit-complexity accounting (the paper's Section 6 mentions bit
+// complexity as an open direction; the kernel tracks it when payloads
+// cooperate).
+type WireSizer interface {
+	WireSize() int
+}
+
+// Action is one adversary decision. Exactly one of the concrete types
+// Deliver, Step, Start, Crash, or Halt.
+type Action interface {
+	isAction()
+}
+
+// Deliver moves an in-flight message into its recipient's mailbox. The
+// recipient does not observe it until its next Step.
+type Deliver struct {
+	Msg MsgID
+}
+
+// Step schedules a computation step of a processor: the processor consumes
+// every message in its mailbox (reactive service replies are sent), and then
+// its algorithm resumes if it is blocked on a satisfied wait condition (or
+// on a plain pause).
+type Step struct {
+	Proc ProcID
+}
+
+// Start invokes the protocol on a spawned participant: its algorithm
+// goroutine begins executing and runs until its first yield point. Start
+// models the arrival of the participant's operation invocation, which the
+// adversary controls.
+type Start struct {
+	Proc ProcID
+}
+
+// Crash fails a processor. A crashed processor takes no further steps and
+// its algorithm goroutine is unwound. If DropOutgoing is set, the
+// processor's undelivered outgoing messages are discarded (the model allows
+// messages sent by faulty processors to be lost). At most MaxFaults
+// processors may be crashed.
+type Crash struct {
+	Proc         ProcID
+	DropOutgoing bool
+}
+
+// Halt relinquishes adversary control: the kernel finishes the run with its
+// built-in fair scheduler.
+type Halt struct{}
+
+func (Deliver) isAction() {}
+func (Step) isAction()    {}
+func (Start) isAction()   {}
+func (Crash) isAction()   {}
+func (Halt) isAction()    {}
+
+// Adversary schedules the execution. Next is called before every action and
+// may inspect the entire kernel state (the strong adaptive adversary of
+// Section 2). Returning nil delegates the single next action to the
+// kernel's built-in fair scheduler.
+type Adversary interface {
+	Next(k *Kernel) Action
+}
+
+// AdversaryFunc adapts a function to the Adversary interface.
+type AdversaryFunc func(k *Kernel) Action
+
+// Next implements Adversary.
+func (f AdversaryFunc) Next(k *Kernel) Action { return f(k) }
+
+// Errors returned by Kernel.Run.
+var (
+	// ErrBudget is returned when the run exceeds its action budget,
+	// indicating a livelocked schedule or a runaway protocol.
+	ErrBudget = errors.New("sim: action budget exhausted")
+
+	// ErrStuck is returned when no participant can make progress: no
+	// in-flight messages, no pending mailboxes, and every live algorithm
+	// is blocked on an unsatisfiable condition.
+	ErrStuck = errors.New("sim: execution stuck with participants unfinished")
+
+	// ErrIllegalAction is wrapped by errors describing an adversary action
+	// that violates the model (delivering a non-existent message, stepping
+	// a crashed processor, exceeding the fault budget, ...).
+	ErrIllegalAction = errors.New("sim: illegal adversary action")
+)

@@ -1,0 +1,30 @@
+package sim
+
+// Replay is an Adversary that re-issues a recorded action sequence. Together
+// with Config.Record it supports replay debugging and the determinism tests:
+// running the same protocol with the same seed under a recorded trace
+// reproduces the original execution exactly.
+type Replay struct {
+	actions []Action
+	pos     int
+}
+
+// NewReplay builds a replay adversary over a recorded trace. The trace slice
+// is copied.
+func NewReplay(actions []Action) *Replay {
+	return &Replay{actions: append([]Action(nil), actions...)}
+}
+
+// Next implements Adversary, returning the recorded actions in order and
+// Halt once the trace is exhausted.
+func (r *Replay) Next(*Kernel) Action {
+	if r.pos >= len(r.actions) {
+		return Halt{}
+	}
+	a := r.actions[r.pos]
+	r.pos++
+	return a
+}
+
+// Remaining reports how many recorded actions have not yet been replayed.
+func (r *Replay) Remaining() int { return len(r.actions) - r.pos }

@@ -1,0 +1,275 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Dan Alistarh, Rati Gelashvili, Adrian Vladu.
+//	"How to Elect a Leader Faster than a Tournament." PODC 2015.
+//
+// It provides the paper's O(log* k)-time, O(kn)-message randomized leader
+// election (the PoisonPill construction), the O(log² n)-time, O(n²)-message
+// strong renaming built on it, the Θ(log n) tournament baseline it improves
+// upon, and the asynchronous message-passing model with a strong adaptive
+// adversary that all of them are defined against — implemented as a
+// deterministic discrete-event simulation.
+//
+// This package is the stable entry point: configure a run with functional
+// options and execute it.
+//
+//	res, err := repro.Elect(repro.WithN(64), repro.WithSeed(1))
+//	if err != nil { ... }
+//	fmt.Println("winner:", res.Winner, "time:", res.Time)
+//
+// The underlying pieces (kernel, quorum layer, algorithms, adversary
+// strategies, experiment harness) live in internal/ packages; examples/ and
+// cmd/ show them in use.
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/sim"
+)
+
+// Algorithm selects a leader-election protocol.
+type Algorithm = expt.Algorithm
+
+// Leader-election algorithm choices.
+const (
+	// PoisonPill is the paper's O(log* k) election (default).
+	PoisonPill = expt.AlgoPoisonPill
+	// Tournament is the Θ(log n) baseline of [AGTV92].
+	Tournament = expt.AlgoTournament
+)
+
+// Schedule selects the adversary strategy that drives the run.
+type Schedule = expt.Schedule
+
+// Adversary schedule choices.
+const (
+	// Fair delivers and schedules at random (benign asynchrony, default).
+	Fair = expt.SchedFair
+	// LockStep is a deterministic synchronous-like schedule.
+	LockStep = expt.SchedLockStep
+	// Sequential runs participants one at a time (Section 3.2's schedule).
+	Sequential = expt.SchedSequential
+	// SequentialRounds is the per-round sequential schedule.
+	SequentialRounds = expt.SchedSeqRounds
+	// FlipAware completes 0-flippers before any 1-flipper is visible
+	// (Section 1's attack on naive sifting).
+	FlipAware = expt.SchedFlipAware
+	// Crashing crashes up to the configured number of participants.
+	Crashing = expt.SchedCrash
+	// Bubble is the Theorem B.2 lower-bound construction.
+	Bubble = expt.SchedBubble
+	// StaleViews starves half the system of updates (renaming skew).
+	StaleViews = expt.SchedStaleViews
+)
+
+// config collects the run parameters; zero values select defaults.
+type config struct {
+	n, k      int
+	seed      int64
+	algorithm Algorithm
+	schedule  Schedule
+	faults    int
+	budget    int64
+}
+
+// Option configures a run.
+type Option func(*config)
+
+// WithN sets the system size (total processors). Default 16.
+func WithN(n int) Option { return func(c *config) { c.n = n } }
+
+// WithParticipants sets the number of protocol participants k ≤ n; the
+// remaining processors only acknowledge messages. Default: k = n.
+func WithParticipants(k int) Option { return func(c *config) { c.k = k } }
+
+// WithSeed fixes the run's randomness; equal seeds give identical runs.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithAlgorithm selects PoisonPill (default) or Tournament for Elect.
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
+
+// WithSchedule selects the adversary strategy. Default Fair.
+func WithSchedule(s Schedule) Option { return func(c *config) { c.schedule = s } }
+
+// WithFaults sets the crash budget used by the Crashing schedule.
+func WithFaults(f int) Option { return func(c *config) { c.faults = f } }
+
+// WithBudget overrides the kernel's action budget (safety bound on run
+// length).
+func WithBudget(b int64) Option { return func(c *config) { c.budget = b } }
+
+func buildConfig(opts []Option) config {
+	c := config{n: 16, schedule: Fair, algorithm: PoisonPill}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.k == 0 {
+		c.k = c.n
+	}
+	return c
+}
+
+func (c config) validate() error {
+	if c.n < 1 {
+		return fmt.Errorf("repro: system size %d must be at least 1", c.n)
+	}
+	if c.k < 1 || c.k > c.n {
+		return fmt.Errorf("repro: participants %d must be in [1, %d]", c.k, c.n)
+	}
+	return nil
+}
+
+// ErrNoWinner is returned by Elect when every potential winner crashed
+// before deciding (possible only under the Crashing schedule).
+var ErrNoWinner = errors.New("repro: all potential winners crashed before deciding")
+
+// ElectionResult reports one leader-election run.
+type ElectionResult struct {
+	// Winner is the elected processor.
+	Winner sim.ProcID
+	// Decisions maps every returning participant to WIN/LOSE.
+	Decisions map[sim.ProcID]core.Decision
+	// Time is the maximum number of communicate calls any processor made —
+	// the paper's time metric (Claim 2.1).
+	Time int
+	// Messages is the total number of point-to-point messages sent.
+	Messages int64
+	// Rounds is the highest election round reached.
+	Rounds int
+	// Stats exposes the full kernel statistics.
+	Stats sim.Stats
+}
+
+// Elect runs one leader election and returns the winner and complexity
+// measures. Exactly one participant wins; every other returns LOSE.
+func Elect(opts ...Option) (ElectionResult, error) {
+	c := buildConfig(opts)
+	if err := c.validate(); err != nil {
+		return ElectionResult{}, err
+	}
+	r := expt.Run(expt.Config{
+		N: c.n, K: c.k, Seed: c.seed,
+		Algorithm: c.algorithm, Schedule: c.schedule,
+		Faults: c.faults, Budget: c.budget,
+	})
+	if r.Err != nil {
+		return ElectionResult{}, fmt.Errorf("repro: election run: %w", r.Err)
+	}
+	res := ElectionResult{
+		Winner:    -1,
+		Decisions: r.Decisions,
+		Time:      r.Stats.MaxCommunicateCalls(),
+		Messages:  r.Stats.MessagesSent,
+		Rounds:    r.MaxRound,
+		Stats:     r.Stats,
+	}
+	for id, d := range r.Decisions {
+		if d == core.Win {
+			res.Winner = id
+		}
+	}
+	if res.Winner < 0 {
+		return res, ErrNoWinner
+	}
+	return res, nil
+}
+
+// RenameResult reports one renaming run.
+type RenameResult struct {
+	// Names maps each returning participant to its unique name in [1, n].
+	Names map[sim.ProcID]int
+	// Time is the maximum number of communicate calls any processor made.
+	Time int
+	// Messages is the total number of messages sent.
+	Messages int64
+	// Stats exposes the full kernel statistics.
+	Stats sim.Stats
+}
+
+// Rename runs the strong renaming algorithm: every participant receives a
+// distinct name in [1, n].
+func Rename(opts ...Option) (RenameResult, error) {
+	c := buildConfig(opts)
+	if err := c.validate(); err != nil {
+		return RenameResult{}, err
+	}
+	algo := expt.AlgoRenaming
+	if c.algorithm == Tournament {
+		return RenameResult{}, fmt.Errorf("repro: %q is not a renaming algorithm", c.algorithm)
+	}
+	if c.algorithm == expt.AlgoRandomScan {
+		algo = expt.AlgoRandomScan
+	}
+	r := expt.Run(expt.Config{
+		N: c.n, K: c.k, Seed: c.seed,
+		Algorithm: algo, Schedule: c.schedule,
+		Faults: c.faults, Budget: c.budget,
+	})
+	if r.Err != nil {
+		return RenameResult{}, fmt.Errorf("repro: renaming run: %w", r.Err)
+	}
+	return RenameResult{
+		Names:    r.Names,
+		Time:     r.Stats.MaxCommunicateCalls(),
+		Messages: r.Stats.MessagesSent,
+		Stats:    r.Stats,
+	}, nil
+}
+
+// RandomScan selects the [AAG+10] random-scan baseline for Rename.
+const RandomScan = expt.AlgoRandomScan
+
+// SiftResult reports one standalone sifting round.
+type SiftResult struct {
+	// Survivors is the number of participants that survived the round.
+	Survivors int
+	// Outcomes maps each participant to SURVIVE/DIE.
+	Outcomes map[sim.ProcID]core.Outcome
+	// Stats exposes the full kernel statistics.
+	Stats sim.Stats
+}
+
+// Sifter choices for Sift.
+const (
+	// BasicSift is one round of Figure 1 (O(√n) survivors).
+	BasicSift = expt.AlgoBasicSift
+	// HetSift is one round of Figure 2 (O(log²k) survivors).
+	HetSift = expt.AlgoHetSift
+	// NaiveSift is the introduction's broken strawman.
+	NaiveSift = expt.AlgoNaiveSift
+)
+
+// Sift runs one standalone sifting round (use WithAlgorithm with BasicSift,
+// HetSift or NaiveSift). At least one participant always survives.
+func Sift(opts ...Option) (SiftResult, error) {
+	c := buildConfig(opts)
+	if err := c.validate(); err != nil {
+		return SiftResult{}, err
+	}
+	algo := c.algorithm
+	if algo == PoisonPill {
+		algo = BasicSift
+	}
+	switch algo {
+	case BasicSift, HetSift, NaiveSift:
+	default:
+		return SiftResult{}, fmt.Errorf("repro: %q is not a sifting algorithm", algo)
+	}
+	r := expt.Run(expt.Config{
+		N: c.n, K: c.k, Seed: c.seed,
+		Algorithm: algo, Schedule: c.schedule,
+		Faults: c.faults, Budget: c.budget,
+	})
+	if r.Err != nil {
+		return SiftResult{}, fmt.Errorf("repro: sift run: %w", r.Err)
+	}
+	return SiftResult{
+		Survivors: r.Survivors(),
+		Outcomes:  r.Outcomes,
+		Stats:     r.Stats,
+	}, nil
+}
