@@ -16,11 +16,14 @@ package repro_test
 // calls, message ratios, ...).
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
 	"repro"
+	"repro/internal/campaign"
 	"repro/internal/expt"
+	"repro/internal/live"
 	"repro/internal/quorum"
 	"repro/internal/sim"
 )
@@ -254,6 +257,59 @@ func BenchmarkA1BiasAblation(b *testing.B) {
 	tab := runTable(b, expt.A1BiasAblation)
 	paper := lastField(b, tab, 2, func(r []string) bool { return r[1] == "1/√n (paper)" })
 	b.ReportMetric(paper, "paper-bias-survivors")
+}
+
+// --- live backend (wall-clock) benchmarks --------------------------------
+
+// BenchmarkT11LiveElectionWallClock measures the wall-clock latency of one
+// complete PoisonPill election on the real-concurrency goroutine backend at
+// several system sizes. ns/op is the election latency; the custom metrics
+// carry the paper's complexity measures for cross-checking against the sim
+// backend (T3/T9).
+func BenchmarkT11LiveElectionWallClock(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			var rounds, calls float64
+			for i := 0; i < b.N; i++ {
+				res, err := live.Elect(live.Config{N: n, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += float64(res.Rounds)
+				calls += float64(res.Time)
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds")
+			b.ReportMetric(calls/float64(b.N), "comm-calls")
+		})
+	}
+}
+
+// BenchmarkT12CampaignThroughput measures elections/second through the
+// parallel campaign engine at one worker and at GOMAXPROCS workers. The
+// ratio between the two sub-benchmarks' elections/s metrics is the
+// multi-core speedup; on a multi-core machine it exceeds 1 because campaign
+// runs are independent and share no state.
+func BenchmarkT12CampaignThroughput(b *testing.B) {
+	workers := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		workers = append(workers, g)
+	}
+	const runsPerIter = 32
+	for _, w := range workers {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				rep, err := campaign.Run(campaign.Config{
+					Runs: runsPerIter, Workers: w, N: 32, BaseSeed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tput += rep.Throughput
+			}
+			b.ReportMetric(tput/float64(b.N), "elections/s")
+		})
+	}
 }
 
 func BenchmarkA2HetBiasAblation(b *testing.B) {

@@ -1,0 +1,124 @@
+// Command livesim runs leader elections on the real-concurrency goroutine
+// backend and drives the parallel campaign engine: many independent
+// elections fanned across a worker pool, with wall-clock latency percentiles
+// and throughput.
+//
+// Usage:
+//
+//	livesim -n 64 -runs 256                     # campaign at GOMAXPROCS workers
+//	livesim -n 256 -runs 64 -algorithm tournament
+//	livesim -n 64 -runs 256 -scan               # worker-scaling curve 1..GOMAXPROCS
+//	livesim -n 32 -runs 128 -backend sim        # same campaign on the sim kernel
+//	livesim -n 64 -runs 1 -v                    # one election, per-run detail
+//
+// Algorithms: poisonpill (default), tournament. Backends: live (default),
+// sim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/live"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 64, "system size (total processors)")
+		k       = flag.Int("k", 0, "participants (0 = all processors)")
+		runs    = flag.Int("runs", 256, "elections per campaign")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "base seed (per-run seeds are sharded from it)")
+		algo    = flag.String("algorithm", "poisonpill", "poisonpill | tournament")
+		backend = flag.String("backend", "live", "live | sim")
+		scan    = flag.Bool("scan", false, "sweep worker counts 1,2,4,...,GOMAXPROCS and print the scaling curve")
+		verbose = flag.Bool("v", false, "run additional individual live elections first and print their per-run details")
+	)
+	flag.Parse()
+
+	if err := run(*n, *k, *runs, *workers, *seed, *algo, *backend, *scan, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "livesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, k, runs, workers int, seed int64, algo, backend string, scan, verbose bool) error {
+	cfg := campaign.Config{
+		Runs: runs, Workers: workers, N: n, K: k, BaseSeed: seed,
+		Algorithm: live.Algorithm(algo), Backend: campaign.Backend(backend),
+	}
+
+	if verbose && campaign.Backend(backend) == campaign.BackendLive {
+		if err := printRuns(n, k, runs, seed, algo); err != nil {
+			return err
+		}
+	}
+
+	if scan {
+		return printScan(cfg)
+	}
+	rep, err := campaign.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printHeader()
+	printReport(cfg, rep)
+	return nil
+}
+
+// printRuns executes each election individually and prints its detail line.
+func printRuns(n, k, runs int, seed int64, algo string) error {
+	for i := 0; i < runs; i++ {
+		res, err := live.Elect(live.Config{
+			N: n, K: k, Seed: seed + int64(i), Algorithm: live.Algorithm(algo),
+		})
+		if err != nil {
+			return fmt.Errorf("run %d: %w", i, err)
+		}
+		fmt.Printf("run=%-4d winner=%-4d rounds=%-3d time=%-4d messages=%-8d wall=%v\n",
+			i, res.Winner, res.Rounds, res.Time, res.Messages, res.Elapsed.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// printScan sweeps power-of-two worker counts up to GOMAXPROCS.
+func printScan(cfg campaign.Config) error {
+	max := runtime.GOMAXPROCS(0)
+	var counts []int
+	for w := 1; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	counts = append(counts, max)
+	reps, err := campaign.ScanWorkers(cfg, counts)
+	if err != nil {
+		return err
+	}
+	printHeader()
+	for _, rep := range reps {
+		printReport(cfg, rep)
+	}
+	if len(reps) > 1 {
+		base := reps[0].Throughput
+		last := reps[len(reps)-1]
+		fmt.Printf("\nscaling: %.2fx throughput at %d workers over 1 worker\n",
+			last.Throughput/base, last.Workers)
+	}
+	return nil
+}
+
+func printHeader() {
+	fmt.Printf("%-8s %-6s %-10s %-12s %-10s %-10s %-10s %-10s %-8s\n",
+		"workers", "runs", "elapsed", "elect/s", "p50", "p90", "p99", "max", "time")
+}
+
+func printReport(cfg campaign.Config, rep campaign.Report) {
+	fmt.Printf("%-8d %-6d %-10v %-12.1f %-10v %-10v %-10v %-10v %-8.1f\n",
+		rep.Workers, rep.Runs, rep.Elapsed.Round(time.Millisecond), rep.Throughput,
+		rep.Latency.P50.Round(time.Microsecond), rep.Latency.P90.Round(time.Microsecond),
+		rep.Latency.P99.Round(time.Microsecond), rep.Latency.Max.Round(time.Microsecond),
+		rep.MeanTime)
+}

@@ -52,4 +52,18 @@ func main() {
 	}
 	fmt.Printf("\ntournament baseline on the same system: time %d vs %d — \"faster than a tournament\"\n",
 		tourn.Time, res.Time)
+
+	// The same election on the real-concurrency backend: actual goroutines,
+	// actual contention, wall-clock time. Safety (one winner) is identical;
+	// the interleaving — and therefore rounds/messages — varies run to run.
+	lv, err := repro.Elect(
+		repro.WithN(n),
+		repro.WithSeed(42),
+		repro.WithBackend(repro.Live),
+	)
+	if err != nil {
+		log.Fatalf("live election failed: %v", err)
+	}
+	fmt.Printf("\nlive backend (real goroutines): winner=%d time=%d communicate calls, %d messages\n",
+		lv.Winner, lv.Time, lv.Messages)
 }

@@ -21,7 +21,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
-	"repro/internal/quorum"
+	"repro/internal/rt"
 )
 
 // NaiveSift is the strawman sifting round from the paper's introduction:
@@ -33,7 +33,7 @@ import (
 // schedule all 0-flippers to complete their phase before any 1-flipper
 // propagates — and then nobody dies. The paper's Section 1 uses exactly this
 // failure to motivate the poison-pill mechanism.
-func NaiveSift(c *quorum.Comm, inst string, prob float64, s *core.State) core.Outcome {
+func NaiveSift(c rt.Comm, inst string, prob float64, s *core.State) core.Outcome {
 	p := c.Proc()
 	reg := inst + "/flip"
 
@@ -84,7 +84,7 @@ const matchRounds = 1 << 20
 // two-participant basic PoisonPill with fair coin bias sifts the pair so the
 // race makes progress. A walkover (no opponent ever shows up) is decided by
 // the R < r−1 rule after two rounds, exactly like a solo election.
-func playMatch(c *quorum.Comm, inst string, s *core.State) core.Decision {
+func playMatch(c rt.Comm, inst string, s *core.State) core.Decision {
 	for r := 1; r <= matchRounds; r++ {
 		s.Round = r
 		d := core.PreRound(c, inst, r, s)
@@ -103,7 +103,7 @@ func playMatch(c *quorum.Comm, inst string, s *core.State) core.Decision {
 
 // pairSift is the basic PoisonPill round with probability 1/2 (the natural
 // bias for two contenders) on a match-private register namespace.
-func pairSift(c *quorum.Comm, inst string, s *core.State) core.Outcome {
+func pairSift(c rt.Comm, inst string, s *core.State) core.Outcome {
 	return core.PoisonPillBiased(c, inst, 0.5, s)
 }
 
@@ -116,13 +116,13 @@ func pairSift(c *quorum.Comm, inst string, s *core.State) core.Outcome {
 // costs expected O(1) communicate calls, so a contender performs expected
 // Θ(log n) communicate calls — the bound the paper's algorithm improves to
 // O(log* k).
-func Tournament(c *quorum.Comm, inst string) core.Decision {
+func Tournament(c rt.Comm, inst string) core.Decision {
 	s := core.NewState(c.Proc(), "tournament")
 	return TournamentWithState(c, inst, s)
 }
 
 // TournamentWithState is Tournament with a caller-supplied published state.
-func TournamentWithState(c *quorum.Comm, inst string, s *core.State) core.Decision {
+func TournamentWithState(c rt.Comm, inst string, s *core.State) core.Decision {
 	if core.Doorway(c, inst, s) == core.Lose {
 		s.SetDecided(core.Lose)
 		return core.Lose

@@ -4,7 +4,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
-	"repro/internal/quorum"
+	"repro/internal/rt"
 	"repro/internal/renaming"
 )
 
@@ -37,7 +37,7 @@ func scanElectInst(u int) string { return "scan/elect/" + strconv.Itoa(u) }
 // have to walk past Ω(n) taken names before finding a free one, giving Ω(n)
 // expected time — the bound the paper's balls-into-bins renaming improves to
 // O(log² n). The function returns the acquired name in [1, n].
-func RandomScanRename(c *quorum.Comm, s *RandomScanState) int {
+func RandomScanRename(c rt.Comm, s *RandomScanState) int {
 	p := c.Proc()
 	n := p.N()
 	es := &core.State{Algorithm: "scan/elect", Stage: core.StageInit, Flip: -1}

@@ -1,0 +1,285 @@
+// Package campaign is the parallel campaign engine: it fans thousands of
+// independent election runs across a pool of workers and aggregates
+// wall-clock latency percentiles and throughput. A campaign answers the
+// production question the single-run harnesses cannot: how many elections
+// per second does the machine sustain, and what does the latency tail look
+// like, for a given algorithm, system size and backend?
+//
+// Runs are independent by construction — each gets its own system (a sim
+// kernel or a live goroutine set) and a sharded PRNG seed — so the engine
+// scales with GOMAXPROCS until the hardware saturates. Both backends fan
+// out: the sim backend runs many single-threaded kernels in parallel; the
+// live backend's elections are internally concurrent as well, so its
+// sweet spot is fewer workers at larger n.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/live"
+)
+
+// Backend selects the execution backend elections run on.
+type Backend string
+
+// Backends understood by the engine.
+const (
+	// BackendSim is the deterministic discrete-event kernel (virtual time,
+	// adversary schedules available).
+	BackendSim Backend = "sim"
+	// BackendLive is the real-concurrency goroutine runtime (wall-clock
+	// time, OS scheduling).
+	BackendLive Backend = "live"
+)
+
+// shardSeed derives run idx's seed from the base seed with the full
+// splitmix64 step (stride + finalizer). The finalizer matters: the live
+// backend internally strides per-processor seeds by the same golden-ratio
+// constant (live.SeedStride), so plain Base+idx·stride would hand
+// processor i of run r and processor i−1 of run r+1 identical PRNG
+// streams. Hashing decorrelates the runs, keeping campaign statistics
+// over genuinely independent samples.
+func shardSeed(base int64, idx int) int64 {
+	z := uint64(base) + uint64(idx)*live.SeedStride
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Config parameterises one campaign.
+type Config struct {
+	// Runs is the number of elections to execute. Default 128.
+	Runs int
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// N is the system size; K the participants (0 means K = N).
+	N, K int
+	// BaseSeed anchors the sharded per-run seeds; equal base seeds re-run
+	// the same seed set. Run i uses splitmix64(BaseSeed, i).
+	BaseSeed int64
+	// Algorithm picks the protocol (default live.AlgoPoisonPill).
+	Algorithm live.Algorithm
+	// Backend picks the runtime (default BackendLive).
+	Backend Backend
+	// Schedule picks the adversary for BackendSim runs (default fair).
+	// BackendLive has no adversary; setting this errors there.
+	Schedule expt.Schedule
+}
+
+// Latency summarises a campaign's per-election wall-clock latencies.
+type Latency struct {
+	Mean, P50, P90, P99, Max time.Duration
+}
+
+// Report aggregates one campaign.
+type Report struct {
+	// Runs and Workers echo the effective configuration.
+	Runs, Workers int
+	// Elapsed is the campaign's wall-clock duration.
+	Elapsed time.Duration
+	// Throughput is elections completed per second of wall-clock time.
+	Throughput float64
+	// Latency summarises per-election wall-clock latencies.
+	Latency Latency
+	// MeanTime is the mean of the paper's time metric (max communicate
+	// calls per processor) across runs — comparable across backends.
+	MeanTime float64
+	// MaxRounds is the highest election round reached in any run.
+	MaxRounds int
+}
+
+func (cfg *Config) normalize() error {
+	if cfg.Runs == 0 {
+		cfg.Runs = 128
+	}
+	if cfg.Runs < 1 {
+		return fmt.Errorf("campaign: runs %d must be positive", cfg.Runs)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		return fmt.Errorf("campaign: workers %d must be positive", cfg.Workers)
+	}
+	if cfg.N < 1 {
+		return fmt.Errorf("campaign: system size %d must be at least 1", cfg.N)
+	}
+	if cfg.K == 0 {
+		cfg.K = cfg.N
+	}
+	if cfg.K < 1 || cfg.K > cfg.N {
+		return fmt.Errorf("campaign: participants %d must be in [1, %d]", cfg.K, cfg.N)
+	}
+	switch cfg.Algorithm {
+	case "":
+		cfg.Algorithm = live.AlgoPoisonPill
+	case live.AlgoPoisonPill, live.AlgoTournament:
+	default:
+		return fmt.Errorf("campaign: %q is not an election algorithm", cfg.Algorithm)
+	}
+	switch cfg.Backend {
+	case "":
+		cfg.Backend = BackendLive
+	case BackendSim, BackendLive:
+	default:
+		return fmt.Errorf("campaign: unknown backend %q", cfg.Backend)
+	}
+	if cfg.Backend == BackendLive && cfg.Schedule != "" && cfg.Schedule != expt.SchedFair {
+		return fmt.Errorf("campaign: adversary schedule %q requires the sim backend", cfg.Schedule)
+	}
+	if cfg.Backend == BackendSim && cfg.Schedule == "" {
+		cfg.Schedule = expt.SchedFair
+	}
+	return nil
+}
+
+// runOne executes election run idx and returns its latency, time metric and
+// max round.
+func (cfg *Config) runOne(idx int) (time.Duration, int, int, error) {
+	seed := shardSeed(cfg.BaseSeed, idx)
+	switch cfg.Backend {
+	case BackendLive:
+		res, err := live.Elect(live.Config{
+			N: cfg.N, K: cfg.K, Seed: seed, Algorithm: cfg.Algorithm,
+		})
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("run %d (seed %d): %w", idx, seed, err)
+		}
+		return res.Elapsed, res.Time, res.Rounds, nil
+	default: // BackendSim
+		start := time.Now()
+		r := expt.Run(expt.Config{
+			N: cfg.N, K: cfg.K, Seed: seed,
+			Algorithm: expt.Algorithm(cfg.Algorithm), Schedule: cfg.Schedule,
+		})
+		elapsed := time.Since(start)
+		if r.Err != nil {
+			return 0, 0, 0, fmt.Errorf("run %d (seed %d): %w", idx, seed, r.Err)
+		}
+		if w := r.Winners(); w != 1 {
+			return 0, 0, 0, fmt.Errorf("run %d (seed %d): %d winners", idx, seed, w)
+		}
+		return elapsed, r.Stats.MaxCommunicateCalls(), r.MaxRound, nil
+	}
+}
+
+// Run executes the campaign and aggregates its report. The first run error
+// aborts the campaign (remaining queued runs are skipped).
+func Run(cfg Config) (Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return Report{}, err
+	}
+	// Per-worker accumulators: no shared state on the hot path except the
+	// abort flag, which lets the first error stop every worker instead of
+	// letting the survivors grind through the remaining queued runs.
+	type acc struct {
+		lats   []time.Duration
+		times  int64
+		rounds int
+		err    error
+	}
+	accs := make([]acc, cfg.Workers)
+	var abort atomic.Bool
+	next := make(chan int, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(a *acc) {
+			defer wg.Done()
+			for idx := range next {
+				if abort.Load() {
+					continue // keep draining so the feeder never blocks
+				}
+				lat, tm, rounds, err := cfg.runOne(idx)
+				if err != nil {
+					a.err = err
+					abort.Store(true)
+					continue
+				}
+				a.lats = append(a.lats, lat)
+				a.times += int64(tm)
+				if rounds > a.rounds {
+					a.rounds = rounds
+				}
+			}
+		}(&accs[w])
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	var times int64
+	rep := Report{Runs: cfg.Runs, Workers: cfg.Workers, Elapsed: elapsed}
+	for i := range accs {
+		if err := accs[i].err; err != nil {
+			return rep, fmt.Errorf("campaign: %w", err)
+		}
+		lats = append(lats, accs[i].lats...)
+		times += accs[i].times
+		if accs[i].rounds > rep.MaxRounds {
+			rep.MaxRounds = accs[i].rounds
+		}
+	}
+	if len(lats) != cfg.Runs {
+		return rep, fmt.Errorf("campaign: %d of %d runs completed", len(lats), cfg.Runs)
+	}
+	rep.Throughput = float64(cfg.Runs) / elapsed.Seconds()
+	rep.MeanTime = float64(times) / float64(cfg.Runs)
+	rep.Latency = summarize(lats)
+	return rep, nil
+}
+
+// summarize sorts a non-empty latency sample and extracts the headline
+// percentiles (nearest-rank).
+func summarize(lats []time.Duration) Latency {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	return Latency{
+		Mean: sum / time.Duration(len(lats)),
+		P50:  rank(0.50),
+		P90:  rank(0.90),
+		P99:  rank(0.99),
+		Max:  lats[len(lats)-1],
+	}
+}
+
+// ScanWorkers runs the same campaign at each worker count and reports one
+// Report per count, in order — the scaling curve cmd/livesim prints and
+// BenchmarkT12CampaignThroughput summarises.
+func ScanWorkers(cfg Config, workers []int) ([]Report, error) {
+	out := make([]Report, 0, len(workers))
+	for _, w := range workers {
+		c := cfg
+		c.Workers = w
+		rep, err := Run(c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/live"
+)
+
+// TestCampaignLive: a live-backend campaign completes every run, reports
+// coherent aggregates, and its percentiles are ordered.
+func TestCampaignLive(t *testing.T) {
+	rep, err := Run(Config{Runs: 24, Workers: 4, N: 8, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 24 || rep.Workers != 4 {
+		t.Fatalf("report echoes runs=%d workers=%d", rep.Runs, rep.Workers)
+	}
+	if rep.Throughput <= 0 {
+		t.Error("non-positive throughput")
+	}
+	if rep.MeanTime <= 0 {
+		t.Error("non-positive mean time metric")
+	}
+	l := rep.Latency
+	if l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max {
+		t.Errorf("unordered percentiles: %+v", l)
+	}
+	if l.Mean <= 0 {
+		t.Error("non-positive mean latency")
+	}
+}
+
+// TestCampaignSim: the same engine fans sim-kernel elections across
+// workers, optionally under an adversary schedule.
+func TestCampaignSim(t *testing.T) {
+	rep, err := Run(Config{
+		Runs: 8, Workers: 2, N: 8, BaseSeed: 5,
+		Backend: BackendSim, Schedule: expt.SchedLockStep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput <= 0 || rep.MeanTime <= 0 {
+		t.Errorf("degenerate sim campaign report: %+v", rep)
+	}
+}
+
+// TestCampaignTournament: the baseline algorithm runs through the engine.
+func TestCampaignTournament(t *testing.T) {
+	rep, err := Run(Config{Runs: 6, Workers: 3, N: 4, BaseSeed: 2, Algorithm: live.AlgoTournament})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxRounds < 1 {
+		t.Error("tournament campaign reached no rounds")
+	}
+}
+
+// TestCampaignValidation: bad configurations error instead of hanging.
+func TestCampaignValidation(t *testing.T) {
+	if _, err := Run(Config{Runs: 1, N: 0}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Run(Config{Runs: 1, N: 4, K: 9}); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := Run(Config{Runs: 1, N: 4, Backend: "quantum"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := Run(Config{Runs: 1, N: 4, Schedule: expt.SchedFlipAware}); err == nil {
+		t.Error("adversary schedule accepted on the live backend")
+	}
+	if _, err := Run(Config{Runs: 1, N: 4, Algorithm: "nonsense"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Sift algorithms are rejected eagerly — and with Runs far above the
+	// worker count, so a regression to lazily erroring workers would show
+	// up as the feeder deadlock this guards against.
+	if _, err := Run(Config{Runs: 64, Workers: 2, N: 4, Algorithm: live.AlgoHetSift}); err == nil {
+		t.Error("sift algorithm accepted by the election campaign")
+	}
+}
+
+// TestScanWorkers: the scaling sweep returns one report per worker count.
+func TestScanWorkers(t *testing.T) {
+	counts := []int{1, 2}
+	reps, err := ScanWorkers(Config{Runs: 8, N: 4, BaseSeed: 3}, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(counts) {
+		t.Fatalf("%d reports for %d worker counts", len(reps), len(counts))
+	}
+	for i, rep := range reps {
+		if rep.Workers != counts[i] {
+			t.Errorf("report %d has workers=%d, want %d", i, rep.Workers, counts[i])
+		}
+	}
+}
+
+// TestDefaultWorkers: Workers=0 resolves to GOMAXPROCS.
+func TestDefaultWorkers(t *testing.T) {
+	rep, err := Run(Config{Runs: 4, N: 4, BaseSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS = %d", rep.Workers, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestSeedSharding: distinct runs get distinct seeds, and — because the
+// live backend strides per-processor seeds by the same golden-ratio
+// constant internally — adjacent runs must not produce seeds one stride
+// apart (which would alias whole processor PRNG streams across runs).
+func TestSeedSharding(t *testing.T) {
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		var prev int64
+		for i := 0; i < 64; i++ {
+			s := shardSeed(base, i)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+			if i > 0 {
+				if d := uint64(s) - uint64(prev); d%live.SeedStride == 0 {
+					t.Fatalf("adjacent runs %d,%d are stride-aligned (d=%#x): processor streams alias", i-1, i, d)
+				}
+			}
+			prev = s
+		}
+	}
+}

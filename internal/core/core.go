@@ -5,16 +5,18 @@
 // election built from a doorway (Figure 5), pre-rounds (Figure 4) and rounds
 // of heterogeneous PoisonPill (Figure 6).
 //
-// All algorithms run on top of the quorum.Comm communicate primitive and are
+// All algorithms run on top of the rt.Comm communicate primitive — the
+// runtime seam implemented by both the simulated backend (internal/sim +
+// internal/quorum) and the real-goroutine backend (internal/live) — and are
 // direct translations of the paper's pseudocode; doc comments cite the
 // figure line numbers they implement. Each participant publishes a *State
-// through sim.Proc.Publish so that the strong adaptive adversary can inspect
-// algorithm progress — stage, round, coin flips — exactly as the model
-// allows.
+// through rt.Procer.Publish so that the strong adaptive adversary (on the
+// sim backend) can inspect algorithm progress — stage, round, coin flips —
+// exactly as the model allows.
 package core
 
 import (
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // Outcome is the result of one sifting round (PoisonPill or heterogeneous
@@ -98,10 +100,10 @@ func (s StatKind) String() string {
 // it flipped. It is nil in the basic technique.
 type Status struct {
 	Stat StatKind
-	List []sim.ProcID
+	List []rt.ProcID
 }
 
-// WireSize implements sim.WireSizer: one byte of status plus four bytes per
+// WireSize implements rt.WireSizer: one byte of status plus four bytes per
 // list entry (bit-complexity accounting).
 func (s Status) WireSize() int { return 1 + 4*len(s.List) }
 
@@ -179,7 +181,7 @@ type State struct {
 }
 
 // NewState publishes a fresh State on p and returns it.
-func NewState(p *sim.Proc, algorithm string) *State {
+func NewState(p rt.Procer, algorithm string) *State {
 	s := &State{Algorithm: algorithm, Stage: StageInit, Flip: -1}
 	p.Publish(s)
 	return s

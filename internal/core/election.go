@@ -3,7 +3,7 @@ package core
 import (
 	"strconv"
 
-	"repro/internal/quorum"
+	"repro/internal/rt"
 )
 
 // doorReg and roundReg name the shared registers of one election instance.
@@ -25,7 +25,7 @@ func siftInst(inst string, r int) string {
 //
 // The doorway makes the election linearizable (Lemma A.3): no participant
 // can lose before the eventual winner's invocation has started.
-func Doorway(c *quorum.Comm, inst string, s *State) Decision {
+func Doorway(c rt.Comm, inst string, s *State) Decision {
 	s.setStage(StageDoorway)
 	reg := doorReg(inst)
 	views := c.Collect(reg) // line 56
@@ -44,7 +44,7 @@ func Doorway(c *quorum.Comm, inst string, s *State) Decision {
 // processor in any view (line 48). Following [SSW91]: if r < R it loses
 // (lines 49-50), if R < r−1 it wins (lines 51-52), otherwise it proceeds
 // (line 53).
-func PreRound(c *quorum.Comm, inst string, r int, s *State) Decision {
+func PreRound(c rt.Comm, inst string, r int, s *State) Decision {
 	s.setStage(StagePreRound)
 	reg := roundReg(inst)
 	c.Propagate(reg, r)     // lines 45-46
@@ -87,7 +87,7 @@ func PreRound(c *quorum.Comm, inst string, r int, s *State) Decision {
 // with k participants the expected maximum number of communicate calls per
 // processor is O(log* k) and the expected total number of messages is
 // O(kn).
-func LeaderElect(c *quorum.Comm, inst string) Decision {
+func LeaderElect(c rt.Comm, inst string) Decision {
 	s := NewState(c.Proc(), "leaderelect")
 	return LeaderElectWithState(c, inst, s)
 }
@@ -95,7 +95,7 @@ func LeaderElect(c *quorum.Comm, inst string) Decision {
 // LeaderElectWithState is LeaderElect with a caller-supplied published
 // state, for protocols (renaming, tournaments) that embed elections and want
 // one State per processor.
-func LeaderElectWithState(c *quorum.Comm, inst string, s *State) Decision {
+func LeaderElectWithState(c rt.Comm, inst string, s *State) Decision {
 	// Reset per-election fields: embedding protocols (renaming) reuse one
 	// published State across several elections.
 	s.Decided = false

@@ -3,8 +3,7 @@ package core
 import (
 	"math"
 
-	"repro/internal/quorum"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // statusReg names the status register array of a sift instance.
@@ -24,7 +23,7 @@ func statusReg(inst string) string { return inst + "/status" }
 // Guarantees (Claims 3.1, 3.2): if all participants return, at least one
 // survives, and the expected number of survivors is O(√n) under any
 // adaptive-adversary schedule.
-func PoisonPill(c *quorum.Comm, inst string, s *State) Outcome {
+func PoisonPill(c rt.Comm, inst string, s *State) Outcome {
 	// The paper fixes the bias to 1/√n (line 4); Section 3.2 proves this
 	// choice optimal for the basic technique.
 	return PoisonPillBiased(c, inst, 1/math.Sqrt(float64(c.Proc().N())), s)
@@ -34,7 +33,7 @@ func PoisonPill(c *quorum.Comm, inst string, s *State) Outcome {
 // The survivor guarantee (Claim 3.1) holds for any bias; the O(√n) survivor
 // bound (Claim 3.2) is specific to 1/√n. Exposed for the tournament
 // baseline, whose two-contender matches use the natural fair bias 1/2.
-func PoisonPillBiased(c *quorum.Comm, inst string, prob float64, s *State) Outcome {
+func PoisonPillBiased(c rt.Comm, inst string, prob float64, s *State) Outcome {
 	p := c.Proc()
 	reg := statusReg(inst)
 
@@ -68,7 +67,7 @@ func PoisonPillBiased(c *quorum.Comm, inst string, prob float64, s *State) Outco
 // existsStrongWithoutLow evaluates the death condition of Fig 1 line 10:
 // ∃ processor j such that some view shows j in {Commit, High-Pri} and no
 // view shows j with Low-Pri.
-func existsStrongWithoutLow(n int, views []quorum.View) bool {
+func existsStrongWithoutLow(n int, views []rt.View) bool {
 	strong := make([]bool, n)
 	low := make([]bool, n)
 	for _, v := range views {
@@ -110,7 +109,7 @@ func existsStrongWithoutLow(n int, views []quorum.View) bool {
 // expected number of low-priority survivors is O(log k) and the expected
 // number of high-priority survivors is O(log² k) for k participants, under
 // any adaptive-adversary schedule.
-func HetPoisonPill(c *quorum.Comm, inst string, s *State) Outcome {
+func HetPoisonPill(c rt.Comm, inst string, s *State) Outcome {
 	return HetPoisonPillWithBias(c, inst, PaperBias, s)
 }
 
@@ -157,7 +156,7 @@ func FairBias(int) float64 { return 0.5 }
 
 // HetPoisonPillWithBias is HetPoisonPill with a caller-supplied bias
 // function; see BiasFunc.
-func HetPoisonPillWithBias(c *quorum.Comm, inst string, bias BiasFunc, s *State) Outcome {
+func HetPoisonPillWithBias(c rt.Comm, inst string, bias BiasFunc, s *State) Outcome {
 	p := c.Proc()
 	reg := statusReg(inst)
 
@@ -194,17 +193,17 @@ func HetPoisonPillWithBias(c *quorum.Comm, inst string, bias BiasFunc, s *State)
 
 // participantsSeen implements Fig 2 line 17: the sorted list of processors
 // with a non-⊥ status in some view.
-func participantsSeen(n int, views []quorum.View) []sim.ProcID {
+func participantsSeen(n int, views []rt.View) []rt.ProcID {
 	seen := make([]bool, n)
 	for _, v := range views {
 		for _, e := range v.Entries {
 			seen[e.Owner] = true
 		}
 	}
-	var out []sim.ProcID
+	var out []rt.ProcID
 	for j := 0; j < n; j++ {
 		if seen[j] {
-			out = append(out, sim.ProcID(j))
+			out = append(out, rt.ProcID(j))
 		}
 	}
 	return out
@@ -214,7 +213,7 @@ func participantsSeen(n int, views []quorum.View) []sim.ProcID {
 // build L as the union of all observed ℓ lists (line 26) and all processors
 // with non-⊥ statuses (line 27), and report whether some j ∈ L has no view
 // with a Low-Pri status (line 28).
-func someInLWithoutLow(n int, views []quorum.View) bool {
+func someInLWithoutLow(n int, views []rt.View) bool {
 	inL := make([]bool, n)
 	low := make([]bool, n)
 	// The same (owner, seq) cell appears in up to a quorum of views with an

@@ -1,0 +1,88 @@
+package live
+
+import (
+	"runtime"
+
+	"repro/internal/rt"
+)
+
+// Comm is the live backend's communicate handle; it implements rt.Comm for
+// one processor. Each call broadcasts a request to all n−1 peers' server
+// mailboxes and blocks until a majority quorum (the caller included) has
+// answered, exactly mirroring the [ABND95] primitive the paper builds on.
+// Methods must be called from the processor's algorithm goroutine.
+type Comm struct {
+	p *Proc
+}
+
+// NewComm builds the communicate handle for an algorithm running on p.
+func NewComm(p *Proc) *Comm { return &Comm{p: p} }
+
+// Proc implements rt.Comm.
+func (c *Comm) Proc() rt.Procer { return c.p }
+
+// QuorumSize implements rt.Comm: ⌊n/2⌋+1.
+func (c *Comm) QuorumSize() int { return c.p.sys.n/2 + 1 }
+
+// Propagate implements rt.Comm: bump the caller's own cell of reg to val,
+// then push the new cell to a quorum. One communicate call.
+func (c *Comm) Propagate(reg string, val rt.Value) {
+	p := c.p
+	p.mu.Lock()
+	arr := p.array(reg)
+	self := int(p.id)
+	arr.cells[self] = cell{seq: arr.cells[self].seq + 1, val: val}
+	e := rt.Entry{Reg: reg, Owner: p.id, Seq: arr.cells[self].seq, Val: val}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	c.communicate(request{kind: propagateReq, entries: []rt.Entry{e}})
+}
+
+// Collect implements rt.Comm: gather the register-array views of a quorum,
+// the caller's own store included, and return them. One communicate call.
+func (c *Comm) Collect(reg string) []rt.View {
+	p := c.p
+	p.mu.Lock()
+	own := rt.View{From: p.id, Entries: p.snapshotLocked(reg)}
+	p.mu.Unlock()
+	views := make([]rt.View, 0, c.QuorumSize())
+	views = append(views, own)
+	for _, r := range c.communicate(request{kind: collectReq, reg: reg}) {
+		views = append(views, r.view)
+	}
+	return views
+}
+
+// communicate broadcasts req to every peer and waits for quorum−1 replies
+// (the caller's local effect is the quorum's first member). The reply
+// channel is buffered for all n−1 eventual repliers: the quorum wait reads
+// only the first quorum−1, and stragglers land in the abandoned buffer
+// without ever blocking a server — that asymmetry is what gives live runs
+// their stale-view, adversary-like interleavings.
+func (c *Comm) communicate(req request) []reply {
+	p := c.p
+	p.commCalls++
+	n := p.sys.n
+	need := c.QuorumSize() - 1
+	if need == 0 {
+		// Single-processor system: the local effect already is a quorum.
+		// Still yield once so solo runs keep a scheduling point per call,
+		// as the sim backend does.
+		runtime.Gosched()
+		return nil
+	}
+	ch := make(chan reply, n-1)
+	req.reply = ch
+	for j := 0; j < n; j++ {
+		if rt.ProcID(j) == p.id {
+			continue
+		}
+		p.sys.procs[j].inbox <- req
+		p.sys.messages.Add(1)
+	}
+	out := make([]reply, need)
+	for i := range out {
+		out[i] = <-ch
+	}
+	return out
+}

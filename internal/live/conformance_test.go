@@ -1,0 +1,182 @@
+package live_test
+
+// Cross-backend conformance: for a grid of (n, k, seed, algorithm)
+// configurations, the sim backend and the live backend must both satisfy
+// the paper's safety properties — exactly one winner, every other
+// participant loses. CI runs this file under the race detector
+// (go test -race ./internal/live/...), so the live half also proves the
+// backend memory-safe under real interleavings.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/sim"
+)
+
+// grid is the conformance configuration set. k == 0 means k = n.
+var grid = []struct {
+	n, k int
+}{
+	{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {8, 0}, {13, 0}, {16, 0},
+	{8, 3}, {16, 5},
+}
+
+var seeds = []int64{1, 2, 3}
+
+// checkElection asserts the safety contract shared by both backends.
+func checkElection(t *testing.T, label string, k int, res repro.ElectionResult, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if len(res.Decisions) != k {
+		t.Fatalf("%s: %d decisions, want %d", label, len(res.Decisions), k)
+	}
+	winners := 0
+	for id, d := range res.Decisions {
+		switch d {
+		case core.Win:
+			winners++
+			if id != res.Winner {
+				t.Fatalf("%s: winner %d but %d decided WIN", label, res.Winner, id)
+			}
+		case core.Lose:
+		default:
+			t.Fatalf("%s: processor %d has undecided outcome %v", label, id, d)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%s: %d winners, want exactly 1", label, winners)
+	}
+	if res.Time <= 0 {
+		t.Fatalf("%s: non-positive time metric %d", label, res.Time)
+	}
+}
+
+// TestConformanceElection runs the PoisonPill election across the grid on
+// both backends through the public repro API.
+func TestConformanceElection(t *testing.T) {
+	for _, g := range grid {
+		for _, seed := range seeds {
+			k := g.k
+			if k == 0 {
+				k = g.n
+			}
+			opts := []repro.Option{
+				repro.WithN(g.n), repro.WithParticipants(k), repro.WithSeed(seed),
+			}
+			label := fmt.Sprintf("n=%d k=%d seed=%d", g.n, k, seed)
+
+			simRes, err := repro.Elect(opts...)
+			checkElection(t, "sim "+label, k, simRes, err)
+
+			liveRes, err := repro.Elect(append(opts, repro.WithBackend(repro.Live))...)
+			checkElection(t, "live "+label, k, liveRes, err)
+		}
+	}
+}
+
+// TestConformanceTournament runs the tournament baseline across a smaller
+// grid on both backends (tournament matches are costlier per round).
+func TestConformanceTournament(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, seed := range seeds {
+			opts := []repro.Option{
+				repro.WithN(n), repro.WithSeed(seed),
+				repro.WithAlgorithm(repro.Tournament),
+			}
+			label := fmt.Sprintf("n=%d seed=%d", n, seed)
+
+			simRes, err := repro.Elect(opts...)
+			checkElection(t, "sim tournament "+label, n, simRes, err)
+
+			liveRes, err := repro.Elect(append(opts, repro.WithBackend(repro.Live))...)
+			checkElection(t, "live tournament "+label, n, liveRes, err)
+		}
+	}
+}
+
+// TestConformanceSift: both backends guarantee at least one sift survivor
+// (Claim 3.1 / Lemma 3.6).
+func TestConformanceSift(t *testing.T) {
+	for _, algo := range []repro.Algorithm{repro.BasicSift, repro.HetSift} {
+		for _, n := range []int{2, 8, 16} {
+			for _, seed := range seeds {
+				label := fmt.Sprintf("%s n=%d seed=%d", algo, n, seed)
+				opts := []repro.Option{
+					repro.WithN(n), repro.WithSeed(seed), repro.WithAlgorithm(algo),
+				}
+				simRes, err := repro.Sift(opts...)
+				if err != nil {
+					t.Fatalf("sim %s: %v", label, err)
+				}
+				if simRes.Survivors < 1 {
+					t.Fatalf("sim %s: no survivors", label)
+				}
+				liveRes, err := repro.Sift(append(opts, repro.WithBackend(repro.Live))...)
+				if err != nil {
+					t.Fatalf("live %s: %v", label, err)
+				}
+				if liveRes.Survivors < 1 {
+					t.Fatalf("live %s: no survivors", label)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveBackendRejectsAdversaryOptions: adversary schedules and crash
+// faults are sim-only concepts; the live backend must refuse them loudly
+// rather than silently ignore them.
+func TestLiveBackendRejectsAdversaryOptions(t *testing.T) {
+	if _, err := repro.Elect(repro.WithN(4), repro.WithBackend(repro.Live),
+		repro.WithSchedule(repro.FlipAware)); err == nil {
+		t.Error("live backend accepted an adversary schedule")
+	}
+	if _, err := repro.Elect(repro.WithN(4), repro.WithBackend(repro.Live),
+		repro.WithSchedule(repro.Crashing), repro.WithFaults(1)); err == nil {
+		t.Error("live backend accepted crash faults")
+	}
+	if _, err := repro.Rename(repro.WithN(4), repro.WithBackend(repro.Live)); err == nil {
+		t.Error("live backend accepted renaming (unsupported)")
+	}
+	if _, err := repro.Elect(repro.WithN(4), repro.WithBackend(repro.Live),
+		repro.WithBudget(100)); err == nil {
+		t.Error("live backend accepted a kernel action budget")
+	}
+	if _, err := repro.Elect(repro.WithN(4), repro.WithBackend(repro.Backend("quantum"))); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestLiveDirectAPI exercises internal/live.Elect without the repro façade,
+// including k < n systems, so the conformance suite also covers the
+// subsystem's own entry points.
+func TestLiveDirectAPI(t *testing.T) {
+	for _, g := range grid {
+		res, err := live.Elect(live.Config{N: g.n, K: g.k, Seed: 11})
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", g.n, g.k, err)
+		}
+		k := g.k
+		if k == 0 {
+			k = g.n
+		}
+		winners := 0
+		for _, d := range res.Decisions {
+			if d == core.Win {
+				winners++
+			}
+		}
+		if winners != 1 || len(res.Decisions) != k {
+			t.Fatalf("n=%d k=%d: winners=%d decisions=%d", g.n, g.k, winners, len(res.Decisions))
+		}
+		if res.Winner < 0 || res.Winner >= sim.ProcID(k) {
+			t.Fatalf("n=%d k=%d: winner %d outside participant range", g.n, g.k, res.Winner)
+		}
+	}
+}

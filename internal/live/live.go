@@ -1,0 +1,320 @@
+// Package live is the real-concurrency execution backend of the runtime
+// seam (internal/rt): it runs the same leader-election algorithms as the
+// deterministic discrete-event kernel (internal/sim + internal/quorum), but
+// on real OS-scheduled goroutines with channel-backed best-effort broadcast
+// and majority-quorum collect.
+//
+// Where the sim backend hands every interleaving decision to a strong
+// adaptive adversary and measures virtual time, the live backend lets the Go
+// scheduler interleave n server goroutines and k participant goroutines for
+// real, and measures wall-clock time. The paper's safety guarantees (unique
+// winner, at least one sift survivor) hold under *any* schedule, so they
+// must — and do — survive genuine hardware contention; the conformance
+// suite checks exactly that, under the race detector.
+//
+// Topology: every processor runs a server goroutine draining a buffered
+// mailbox of quorum requests (the reactive half — the paper's standing
+// assumption that all processors always reply). Participants additionally
+// run an algorithm goroutine that issues communicate calls through Comm:
+// a request is broadcast to all n−1 peers and the caller blocks until
+// ⌊n/2⌋+1 processors (itself included) have answered, so any two
+// communicate calls intersect — the quorum property every proof in the
+// paper relies on. Replies beyond the quorum arrive late into an abandoned
+// buffered channel, naturally reproducing the stale-view behaviour the
+// adversary model abstracts.
+package live
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rt"
+)
+
+// SeedStride separates per-processor PRNG streams: consecutive processor
+// seeds are spread across the 64-bit space by the splitmix64 golden-ratio
+// increment, so sharded seeds never collide for realistic run counts.
+// Exported because the campaign engine's run-level seed sharding must
+// avoid aliasing with exactly this constant.
+const SeedStride uint64 = 0x9E3779B97F4A7C15
+
+// msgKind tags a quorum request.
+type msgKind uint8
+
+const (
+	// propagateReq pushes register cells to the recipient, who merges them
+	// and acknowledges (the paper's "propagate, v" message).
+	propagateReq msgKind = iota + 1
+	// collectReq requests the recipient's view of one register array (the
+	// paper's "collect, v" message).
+	collectReq
+)
+
+// request is one quorum message travelling to a server goroutine.
+type request struct {
+	kind    msgKind
+	entries []rt.Entry   // propagateReq payload (treated as immutable)
+	reg     string       // collectReq target register array
+	reply   chan<- reply // per-call buffered channel; never blocks the server
+}
+
+// reply answers a request: an ack for propagateReq, a view for collectReq.
+type reply struct {
+	view rt.View
+}
+
+// cell is one register-array slot: owner-versioned so stale propagations
+// never overwrite fresh ones (higher sequence numbers win).
+type cell struct {
+	seq uint64
+	val rt.Value
+}
+
+// regArray is one named register array with a cell per processor.
+type regArray struct {
+	cells []cell
+}
+
+// System is one live run's processor set. Construct with NewSystem, run
+// algorithm goroutines against Comm handles, then Shutdown.
+type System struct {
+	n        int
+	procs    []*Proc
+	servers  sync.WaitGroup
+	messages atomic.Int64
+}
+
+// NewSystem creates n processors, each with a running server goroutine, and
+// deterministic per-processor PRNG streams derived from seed.
+func NewSystem(n int, seed int64) *System {
+	sys := &System{n: n, procs: make([]*Proc, n)}
+	for i := 0; i < n; i++ {
+		p := &Proc{
+			id:  rt.ProcID(i),
+			sys: sys,
+			rng: rand.New(rand.NewSource(int64(uint64(seed) + uint64(i)*SeedStride))),
+			// Capacity n absorbs the common case (each of ≤n participants
+			// has one outstanding communicate call), but a descheduled
+			// server can accumulate more: requests from calls that already
+			// reached quorum elsewhere linger here. A full mailbox then
+			// throttles broadcasting callers. That is backpressure, not a
+			// deadlock risk — servers drain unconditionally and their
+			// replies go to buffered per-call channels, so every send
+			// eventually completes.
+			inbox: make(chan request, n),
+			regs:  make(map[string]*regArray),
+		}
+		p.cond = sync.NewCond(&p.mu)
+		sys.procs[i] = p
+	}
+	for _, p := range sys.procs {
+		sys.servers.Add(1)
+		go p.serve()
+	}
+	return sys
+}
+
+// N returns the system size.
+func (sys *System) N() int { return sys.n }
+
+// Proc returns the handle of processor id.
+func (sys *System) Proc(id rt.ProcID) *Proc { return sys.procs[id] }
+
+// Messages returns the total number of point-to-point messages sent so far
+// (requests and replies, as in the sim backend's accounting).
+func (sys *System) Messages() int64 { return sys.messages.Load() }
+
+// Shutdown stops the server goroutines and waits for them to drain. It must
+// only be called after every algorithm goroutine has returned: closing the
+// mailboxes while a communicate call is still broadcasting would panic.
+func (sys *System) Shutdown() {
+	for _, p := range sys.procs {
+		close(p.inbox)
+	}
+	sys.servers.Wait()
+}
+
+// Proc is a processor handle of the live backend; it implements rt.Procer.
+// Algorithm-facing methods must be called from the processor's single
+// algorithm goroutine; the server goroutine only touches the mutex-guarded
+// store and raw mailbox.
+type Proc struct {
+	id    rt.ProcID
+	sys   *System
+	rng   *rand.Rand
+	inbox chan request
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast whenever guarded state changes
+	regs      map[string]*regArray
+	raw       []any // generic Send mailbox, consumed via Await conditions
+	published any
+
+	commCalls int // algorithm-goroutine-local; read after the run joins
+}
+
+// ID implements rt.Procer.
+func (p *Proc) ID() rt.ProcID { return p.id }
+
+// N implements rt.Procer.
+func (p *Proc) N() int { return p.sys.n }
+
+// Rand implements rt.Procer: the processor's private PRNG, owned by the
+// algorithm goroutine.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Send implements rt.Procer: it delivers payload into the recipient's raw
+// mailbox and wakes any Await blocked there. Quorum traffic does not pass
+// through here — Comm uses dedicated request/reply channels — but the
+// primitive keeps the seam complete for algorithms written directly against
+// Send/Await.
+func (p *Proc) Send(to rt.ProcID, payload any) {
+	t := p.sys.procs[to]
+	t.mu.Lock()
+	t.raw = append(t.raw, payload)
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	p.sys.messages.Add(1)
+}
+
+// Raw drains and returns the processor's raw mailbox. Call from the
+// algorithm goroutine, typically after an Await on RawLen.
+func (p *Proc) Raw() []any {
+	p.mu.Lock()
+	out := p.raw
+	p.raw = nil
+	p.mu.Unlock()
+	return out
+}
+
+// rawLen returns the number of pending raw messages. It does not lock, so
+// it is usable inside Await conditions (which run under the mutex).
+func (p *Proc) rawLen() int { return len(p.raw) }
+
+// AwaitRaw parks until at least want raw messages are pending.
+func (p *Proc) AwaitRaw(want int) {
+	p.Await(func() bool { return p.rawLen() >= want })
+}
+
+// Await implements rt.Procer: it parks the algorithm goroutine until cond()
+// holds. The condition is evaluated under the processor's mutex and
+// re-checked whenever guarded state changes (message arrival, register
+// merge), so it must be a pure function of processor-local state and must
+// not itself take the mutex.
+func (p *Proc) Await(cond func() bool) {
+	if cond == nil {
+		panic("live: Await requires a non-nil condition; use Pause")
+	}
+	p.mu.Lock()
+	for !cond() {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Pause implements rt.Procer: on the live backend it simply yields the OS
+// thread, inviting the scheduler to interleave other goroutines — the
+// real-concurrency analogue of handing control to the adversary.
+func (p *Proc) Pause() { runtime.Gosched() }
+
+// Flip implements rt.Procer: a biased local coin flip, 1 with probability
+// prob. Where the sim backend publishes the outcome to the adversary and
+// yields, the live backend yields to the OS scheduler, preserving the
+// "flip, then lose control" shape of the model.
+func (p *Proc) Flip(prob float64) int {
+	v := 0
+	if p.rng.Float64() < prob {
+		v = 1
+	}
+	runtime.Gosched()
+	return v
+}
+
+// Publish implements rt.Procer. The mutex guards only the pointer swap:
+// the published value's *fields* are still mutated by the algorithm
+// goroutine without synchronization, so the contents (e.g. a *core.State's
+// Round or Stage) must only be read after the run joins — there is no
+// adversary on this backend to read them mid-run.
+func (p *Proc) Publish(state any) {
+	p.mu.Lock()
+	p.published = state
+	p.mu.Unlock()
+}
+
+// Published returns the last value passed to Publish. See Publish for the
+// synchronization caveat on reading the value's fields mid-run.
+func (p *Proc) Published() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.published
+}
+
+// CommCalls reports the number of communicate calls the processor has made;
+// valid once its algorithm goroutine has returned.
+func (p *Proc) CommCalls() int { return p.commCalls }
+
+// array returns the register array for reg, creating it on first use.
+// Callers must hold p.mu.
+func (p *Proc) array(reg string) *regArray {
+	arr := p.regs[reg]
+	if arr == nil {
+		arr = &regArray{cells: make([]cell, p.sys.n)}
+		p.regs[reg] = arr
+	}
+	return arr
+}
+
+// merge applies an entry if it is newer than the local cell (writer
+// versioning, identical to the sim backend's store). Callers must hold p.mu.
+func (p *Proc) merge(e rt.Entry) {
+	arr := p.array(e.Reg)
+	if e.Seq > arr.cells[e.Owner].seq {
+		arr.cells[e.Owner] = cell{seq: e.Seq, val: e.Val}
+	}
+}
+
+// snapshotLocked copies the non-⊥ cells of reg into a fresh entry slice, in
+// owner order. Callers must hold p.mu; the returned slice is private to the
+// caller and its values are shared immutables.
+func (p *Proc) snapshotLocked(reg string) []rt.Entry {
+	arr := p.regs[reg]
+	if arr == nil {
+		return nil
+	}
+	var out []rt.Entry
+	for owner, c := range arr.cells {
+		if c.seq > 0 {
+			out = append(out, rt.Entry{Reg: reg, Owner: rt.ProcID(owner), Seq: c.seq, Val: c.val})
+		}
+	}
+	return out
+}
+
+// serve is the server goroutine: the reactive half of the processor. It
+// drains the mailbox until Shutdown closes it, merging propagations and
+// answering collects. Replies go to per-call buffered channels sized for
+// all n−1 repliers, so the server never blocks and the system cannot
+// deadlock.
+func (p *Proc) serve() {
+	defer p.sys.servers.Done()
+	for req := range p.inbox {
+		switch req.kind {
+		case propagateReq:
+			p.mu.Lock()
+			for _, e := range req.entries {
+				p.merge(e)
+			}
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			req.reply <- reply{}
+		case collectReq:
+			p.mu.Lock()
+			v := rt.View{From: p.id, Entries: p.snapshotLocked(req.reg)}
+			p.mu.Unlock()
+			req.reply <- reply{view: v}
+		}
+		p.sys.messages.Add(1) // the reply
+	}
+}

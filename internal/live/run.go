@@ -1,0 +1,236 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rt"
+)
+
+// Algorithm selects the protocol a live run executes. The values match the
+// expt harness's names so configurations translate across backends.
+type Algorithm string
+
+// Algorithms understood by the live runners.
+const (
+	// AlgoPoisonPill is the paper's O(log* k) election (Figure 6).
+	AlgoPoisonPill Algorithm = "poisonpill"
+	// AlgoTournament is the Θ(log n) tournament baseline of [AGTV92].
+	AlgoTournament Algorithm = "tournament"
+	// AlgoBasicSift is one standalone basic PoisonPill round (Figure 1).
+	AlgoBasicSift Algorithm = "basic-sift"
+	// AlgoHetSift is one standalone heterogeneous round (Figure 2).
+	AlgoHetSift Algorithm = "het-sift"
+)
+
+// Config parameterises one live run.
+type Config struct {
+	// N is the system size; K the number of participants (0 means K = N).
+	N, K int
+	// Seed shards the per-processor PRNG streams; equal seeds give equal
+	// coin-flip sequences (the interleaving still varies run to run — that
+	// is the point of the backend).
+	Seed int64
+	// Algorithm picks the protocol. Default AlgoPoisonPill.
+	Algorithm Algorithm
+	// Timeout aborts a run that has not completed in time (0 = a generous
+	// default). A fired timeout reports an error and leaks the run's
+	// goroutines: it is a diagnostic for liveness bugs, not a control path.
+	Timeout time.Duration
+}
+
+// DefaultTimeout bounds a live run when Config.Timeout is zero. The
+// algorithms terminate with probability 1 in milliseconds at benchmark
+// sizes; a run hitting this bound indicates a liveness bug.
+const DefaultTimeout = 2 * time.Minute
+
+// ErrTimeout is returned when a live run exceeds its timeout.
+var ErrTimeout = errors.New("live: run timed out (liveness bug?)")
+
+// ErrNoWinner is returned when an election run completes with no Win
+// decision. It cannot happen on the live backend (no crashes) unless the
+// algorithm or the backend is broken.
+var ErrNoWinner = errors.New("live: election completed without a winner")
+
+// Result reports one live run.
+type Result struct {
+	// Winner is the elected processor (election algorithms; -1 otherwise).
+	Winner rt.ProcID
+	// Decisions maps every participant to WIN/LOSE (election algorithms).
+	Decisions map[rt.ProcID]core.Decision
+	// Outcomes maps every participant to SURVIVE/DIE (sift algorithms).
+	Outcomes map[rt.ProcID]core.Outcome
+	// Rounds is the highest election round any participant reached.
+	Rounds int
+	// Time is the maximum number of communicate calls any processor made —
+	// the paper's time metric, comparable with the sim backend's.
+	Time int
+	// Messages is the total number of point-to-point messages exchanged.
+	Messages int64
+	// Elapsed is the run's wall-clock duration.
+	Elapsed time.Duration
+}
+
+func (cfg *Config) normalize() error {
+	if cfg.N < 1 {
+		return fmt.Errorf("live: system size %d must be at least 1", cfg.N)
+	}
+	if cfg.K == 0 {
+		cfg.K = cfg.N
+	}
+	if cfg.K < 1 || cfg.K > cfg.N {
+		return fmt.Errorf("live: participants %d must be in [1, %d]", cfg.K, cfg.N)
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgoPoisonPill
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	return nil
+}
+
+// Elect runs one leader election on real goroutines and returns the winner
+// and complexity measures. Exactly one participant wins; every other
+// returns LOSE — under any interleaving the Go scheduler produces.
+func Elect(cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	var body func(c *Comm, s *core.State) core.Decision
+	switch cfg.Algorithm {
+	case AlgoPoisonPill:
+		body = func(c *Comm, s *core.State) core.Decision {
+			return core.LeaderElectWithState(c, "elect", s)
+		}
+	case AlgoTournament:
+		body = func(c *Comm, s *core.State) core.Decision {
+			return baseline.TournamentWithState(c, "tourn", s)
+		}
+	default:
+		return Result{}, fmt.Errorf("live: %q is not an election algorithm", cfg.Algorithm)
+	}
+
+	decisions := make([]core.Decision, cfg.K)
+	states := make([]*core.State, cfg.K)
+	res, err := run(cfg, func(p *Proc, i int) {
+		c := NewComm(p)
+		s := core.NewState(p, string(cfg.Algorithm))
+		states[i] = s
+		decisions[i] = body(c, s)
+	})
+	if err != nil {
+		return res, err
+	}
+
+	res.Winner = -1
+	res.Decisions = make(map[rt.ProcID]core.Decision, cfg.K)
+	for i, d := range decisions {
+		id := rt.ProcID(i)
+		res.Decisions[id] = d
+		if s := states[i]; s.Round > res.Rounds {
+			res.Rounds = s.Round
+		}
+		if d == core.Win {
+			if res.Winner >= 0 {
+				return res, fmt.Errorf("live: safety violation: processors %d and %d both won", res.Winner, id)
+			}
+			res.Winner = id
+		}
+	}
+	if res.Winner < 0 {
+		return res, ErrNoWinner
+	}
+	return res, nil
+}
+
+// Sift runs one standalone sifting round (AlgoBasicSift or AlgoHetSift) on
+// real goroutines. At least one participant always survives.
+func Sift(cfg Config) (Result, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgoBasicSift
+	}
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	var body func(c *Comm, s *core.State) core.Outcome
+	switch cfg.Algorithm {
+	case AlgoBasicSift:
+		body = func(c *Comm, s *core.State) core.Outcome {
+			return core.PoisonPill(c, "pp", s)
+		}
+	case AlgoHetSift:
+		body = func(c *Comm, s *core.State) core.Outcome {
+			return core.HetPoisonPill(c, "pp", s)
+		}
+	default:
+		return Result{}, fmt.Errorf("live: %q is not a sifting algorithm", cfg.Algorithm)
+	}
+
+	outcomes := make([]core.Outcome, cfg.K)
+	res, err := run(cfg, func(p *Proc, i int) {
+		c := NewComm(p)
+		s := core.NewState(p, string(cfg.Algorithm))
+		outcomes[i] = body(c, s)
+	})
+	if err != nil {
+		return res, err
+	}
+
+	res.Winner = -1
+	res.Outcomes = make(map[rt.ProcID]core.Outcome, cfg.K)
+	survivors := 0
+	for i, o := range outcomes {
+		res.Outcomes[rt.ProcID(i)] = o
+		if o == core.Survive {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return res, fmt.Errorf("live: safety violation: no sift survivor (Claim 3.1)")
+	}
+	return res, nil
+}
+
+// run builds a system, executes algo on the first K processors concurrently,
+// joins them, shuts the servers down and reports the shared measures. The
+// timeout path leaves the run's goroutines behind by design: there is no
+// safe way to interrupt them, and the caller is about to fail anyway.
+func run(cfg Config, algo func(p *Proc, i int)) (Result, error) {
+	sys := NewSystem(cfg.N, cfg.Seed)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			algo(sys.procs[i], i)
+		}(i)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(cfg.Timeout):
+		return Result{}, fmt.Errorf("%w after %v (n=%d k=%d algorithm=%s)",
+			ErrTimeout, cfg.Timeout, cfg.N, cfg.K, cfg.Algorithm)
+	}
+	elapsed := time.Since(start)
+	sys.Shutdown()
+
+	res := Result{Elapsed: elapsed, Messages: sys.Messages()}
+	for i := 0; i < cfg.K; i++ {
+		if c := sys.procs[i].CommCalls(); c > res.Time {
+			res.Time = c
+		}
+	}
+	return res, nil
+}

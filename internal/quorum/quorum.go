@@ -23,50 +23,27 @@ package quorum
 import (
 	"fmt"
 
+	"repro/internal/rt"
 	"repro/internal/sim"
 )
 
-// Value is the content of a register cell. Values must be treated as
-// immutable once propagated: stores hand out references, not copies.
-type Value any
+// Value, Entry and View are aliases of the backend-neutral types of the
+// runtime seam (internal/rt), so views collected on this backend and on the
+// live backend are interchangeable and algorithm code is backend-blind.
+type (
+	// Value is the content of a register cell. Values must be treated as
+	// immutable once propagated: stores hand out references, not copies.
+	Value = rt.Value
 
-// Entry is one register cell in transit or in a view: the cell of register
-// array Reg owned by Owner, at write version Seq.
-type Entry struct {
-	Reg   string
-	Owner sim.ProcID
-	Seq   uint64
-	Val   Value
-}
+	// Entry is one register cell in transit or in a view: the cell of
+	// register array Reg owned by Owner, at write version Seq.
+	Entry = rt.Entry
 
-// WireSize implements sim.WireSizer with a coarse fixed estimate per entry
-// (identifier + sequence number + small payload); values that implement
-// WireSizer themselves are measured instead.
-func (e Entry) WireSize() int {
-	if s, ok := e.Val.(sim.WireSizer); ok {
-		return 16 + s.WireSize()
-	}
-	return 24
-}
-
-// View is one processor's register-array snapshot returned by Collect:
-// the non-⊥ cells of register Reg at replier From. In the paper's notation,
-// Views[k][j] is Get(j) on the k-th returned View.
-type View struct {
-	From    sim.ProcID
-	Entries []Entry
-}
-
-// Get returns the value of owner j's cell in this view; ok is false when the
-// view holds ⊥ for j.
-func (v View) Get(j sim.ProcID) (Value, bool) {
-	for _, e := range v.Entries {
-		if e.Owner == j {
-			return e.Val, true
-		}
-	}
-	return nil, false
-}
+	// View is one processor's register-array snapshot returned by Collect:
+	// the non-⊥ cells of register Reg at replier From. In the paper's
+	// notation, Views[k][j] is Get(j) on the k-th returned View.
+	View = rt.View
+)
 
 // Message payloads exchanged by the layer.
 type (
@@ -292,8 +269,10 @@ func NewComm(p *sim.Proc, st *Store) *Comm {
 	return &Comm{p: p, st: st}
 }
 
-// Proc returns the underlying kernel handle.
-func (c *Comm) Proc() *sim.Proc { return c.p }
+// Proc returns the processor handle behind this Comm, as the backend-neutral
+// rt.Procer of the runtime seam. The concrete handle is the *sim.Proc passed
+// to NewComm.
+func (c *Comm) Proc() rt.Procer { return c.p }
 
 // Store returns the processor's local store.
 func (c *Comm) Store() *Store { return c.st }

@@ -15,8 +15,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
-	"repro/internal/quorum"
-	"repro/internal/sim"
+	"repro/internal/rt"
 )
 
 // NameSet is a bitset over names 1..n (bit i-1 ↔ name i). It is the register
@@ -85,7 +84,7 @@ func (s NameSet) Count() int {
 	return c
 }
 
-// WireSize implements sim.WireSizer.
+// WireSize implements rt.WireSizer.
 func (s NameSet) WireSize() int { return 8 * len(s) }
 
 // State is the adversary- and experiment-visible progress of one renaming
@@ -125,7 +124,7 @@ func electInst(u int) string { return "rename/elect/" + strconv.Itoa(u) }
 // the same name; with fewer than half the processors faulty every non-faulty
 // participant returns with probability 1; expected message complexity is
 // O(n²) and expected time complexity O(log² n).
-func GetName(c *quorum.Comm, s *State) int {
+func GetName(c rt.Comm, s *State) int {
 	p := c.Proc()
 	n := p.N()
 	es := &core.State{Algorithm: "rename/elect", Stage: core.StageInit, Flip: -1}
@@ -169,7 +168,7 @@ func GetName(c *quorum.Comm, s *State) int {
 
 // pickUncontended implements line 38: a uniformly random name among those
 // the caller's view reports uncontended, or 0 when none remain.
-func pickUncontended(p *sim.Proc, n int, contended NameSet) int {
+func pickUncontended(p rt.Procer, n int, contended NameSet) int {
 	free := n - contended.Count()
 	if free <= 0 {
 		return 0

@@ -1,0 +1,129 @@
+// Package rt defines the runtime seam between the leader-election
+// algorithms (internal/core, internal/baseline, internal/renaming) and the
+// execution backends that run them. The algorithms are written once against
+// two small interfaces:
+//
+//   - Procer: a processor handle — identity, system size, private
+//     randomness, message primitives and adversary-visible publication
+//     (the Send/Await/Flip/Publish/Rand surface of sim.Proc);
+//   - Comm: the communicate primitive of Attiya, Bar-Noy and Dolev as the
+//     paper uses it — Propagate and Collect against named register arrays,
+//     each waiting for a majority quorum (the surface of quorum.Comm).
+//
+// Two backends implement the seam:
+//
+//   - internal/sim + internal/quorum: the deterministic discrete-event
+//     kernel with a strong adaptive adversary (the paper's model, exactly);
+//   - internal/live: real OS-scheduled goroutines with channel-backed
+//     best-effort broadcast and majority-quorum collect (wall-clock runs
+//     with genuine contention).
+//
+// The shared data types (ProcID, Entry, View) live here so that views
+// collected on either backend are interchangeable and the algorithm code is
+// backend-blind.
+package rt
+
+import "math/rand"
+
+// ProcID identifies one of the n processors, in the range [0, n).
+// sim.ProcID is an alias of this type.
+type ProcID int
+
+// Value is the content of a register cell. Values must be treated as
+// immutable once propagated: stores hand out references, not copies. On the
+// live backend immutability is what makes sharing across goroutines safe.
+type Value any
+
+// WireSizer is implemented by payloads that can report their size in bytes
+// for bit-complexity accounting.
+type WireSizer interface {
+	WireSize() int
+}
+
+// Entry is one register cell in transit or in a view: the cell of register
+// array Reg owned by Owner, at write version Seq.
+type Entry struct {
+	Reg   string
+	Owner ProcID
+	Seq   uint64
+	Val   Value
+}
+
+// WireSize implements WireSizer with a coarse fixed estimate per entry
+// (identifier + sequence number + small payload); values that implement
+// WireSizer themselves are measured instead.
+func (e Entry) WireSize() int {
+	if s, ok := e.Val.(WireSizer); ok {
+		return 16 + s.WireSize()
+	}
+	return 24
+}
+
+// View is one processor's register-array snapshot returned by Comm.Collect:
+// the non-⊥ cells of one register array at replier From. In the paper's
+// notation, Views[k][j] is Get(j) on the k-th returned View.
+type View struct {
+	From    ProcID
+	Entries []Entry
+}
+
+// Get returns the value of owner j's cell in this view; ok is false when the
+// view holds ⊥ for j.
+func (v View) Get(j ProcID) (Value, bool) {
+	for _, e := range v.Entries {
+		if e.Owner == j {
+			return e.Val, true
+		}
+	}
+	return nil, false
+}
+
+// Procer is a processor handle: the surface of sim.Proc that algorithm code
+// uses. All methods must be called from the processor's own algorithm
+// goroutine.
+type Procer interface {
+	// ID returns the processor's identifier.
+	ID() ProcID
+	// N returns the system size.
+	N() int
+	// Rand returns the processor's private PRNG. The PRNG is owned by the
+	// algorithm goroutine and must not be shared.
+	Rand() *rand.Rand
+	// Send transmits a message to processor "to". Delivery order and timing
+	// are backend-specific: the sim backend hands them to the adversary, the
+	// live backend to the OS scheduler.
+	Send(to ProcID, payload any)
+	// Await parks the algorithm until cond() holds. The condition must be a
+	// pure function of processor-local state; the backend re-evaluates it at
+	// its own scheduling points.
+	Await(cond func() bool)
+	// Pause yields to the backend's scheduler without a condition.
+	Pause()
+	// Flip performs a biased local coin flip: 1 with probability prob, else
+	// 0. On the sim backend the outcome is published to the adversary before
+	// the algorithm can act on it (the strong-adversary model); the live
+	// backend yields to the OS scheduler instead.
+	Flip(prob float64) int
+	// Publish registers a view of the algorithm's local state, readable by
+	// the sim adversary at any point and by runners after the run completes.
+	Publish(state any)
+}
+
+// Comm is the communicate primitive handle for one processor: the surface of
+// quorum.Comm that algorithm code uses. Both operations block until at least
+// ⌊n/2⌋+1 processors (the caller included) have acknowledged, so any two
+// calls intersect in at least one processor — the property every proof in
+// the paper relies on.
+type Comm interface {
+	// Proc returns the processor handle behind this Comm.
+	Proc() Procer
+	// QuorumSize returns ⌊n/2⌋+1, the number of acknowledgments every
+	// communicate call waits for.
+	QuorumSize() int
+	// Propagate performs communicate(propagate, reg[self] = val): bump the
+	// caller's cell of register reg to val and push it to a quorum.
+	Propagate(reg string, val Value)
+	// Collect performs communicate(collect, reg): gather the register-array
+	// views of a quorum (the caller's own included) and return them.
+	Collect(reg string) []View
+}

@@ -34,10 +34,15 @@
 // value, exactly matching the strong-adversary model.
 package sim
 
-import "errors"
+import (
+	"errors"
 
-// ProcID identifies one of the n processors, in the range [0, n).
-type ProcID int
+	"repro/internal/rt"
+)
+
+// ProcID identifies one of the n processors, in the range [0, n). It is an
+// alias of rt.ProcID, the backend-neutral identifier of the runtime seam.
+type ProcID = rt.ProcID
 
 // MsgID uniquely identifies an in-flight message within a kernel run.
 type MsgID int64
@@ -72,10 +77,8 @@ type AlgoFunc func(p *Proc)
 // WireSizer is implemented by payloads that can report their size in bytes
 // for bit-complexity accounting (the paper's Section 6 mentions bit
 // complexity as an open direction; the kernel tracks it when payloads
-// cooperate).
-type WireSizer interface {
-	WireSize() int
-}
+// cooperate). Alias of rt.WireSizer so both backends share one protocol.
+type WireSizer = rt.WireSizer
 
 // Action is one adversary decision. Exactly one of the concrete types
 // Deliver, Step, Start, Crash, or Halt.

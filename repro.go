@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/expt"
+	"repro/internal/live"
 	"repro/internal/sim"
 )
 
@@ -66,12 +67,27 @@ const (
 	StaleViews = expt.SchedStaleViews
 )
 
+// Backend selects the execution backend a run executes on.
+type Backend string
+
+// Execution backend choices.
+const (
+	// Sim is the deterministic discrete-event kernel with a strong adaptive
+	// adversary — the paper's model, exactly (default). Time is virtual.
+	Sim Backend = "sim"
+	// Live runs the same algorithms on real OS-scheduled goroutines with
+	// channel-backed quorums: wall-clock time, genuine contention, no
+	// adversary control. Safety properties hold on both backends.
+	Live Backend = "live"
+)
+
 // config collects the run parameters; zero values select defaults.
 type config struct {
 	n, k      int
 	seed      int64
 	algorithm Algorithm
 	schedule  Schedule
+	backend   Backend
 	faults    int
 	budget    int64
 }
@@ -92,8 +108,12 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // WithAlgorithm selects PoisonPill (default) or Tournament for Elect.
 func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
 
-// WithSchedule selects the adversary strategy. Default Fair.
+// WithSchedule selects the adversary strategy. Default Fair. Adversary
+// schedules exist only on the Sim backend.
 func WithSchedule(s Schedule) Option { return func(c *config) { c.schedule = s } }
+
+// WithBackend selects the execution backend: Sim (default) or Live.
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 
 // WithFaults sets the crash budget used by the Crashing schedule.
 func WithFaults(f int) Option { return func(c *config) { c.faults = f } }
@@ -103,7 +123,7 @@ func WithFaults(f int) Option { return func(c *config) { c.faults = f } }
 func WithBudget(b int64) Option { return func(c *config) { c.budget = b } }
 
 func buildConfig(opts []Option) config {
-	c := config{n: 16, schedule: Fair, algorithm: PoisonPill}
+	c := config{n: 16, schedule: Fair, algorithm: PoisonPill, backend: Sim}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -119,6 +139,22 @@ func (c config) validate() error {
 	}
 	if c.k < 1 || c.k > c.n {
 		return fmt.Errorf("repro: participants %d must be in [1, %d]", c.k, c.n)
+	}
+	switch c.backend {
+	case Sim, Live:
+	default:
+		return fmt.Errorf("repro: unknown backend %q", c.backend)
+	}
+	if c.backend == Live {
+		if c.schedule != Fair {
+			return fmt.Errorf("repro: schedule %q requires the Sim backend (the Live backend has no adversary)", c.schedule)
+		}
+		if c.faults > 0 {
+			return fmt.Errorf("repro: crash faults require the Sim backend")
+		}
+		if c.budget > 0 {
+			return fmt.Errorf("repro: the action budget is a Sim kernel bound; Live runs are bounded by a wall-clock timeout")
+		}
 	}
 	return nil
 }
@@ -146,10 +182,18 @@ type ElectionResult struct {
 
 // Elect runs one leader election and returns the winner and complexity
 // measures. Exactly one participant wins; every other returns LOSE.
+//
+// On the Live backend (WithBackend(Live)) the election runs on real
+// goroutines: Time and Messages keep their meanings, Stats stays zero
+// (there is no kernel), and results vary with the OS schedule — only the
+// winner's uniqueness is deterministic.
 func Elect(opts ...Option) (ElectionResult, error) {
 	c := buildConfig(opts)
 	if err := c.validate(); err != nil {
 		return ElectionResult{}, err
+	}
+	if c.backend == Live {
+		return electLive(c)
 	}
 	r := expt.Run(expt.Config{
 		N: c.n, K: c.k, Seed: c.seed,
@@ -178,6 +222,28 @@ func Elect(opts ...Option) (ElectionResult, error) {
 	return res, nil
 }
 
+// electLive runs Elect on the real-concurrency backend.
+func electLive(c config) (ElectionResult, error) {
+	switch c.algorithm {
+	case PoisonPill, Tournament:
+	default:
+		return ElectionResult{}, fmt.Errorf("repro: %q is not an election algorithm", c.algorithm)
+	}
+	r, err := live.Elect(live.Config{
+		N: c.n, K: c.k, Seed: c.seed, Algorithm: live.Algorithm(c.algorithm),
+	})
+	if err != nil {
+		return ElectionResult{}, fmt.Errorf("repro: live election run: %w", err)
+	}
+	return ElectionResult{
+		Winner:    r.Winner,
+		Decisions: r.Decisions,
+		Time:      r.Time,
+		Messages:  r.Messages,
+		Rounds:    r.Rounds,
+	}, nil
+}
+
 // RenameResult reports one renaming run.
 type RenameResult struct {
 	// Names maps each returning participant to its unique name in [1, n].
@@ -196,6 +262,9 @@ func Rename(opts ...Option) (RenameResult, error) {
 	c := buildConfig(opts)
 	if err := c.validate(); err != nil {
 		return RenameResult{}, err
+	}
+	if c.backend == Live {
+		return RenameResult{}, fmt.Errorf("repro: renaming is not yet supported on the Live backend")
 	}
 	algo := expt.AlgoRenaming
 	if c.algorithm == Tournament {
@@ -258,6 +327,24 @@ func Sift(opts ...Option) (SiftResult, error) {
 	case BasicSift, HetSift, NaiveSift:
 	default:
 		return SiftResult{}, fmt.Errorf("repro: %q is not a sifting algorithm", algo)
+	}
+	if c.backend == Live {
+		if algo == NaiveSift {
+			return SiftResult{}, fmt.Errorf("repro: %q requires the Sim backend (its failure mode needs the adversary)", algo)
+		}
+		r, err := live.Sift(live.Config{
+			N: c.n, K: c.k, Seed: c.seed, Algorithm: live.Algorithm(algo),
+		})
+		if err != nil {
+			return SiftResult{}, fmt.Errorf("repro: live sift run: %w", err)
+		}
+		survivors := 0
+		for _, o := range r.Outcomes {
+			if o == core.Survive {
+				survivors++
+			}
+		}
+		return SiftResult{Survivors: survivors, Outcomes: r.Outcomes}, nil
 	}
 	r := expt.Run(expt.Config{
 		N: c.n, K: c.k, Seed: c.seed,
