@@ -19,10 +19,12 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/campaign"
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/live"
 	"repro/internal/quorum"
 	"repro/internal/sim"
@@ -308,6 +310,63 @@ func BenchmarkT12CampaignThroughput(b *testing.B) {
 				tput += rep.Throughput
 			}
 			b.ReportMetric(tput/float64(b.N), "elections/s")
+		})
+	}
+}
+
+// BenchmarkLiveElectionCrashFaults measures a live election with the full
+// crash budget ⌈n/2⌉−1 firing inside a tight window, so most crashes land
+// mid-protocol. ns/op is the degraded-mode election latency; the custom
+// metrics report how many participants each run lost and how often a
+// surviving winner still emerged (a winnerless run means the linearized
+// winner itself crashed — allowed by Theorem A.5, never more than one
+// winner).
+func BenchmarkLiveElectionCrashFaults(b *testing.B) {
+	sc := fault.Scenario{
+		Name:        "bench-crash",
+		Crashes:     fault.CrashMax,
+		CrashWindow: 500 * time.Microsecond,
+	}
+	for _, n := range []int{16, 64} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			var crashed, elected float64
+			for i := 0; i < b.N; i++ {
+				res, err := live.Elect(live.Config{N: n, Seed: int64(i), Scenario: sc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				crashed += float64(len(res.Crashed))
+				if res.Winner >= 0 {
+					elected++
+				}
+			}
+			b.ReportMetric(crashed/float64(b.N), "crashed/run")
+			b.ReportMetric(elected/float64(b.N), "elected-frac")
+		})
+	}
+}
+
+// BenchmarkLiveElectionHeavyTail measures a live election under
+// Pareto-distributed link latency (α = 1.2): most messages are fast, a few
+// are extreme stragglers. ns/op captures the wall-clock cost of the tail;
+// the comm-calls metric shows the paper's time metric is latency-blind —
+// quorums wait only for the fastest majority, so the O(log* k) call count
+// matches the fault-free runs even as wall-clock latency balloons.
+func BenchmarkLiveElectionHeavyTail(b *testing.B) {
+	sc := fault.HeavyTail()
+	for _, n := range []int{16, 64} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			var calls, rounds float64
+			for i := 0; i < b.N; i++ {
+				res, err := live.Elect(live.Config{N: n, Seed: int64(i), Scenario: sc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls += float64(res.Time)
+				rounds += float64(res.Rounds)
+			}
+			b.ReportMetric(calls/float64(b.N), "comm-calls")
+			b.ReportMetric(rounds/float64(b.N), "rounds")
 		})
 	}
 }

@@ -1,18 +1,27 @@
 // Command livesim runs leader elections on the real-concurrency goroutine
 // backend and drives the parallel campaign engine: many independent
 // elections fanned across a worker pool, with wall-clock latency percentiles
-// and throughput.
+// and throughput — optionally under fault/latency injection scenarios
+// (crash schedules, link-delay distributions, slow processors, reordering).
 //
 // Usage:
 //
-//	livesim -n 64 -runs 256                     # campaign at GOMAXPROCS workers
+//	livesim -n 64 -runs 256                      # campaign at GOMAXPROCS workers
 //	livesim -n 256 -runs 64 -algorithm tournament
-//	livesim -n 64 -runs 256 -scan               # worker-scaling curve 1..GOMAXPROCS
-//	livesim -n 32 -runs 128 -backend sim        # same campaign on the sim kernel
-//	livesim -n 64 -runs 1 -v                    # one election, per-run detail
+//	livesim -n 64 -runs 256 -scan                # worker-scaling curve 1..GOMAXPROCS
+//	livesim -n 32 -runs 128 -backend sim         # same campaign on the sim kernel
+//	livesim -n 64 -runs 1 -v                     # one election, per-run detail
+//
+// Scenario matrices (live backend only):
+//
+//	livesim -n 64 -runs 128 -scenarios all       # every preset scenario
+//	livesim -n 64 -runs 128 -scenarios baseline,crash-minority,heavy-tail
+//	livesim -n 64 -runs 128 -crashes 31 -crash-window 2ms   # custom crash campaign
+//	livesim -n 64 -runs 128 -delay 100us -jitter 400us -tail 1.2
 //
 // Algorithms: poisonpill (default), tournament. Backends: live (default),
-// sim.
+// sim. Preset scenarios: baseline, crash-1, crash-minority, lan, wan,
+// heavy-tail, slow-third, reorder, chaos.
 package main
 
 import (
@@ -20,9 +29,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/fault"
 	"repro/internal/live"
 )
 
@@ -30,57 +41,178 @@ func main() {
 	var (
 		n       = flag.Int("n", 64, "system size (total processors)")
 		k       = flag.Int("k", 0, "participants (0 = all processors)")
-		runs    = flag.Int("runs", 256, "elections per campaign")
+		runs    = flag.Int("runs", 256, "elections per campaign (per scenario)")
 		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 1, "base seed (per-run seeds are sharded from it)")
 		algo    = flag.String("algorithm", "poisonpill", "poisonpill | tournament")
 		backend = flag.String("backend", "live", "live | sim")
 		scan    = flag.Bool("scan", false, "sweep worker counts 1,2,4,...,GOMAXPROCS and print the scaling curve")
 		verbose = flag.Bool("v", false, "run additional individual live elections first and print their per-run details")
+
+		scenarios = flag.String("scenarios", "", "comma-separated preset scenarios, or \"all\" (live backend)")
+
+		crashes     = flag.Int("crashes", 0, "custom scenario: processors to crash (≤ ⌈n/2⌉−1, -1 = max)")
+		crashWindow = flag.Duration("crash-window", 0, "custom scenario: crash times are uniform in [0, window)")
+		delay       = flag.Duration("delay", 0, "custom scenario: fixed link-delay floor per message")
+		jitter      = flag.Duration("jitter", 0, "custom scenario: uniform link-delay jitter width")
+		tail        = flag.Float64("tail", 0, "custom scenario: Pareto tail index α (>1) — makes the link delay heavy-tailed")
+		slow        = flag.Int("slow", 0, "custom scenario: processors to throttle (-1 = ⌈n/3⌉)")
+		slowDelay   = flag.Duration("slow-delay", 0, "custom scenario: extra delay per op on throttled processors")
+		reorder     = flag.Float64("reorder", 0, "custom scenario: probability a message takes an extra reorder delay")
 	)
 	flag.Parse()
 
-	if err := run(*n, *k, *runs, *workers, *seed, *algo, *backend, *scan, *verbose); err != nil {
+	custom, err := buildCustomScenario(*crashes, *crashWindow, *delay, *jitter, *tail, *slow, *slowDelay, *reorder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livesim:", err)
+		os.Exit(1)
+	}
+	if err := run(config{
+		n: *n, k: *k, runs: *runs, workers: *workers, seed: *seed,
+		algo: *algo, backend: *backend, scan: *scan, verbose: *verbose,
+		scenarios: *scenarios, custom: custom,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "livesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, k, runs, workers int, seed int64, algo, backend string, scan, verbose bool) error {
-	cfg := campaign.Config{
-		Runs: runs, Workers: workers, N: n, K: k, BaseSeed: seed,
-		Algorithm: live.Algorithm(algo), Backend: campaign.Backend(backend),
+type config struct {
+	n, k, runs, workers int
+	seed                int64
+	algo, backend       string
+	scan, verbose       bool
+	scenarios           string
+	custom              *fault.Scenario
+}
+
+// buildCustomScenario assembles a Scenario from the individual injection
+// flags; nil when none is set. Companion flags that would otherwise be
+// silently dropped (-tail without a delay, -crash-window without -crashes,
+// -slow-delay without -slow) are errors: a campaign must never run a
+// narrower scenario than the command line asked for.
+func buildCustomScenario(crashes int, window, delay, jitter time.Duration, tail float64, slow int, slowDelay time.Duration, reorder float64) (*fault.Scenario, error) {
+	sc := fault.Scenario{Name: "custom", Crashes: crashes, CrashWindow: window}
+	if window > 0 && crashes == 0 {
+		return nil, fmt.Errorf("-crash-window has no effect without -crashes")
+	}
+	if delay > 0 || jitter > 0 {
+		sc.Link = fault.Dist{Kind: fault.Uniform, Base: delay, Jitter: jitter}
+		if tail > 0 {
+			sc.Link = fault.Dist{Kind: fault.Pareto, Base: delay, Jitter: jitter, Alpha: tail}
+		}
+	} else if tail > 0 {
+		return nil, fmt.Errorf("-tail needs a link delay to shape: set -delay and/or -jitter")
+	}
+	if slow != 0 {
+		sc.SlowProcs = slow
+		d := slowDelay
+		if d == 0 {
+			d = 500 * time.Microsecond
+		}
+		sc.Slow = fault.Dist{Kind: fault.Uniform, Base: d / 2, Jitter: d}
+	} else if slowDelay > 0 {
+		return nil, fmt.Errorf("-slow-delay has no effect without -slow")
+	}
+	if reorder > 0 {
+		sc.ReorderProb = reorder
+		sc.Reorder = fault.Dist{Kind: fault.Uniform, Jitter: 500 * time.Microsecond}
+	}
+	if !sc.Active() {
+		return nil, nil
+	}
+	return &sc, nil
+}
+
+// resolveScenarios expands the -scenarios flag (and the custom flags) into
+// the matrix to run; nil means no matrix — plain campaign mode.
+func resolveScenarios(cfg config) ([]fault.Scenario, error) {
+	var out []fault.Scenario
+	switch cfg.scenarios {
+	case "":
+	case "all":
+		out = fault.Presets()
+	default:
+		for _, name := range strings.Split(cfg.scenarios, ",") {
+			name = strings.TrimSpace(name)
+			sc, ok := fault.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown scenario %q (available: %s, or \"all\")",
+					name, strings.Join(fault.Names(), ", "))
+			}
+			out = append(out, sc)
+		}
+	}
+	if cfg.custom != nil {
+		out = append(out, *cfg.custom)
+	}
+	return out, nil
+}
+
+func run(cfg config) error {
+	ccfg := campaign.Config{
+		Runs: cfg.runs, Workers: cfg.workers, N: cfg.n, K: cfg.k, BaseSeed: cfg.seed,
+		Algorithm: live.Algorithm(cfg.algo), Backend: campaign.Backend(cfg.backend),
+	}
+	scenarios, err := resolveScenarios(cfg)
+	if err != nil {
+		return err
 	}
 
-	if verbose && campaign.Backend(backend) == campaign.BackendLive {
-		if err := printRuns(n, k, runs, seed, algo); err != nil {
-			return err
+	if cfg.verbose && campaign.Backend(cfg.backend) == campaign.BackendLive {
+		detail := scenarios
+		if len(detail) == 0 {
+			detail = []fault.Scenario{{}} // fault-free
+		}
+		for _, sc := range detail {
+			if err := printRuns(cfg, sc); err != nil {
+				return err
+			}
 		}
 	}
 
-	if scan {
-		return printScan(cfg)
+	if len(scenarios) > 0 {
+		if cfg.scan {
+			return fmt.Errorf("-scan and -scenarios are mutually exclusive (the matrix shares one pool)")
+		}
+		m, err := campaign.RunMatrix(ccfg, scenarios)
+		if err != nil {
+			return err
+		}
+		printMatrix(m)
+		return nil
 	}
-	rep, err := campaign.Run(cfg)
+
+	if cfg.scan {
+		return printScan(ccfg)
+	}
+	rep, err := campaign.Run(ccfg)
 	if err != nil {
 		return err
 	}
 	printHeader()
-	printReport(cfg, rep)
+	printReport(rep)
 	return nil
 }
 
-// printRuns executes each election individually and prints its detail line.
-func printRuns(n, k, runs int, seed int64, algo string) error {
-	for i := 0; i < runs; i++ {
+// printRuns executes each election individually under one scenario and
+// prints its detail line, labelled with the scenario's name.
+func printRuns(cfg config, sc fault.Scenario) error {
+	name := sc.Name
+	if name == "" {
+		name = "fault-free"
+	}
+	for i := 0; i < cfg.runs; i++ {
 		res, err := live.Elect(live.Config{
-			N: n, K: k, Seed: seed + int64(i), Algorithm: live.Algorithm(algo),
+			N: cfg.n, K: cfg.k, Seed: cfg.seed + int64(i),
+			Algorithm: live.Algorithm(cfg.algo), Scenario: sc,
 		})
 		if err != nil {
-			return fmt.Errorf("run %d: %w", i, err)
+			return fmt.Errorf("%s run %d: %w", name, i, err)
 		}
-		fmt.Printf("run=%-4d winner=%-4d rounds=%-3d time=%-4d messages=%-8d wall=%v\n",
-			i, res.Winner, res.Rounds, res.Time, res.Messages, res.Elapsed.Round(time.Microsecond))
+		fmt.Printf("scenario=%-16s run=%-4d winner=%-4d rounds=%-3d time=%-4d messages=%-8d crashed=%-3d wall=%v\n",
+			name, i, res.Winner, res.Rounds, res.Time, res.Messages, len(res.Crashed),
+			res.Elapsed.Round(time.Microsecond))
 	}
 	return nil
 }
@@ -99,7 +231,7 @@ func printScan(cfg campaign.Config) error {
 	}
 	printHeader()
 	for _, rep := range reps {
-		printReport(cfg, rep)
+		printReport(rep)
 	}
 	if len(reps) > 1 {
 		base := reps[0].Throughput
@@ -115,10 +247,30 @@ func printHeader() {
 		"workers", "runs", "elapsed", "elect/s", "p50", "p90", "p99", "max", "time")
 }
 
-func printReport(cfg campaign.Config, rep campaign.Report) {
+func printReport(rep campaign.Report) {
 	fmt.Printf("%-8d %-6d %-10v %-12.1f %-10v %-10v %-10v %-10v %-8.1f\n",
 		rep.Workers, rep.Runs, rep.Elapsed.Round(time.Millisecond), rep.Throughput,
 		rep.Latency.P50.Round(time.Microsecond), rep.Latency.P90.Round(time.Microsecond),
 		rep.Latency.P99.Round(time.Microsecond), rep.Latency.Max.Round(time.Microsecond),
 		rep.MeanTime)
+}
+
+// printMatrix renders one row per scenario: latency percentiles, the
+// paper's time metric and the election-validity counts.
+func printMatrix(m campaign.MatrixReport) {
+	fmt.Printf("%-16s %-6s %-10s %-10s %-10s %-10s %-8s %-8s %-7s %-8s\n",
+		"scenario", "runs", "p50", "p90", "p99", "max", "time", "elected", "no-win", "crashed")
+	for _, row := range m.Scenarios {
+		name := row.Scenario.Name
+		if name == "" {
+			name = "(fault-free)"
+		}
+		fmt.Printf("%-16s %-6d %-10v %-10v %-10v %-10v %-8.1f %-8d %-7d %-8d\n",
+			name, row.Runs,
+			row.Latency.P50.Round(time.Microsecond), row.Latency.P90.Round(time.Microsecond),
+			row.Latency.P99.Round(time.Microsecond), row.Latency.Max.Round(time.Microsecond),
+			row.MeanTime, row.Elected, row.WinnerCrashed, row.Crashed)
+	}
+	fmt.Printf("\nmatrix: %d elections, %d workers, %v elapsed, %.1f elect/s\n",
+		m.Runs, m.Workers, m.Elapsed.Round(time.Millisecond), m.Throughput)
 }

@@ -1,0 +1,96 @@
+package repro_test
+
+// Runnable godoc examples for the public repro API. The Sim backend is
+// bit-for-bit deterministic, so its examples assert exact output; Live and
+// Campaign examples assert the invariants that hold under every OS
+// schedule (a unique winner, balanced validity counts) rather than
+// schedule-dependent values.
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleElect runs one election on the default Sim backend: the paper's
+// model exactly, adversary-scheduled and reproducible from the seed.
+func ExampleElect() {
+	res, err := repro.Elect(repro.WithN(8), repro.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("winner:", res.Winner)
+	fmt.Println("communicate calls:", res.Time)
+	fmt.Println("participants decided:", len(res.Decisions))
+	// Output:
+	// winner: 3
+	// communicate calls: 16
+	// participants decided: 8
+}
+
+// ExampleElect_live runs the same election on the Live backend: real
+// OS-scheduled goroutines, wall-clock time. The winner's identity varies
+// with the schedule; its uniqueness never does.
+func ExampleElect_live() {
+	res, err := repro.Elect(repro.WithN(8), repro.WithSeed(1),
+		repro.WithBackend(repro.Live))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	winners := 0
+	for _, d := range res.Decisions {
+		if d.String() == "WIN" {
+			winners++
+		}
+	}
+	fmt.Println("unique winner:", winners == 1 && res.Winner >= 0)
+	fmt.Println("everyone decided:", len(res.Decisions) == 8)
+	// Output:
+	// unique winner: true
+	// everyone decided: true
+}
+
+// ExampleElect_scenario injects a named fault scenario into a Live run:
+// here the full crash budget of ⌈n/2⌉−1 processors failing at randomized
+// times. Survivors still agree on at most one leader; if every survivor
+// lost, the winner itself crashed and Elect reports ErrNoWinner.
+func ExampleElect_scenario() {
+	res, err := repro.Elect(repro.WithN(16), repro.WithSeed(7),
+		repro.WithBackend(repro.Live), repro.WithScenario("crash-minority"))
+	if err != nil && err != repro.ErrNoWinner {
+		fmt.Println("error:", err)
+		return
+	}
+	winners := 0
+	for _, d := range res.Decisions {
+		if d.String() == "WIN" {
+			winners++
+		}
+	}
+	fmt.Println("at most one winner:", winners <= 1)
+	fmt.Println("accounted for:", len(res.Decisions)+len(res.Crashed) == 16)
+	// Output:
+	// at most one winner: true
+	// accounted for: true
+}
+
+// ExampleCampaign fans independent Live elections across a worker pool and
+// aggregates throughput, latency percentiles and validity counts — the
+// production view of the algorithm.
+func ExampleCampaign() {
+	rep, err := repro.Campaign(repro.WithN(8), repro.WithRuns(16),
+		repro.WithWorkers(4), repro.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("runs:", rep.Runs)
+	fmt.Println("all elected:", rep.Elected == rep.Runs)
+	fmt.Println("percentiles ordered:", rep.P50 <= rep.P90 && rep.P90 <= rep.P99)
+	// Output:
+	// runs: 16
+	// all elected: true
+	// percentiles ordered: true
+}

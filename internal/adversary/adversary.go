@@ -1,32 +1,3 @@
-// Package adversary implements strong adaptive scheduling strategies against
-// the algorithms of "How to Elect a Leader Faster than a Tournament".
-//
-// No experiment can quantify over every adversary, so this package provides
-// the extremal strategies the paper's analysis identifies, plus benign
-// baselines:
-//
-//   - Fair: seeded random schedule with message reordering (benign baseline);
-//   - LockStep: the kernel's deterministic fair schedule;
-//   - Sequential: runs participants one at a time to a phase boundary — the
-//     schedule of Section 3.2 that forces Ω(√n) survivors out of the basic
-//     PoisonPill;
-//   - SequentialRounds: the per-round variant for multi-round elections;
-//   - FlipAware: observes every coin flip and completes all 0-flippers
-//     before any 1-flipper's value can be seen — the Section 1 schedule that
-//     makes naive sifting keep every participant alive, and against which
-//     PoisonPill's commit state is the defense;
-//   - CrashTargeted: crashes up to f leaders-in-the-making at staggered
-//     times (fault-tolerance experiments, Theorem A.5);
-//   - Bubble: the Theorem B.2 construction — buffers all traffic of a set of
-//     processors until each has Θ(n) messages pending, forcing Ω(kn) total
-//     messages;
-//   - StaleViews: starves a fixed half of the system of propagations so
-//     collect views are as stale as quorum intersection allows (renaming
-//     collision experiments).
-//
-// Every strategy is deterministic given its seed and guarantees liveness:
-// once its malicious structure is exhausted it falls back to the kernel's
-// fair scheduler.
 package adversary
 
 import (

@@ -4,8 +4,8 @@ import (
 	"strconv"
 
 	"repro/internal/core"
-	"repro/internal/rt"
 	"repro/internal/renaming"
+	"repro/internal/rt"
 )
 
 // RandomScanState is the experiment-visible progress of one random-scan

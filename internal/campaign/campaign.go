@@ -1,16 +1,3 @@
-// Package campaign is the parallel campaign engine: it fans thousands of
-// independent election runs across a pool of workers and aggregates
-// wall-clock latency percentiles and throughput. A campaign answers the
-// production question the single-run harnesses cannot: how many elections
-// per second does the machine sustain, and what does the latency tail look
-// like, for a given algorithm, system size and backend?
-//
-// Runs are independent by construction — each gets its own system (a sim
-// kernel or a live goroutine set) and a sharded PRNG seed — so the engine
-// scales with GOMAXPROCS until the hardware saturates. Both backends fan
-// out: the sim backend runs many single-threaded kernels in parallel; the
-// live backend's elections are internally concurrent as well, so its
-// sweet spot is fewer workers at larger n.
 package campaign
 
 import (
@@ -22,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/live"
 )
 
@@ -70,6 +58,13 @@ type Config struct {
 	// Schedule picks the adversary for BackendSim runs (default fair).
 	// BackendLive has no adversary; setting this errors there.
 	Schedule expt.Schedule
+	// Scenario injects faults and latency into BackendLive runs (crash
+	// schedules, link-delay distributions, slow processors, reordering;
+	// see internal/fault). The zero value is fault-free. Active scenarios
+	// require BackendLive: the sim backend's adversary schedules already
+	// control delay and crashes. For a cross product of scenarios, use
+	// RunMatrix.
+	Scenario fault.Scenario
 }
 
 // Latency summarises a campaign's per-election wall-clock latencies.
@@ -92,6 +87,45 @@ type Report struct {
 	MeanTime float64
 	// MaxRounds is the highest election round reached in any run.
 	MaxRounds int
+	// Elected counts runs that ended with a unique surviving winner and
+	// WinnerCrashed those in which every survivor lost because the
+	// linearized winner crashed first; the two always sum to Runs.
+	// Crashed totals the participants killed across all runs. All three
+	// are scenario-driven: a fault-free campaign reports Elected == Runs.
+	Elected, WinnerCrashed, Crashed int
+}
+
+// ScenarioReport is one row of a matrix campaign: the aggregate of one
+// scenario's runs.
+type ScenarioReport struct {
+	// Scenario is the injected environment this row measured.
+	Scenario fault.Scenario
+	// Runs is the number of elections executed under the scenario.
+	Runs int
+	// Latency summarises the scenario's per-election wall-clock latencies.
+	Latency Latency
+	// MeanTime is the mean of the paper's time metric across the
+	// scenario's runs.
+	MeanTime float64
+	// MaxRounds is the highest election round reached under the scenario.
+	MaxRounds int
+	// Elected, WinnerCrashed and Crashed are the election-validity
+	// counts; see Report.
+	Elected, WinnerCrashed, Crashed int
+}
+
+// MatrixReport aggregates a scenario-matrix campaign.
+type MatrixReport struct {
+	// Runs is the total number of elections across every scenario;
+	// Workers is the shared worker-pool size.
+	Runs, Workers int
+	// Elapsed is the whole matrix's wall-clock duration and Throughput
+	// its overall elections per second (scenarios interleave on the one
+	// pool, so per-scenario throughput is not separable).
+	Elapsed    time.Duration
+	Throughput float64
+	// Scenarios holds one report per scenario, in input order.
+	Scenarios []ScenarioReport
 }
 
 func (cfg *Config) normalize() error {
@@ -139,19 +173,44 @@ func (cfg *Config) normalize() error {
 	return nil
 }
 
-// runOne executes election run idx and returns its latency, time metric and
-// max round.
-func (cfg *Config) runOne(idx int) (time.Duration, int, int, error) {
+// checkScenario validates one scenario against the campaign configuration.
+func (cfg *Config) checkScenario(sc fault.Scenario) error {
+	if !sc.Active() {
+		return nil
+	}
+	if cfg.Backend != BackendLive {
+		return fmt.Errorf("campaign: scenario %q requires the live backend (sim runs are controlled by adversary schedules)", sc.Name)
+	}
+	if err := sc.Validate(cfg.N); err != nil {
+		return fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+	}
+	return nil
+}
+
+// runStats reports one completed election run to the aggregator.
+type runStats struct {
+	lat     time.Duration
+	time    int
+	rounds  int
+	elected bool // a unique surviving winner decided Win
+	crashed int  // participants the scenario killed
+}
+
+// runOne executes election run idx under scenario sc.
+func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 	seed := shardSeed(cfg.BaseSeed, idx)
 	switch cfg.Backend {
 	case BackendLive:
 		res, err := live.Elect(live.Config{
-			N: cfg.N, K: cfg.K, Seed: seed, Algorithm: cfg.Algorithm,
+			N: cfg.N, K: cfg.K, Seed: seed, Algorithm: cfg.Algorithm, Scenario: sc,
 		})
 		if err != nil {
-			return 0, 0, 0, fmt.Errorf("run %d (seed %d): %w", idx, seed, err)
+			return runStats{}, fmt.Errorf("run %d (seed %d, scenario %q): %w", idx, seed, sc.Name, err)
 		}
-		return res.Elapsed, res.Time, res.Rounds, nil
+		return runStats{
+			lat: res.Elapsed, time: res.Time, rounds: res.Rounds,
+			elected: res.Winner >= 0, crashed: len(res.Crashed),
+		}, nil
 	default: // BackendSim
 		start := time.Now()
 		r := expt.Run(expt.Config{
@@ -160,83 +219,143 @@ func (cfg *Config) runOne(idx int) (time.Duration, int, int, error) {
 		})
 		elapsed := time.Since(start)
 		if r.Err != nil {
-			return 0, 0, 0, fmt.Errorf("run %d (seed %d): %w", idx, seed, r.Err)
+			return runStats{}, fmt.Errorf("run %d (seed %d): %w", idx, seed, r.Err)
 		}
 		if w := r.Winners(); w != 1 {
-			return 0, 0, 0, fmt.Errorf("run %d (seed %d): %d winners", idx, seed, w)
+			return runStats{}, fmt.Errorf("run %d (seed %d): %d winners", idx, seed, w)
 		}
-		return elapsed, r.Stats.MaxCommunicateCalls(), r.MaxRound, nil
+		return runStats{
+			lat: elapsed, time: r.Stats.MaxCommunicateCalls(),
+			rounds: r.MaxRound, elected: true,
+		}, nil
 	}
 }
 
-// Run executes the campaign and aggregates its report. The first run error
-// aborts the campaign (remaining queued runs are skipped).
+// Run executes the campaign — under Config.Scenario when set — and
+// aggregates its report. The first run error aborts the campaign
+// (remaining queued runs are skipped). It is the single-scenario special
+// case of RunMatrix.
 func Run(cfg Config) (Report, error) {
-	if err := cfg.normalize(); err != nil {
+	m, err := RunMatrix(cfg, []fault.Scenario{cfg.Scenario})
+	if err != nil {
 		return Report{}, err
 	}
-	// Per-worker accumulators: no shared state on the hot path except the
-	// abort flag, which lets the first error stop every worker instead of
-	// letting the survivors grind through the remaining queued runs.
-	type acc struct {
-		lats   []time.Duration
-		times  int64
-		rounds int
-		err    error
+	s := m.Scenarios[0]
+	return Report{
+		Runs: m.Runs, Workers: m.Workers,
+		Elapsed: m.Elapsed, Throughput: m.Throughput,
+		Latency: s.Latency, MeanTime: s.MeanTime, MaxRounds: s.MaxRounds,
+		Elected: s.Elected, WinnerCrashed: s.WinnerCrashed, Crashed: s.Crashed,
+	}, nil
+}
+
+// RunMatrix executes the cross product scenarios × Config.Runs seeds on one
+// shared worker pool and aggregates a per-scenario report. Job (s, i) uses
+// the sharded seed of flat index s·Runs + i, so every cell of the matrix
+// runs a decorrelated PRNG stream and a single-scenario matrix reproduces
+// Run's seed set exactly. Config.Scenario is ignored — the explicit list
+// governs. The first run error aborts the whole matrix.
+func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
+	if err := cfg.normalize(); err != nil {
+		return MatrixReport{}, err
 	}
-	accs := make([]acc, cfg.Workers)
+	if len(scenarios) == 0 {
+		return MatrixReport{}, fmt.Errorf("campaign: empty scenario matrix")
+	}
+	for _, sc := range scenarios {
+		if err := cfg.checkScenario(sc); err != nil {
+			return MatrixReport{}, err
+		}
+	}
+	total := len(scenarios) * cfg.Runs
+
+	// Per-worker, per-scenario accumulators: no shared state on the hot
+	// path except the abort flag, which lets the first error stop every
+	// worker instead of letting the survivors grind through the remaining
+	// queued runs.
+	type acc struct {
+		lats           []time.Duration
+		times          int64
+		rounds         int
+		elected, crash int
+	}
+	accs := make([][]acc, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	for w := range accs {
+		accs[w] = make([]acc, len(scenarios))
+	}
 	var abort atomic.Bool
 	next := make(chan int, cfg.Workers)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func(a *acc) {
+		go func(w int) {
 			defer wg.Done()
-			for idx := range next {
+			for job := range next {
 				if abort.Load() {
 					continue // keep draining so the feeder never blocks
 				}
-				lat, tm, rounds, err := cfg.runOne(idx)
+				s := job / cfg.Runs
+				st, err := cfg.runOne(scenarios[s], job)
 				if err != nil {
-					a.err = err
+					errs[w] = err
 					abort.Store(true)
 					continue
 				}
-				a.lats = append(a.lats, lat)
-				a.times += int64(tm)
-				if rounds > a.rounds {
-					a.rounds = rounds
+				a := &accs[w][s]
+				a.lats = append(a.lats, st.lat)
+				a.times += int64(st.time)
+				if st.rounds > a.rounds {
+					a.rounds = st.rounds
 				}
+				if st.elected {
+					a.elected++
+				}
+				a.crash += st.crashed
 			}
-		}(&accs[w])
+		}(w)
 	}
-	for i := 0; i < cfg.Runs; i++ {
-		next <- i
+	for job := 0; job < total; job++ {
+		next <- job
 	}
 	close(next)
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var lats []time.Duration
-	var times int64
-	rep := Report{Runs: cfg.Runs, Workers: cfg.Workers, Elapsed: elapsed}
-	for i := range accs {
-		if err := accs[i].err; err != nil {
+	rep := MatrixReport{Runs: total, Workers: cfg.Workers, Elapsed: elapsed}
+	for _, err := range errs {
+		if err != nil {
 			return rep, fmt.Errorf("campaign: %w", err)
 		}
-		lats = append(lats, accs[i].lats...)
-		times += accs[i].times
-		if accs[i].rounds > rep.MaxRounds {
-			rep.MaxRounds = accs[i].rounds
+	}
+	completed := 0
+	for s, sc := range scenarios {
+		row := ScenarioReport{Scenario: sc, Runs: cfg.Runs}
+		var lats []time.Duration
+		var times int64
+		for w := range accs {
+			a := &accs[w][s]
+			lats = append(lats, a.lats...)
+			times += a.times
+			if a.rounds > row.MaxRounds {
+				row.MaxRounds = a.rounds
+			}
+			row.Elected += a.elected
+			row.Crashed += a.crash
 		}
+		completed += len(lats)
+		if len(lats) == cfg.Runs {
+			row.WinnerCrashed = cfg.Runs - row.Elected
+			row.MeanTime = float64(times) / float64(cfg.Runs)
+			row.Latency = summarize(lats)
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
 	}
-	if len(lats) != cfg.Runs {
-		return rep, fmt.Errorf("campaign: %d of %d runs completed", len(lats), cfg.Runs)
+	if completed != total {
+		return rep, fmt.Errorf("campaign: %d of %d runs completed", completed, total)
 	}
-	rep.Throughput = float64(cfg.Runs) / elapsed.Seconds()
-	rep.MeanTime = float64(times) / float64(cfg.Runs)
-	rep.Latency = summarize(lats)
+	rep.Throughput = float64(total) / elapsed.Seconds()
 	return rep, nil
 }
 

@@ -3,8 +3,10 @@ package campaign
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/live"
 )
 
@@ -133,5 +135,92 @@ func TestSeedSharding(t *testing.T) {
 			}
 			prev = s
 		}
+	}
+}
+
+// TestRunMatrix: the scenario matrix runs every cell, keeps rows in input
+// order, and its validity counts balance (Elected + WinnerCrashed = Runs
+// per scenario).
+func TestRunMatrix(t *testing.T) {
+	scenarios := []fault.Scenario{
+		fault.Baseline(),
+		{Name: "crash", Crashes: fault.CrashMax, CrashWindow: 300 * time.Microsecond},
+		fault.HeavyTail(),
+	}
+	m, err := RunMatrix(Config{Runs: 12, Workers: 4, N: 8, BaseSeed: 3}, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 36 {
+		t.Fatalf("matrix ran %d elections, want 36", m.Runs)
+	}
+	if len(m.Scenarios) != 3 {
+		t.Fatalf("%d scenario rows, want 3", len(m.Scenarios))
+	}
+	for i, row := range m.Scenarios {
+		if row.Scenario.Name != scenarios[i].Name {
+			t.Errorf("row %d is %q, want %q", i, row.Scenario.Name, scenarios[i].Name)
+		}
+		if row.Elected+row.WinnerCrashed != row.Runs {
+			t.Errorf("%s: elected %d + winner-crashed %d != runs %d",
+				row.Scenario.Name, row.Elected, row.WinnerCrashed, row.Runs)
+		}
+		l := row.Latency
+		if l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max {
+			t.Errorf("%s: unordered percentiles %+v", row.Scenario.Name, l)
+		}
+		if row.MeanTime <= 0 {
+			t.Errorf("%s: non-positive mean time", row.Scenario.Name)
+		}
+	}
+	base := m.Scenarios[0]
+	if base.Elected != base.Runs || base.Crashed != 0 {
+		t.Errorf("baseline row reports faults: %+v", base)
+	}
+	if m.Throughput <= 0 {
+		t.Error("non-positive matrix throughput")
+	}
+}
+
+// TestRunWithScenario: Config.Scenario routes a single-scenario campaign
+// through Run, and fault-free campaigns report full validity.
+func TestRunWithScenario(t *testing.T) {
+	rep, err := Run(Config{
+		Runs: 10, Workers: 4, N: 9, BaseSeed: 11,
+		Scenario: fault.Scenario{Name: "crash", Crashes: 2, CrashWindow: 200 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elected+rep.WinnerCrashed != rep.Runs {
+		t.Errorf("elected %d + winner-crashed %d != runs %d", rep.Elected, rep.WinnerCrashed, rep.Runs)
+	}
+
+	plain, err := Run(Config{Runs: 6, Workers: 2, N: 4, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Elected != 6 || plain.WinnerCrashed != 0 || plain.Crashed != 0 {
+		t.Errorf("fault-free campaign reports faults: %+v", plain)
+	}
+}
+
+// TestScenarioRequiresLiveBackend: active scenarios are rejected on the sim
+// backend, as are scenarios exceeding the crash cap.
+func TestScenarioRequiresLiveBackend(t *testing.T) {
+	if _, err := Run(Config{
+		Runs: 2, N: 4, Backend: BackendSim,
+		Scenario: fault.HeavyTail(),
+	}); err == nil {
+		t.Error("sim backend accepted a latency scenario")
+	}
+	if _, err := Run(Config{
+		Runs: 2, N: 4,
+		Scenario: fault.Scenario{Name: "too-many", Crashes: 2},
+	}); err == nil {
+		t.Error("crash count above ⌈n/2⌉−1 accepted")
+	}
+	if _, err := RunMatrix(Config{Runs: 2, N: 4}, nil); err == nil {
+		t.Error("empty scenario matrix accepted")
 	}
 }

@@ -1,0 +1,27 @@
+// Package campaign is the parallel campaign engine: it fans thousands of
+// independent election runs across a pool of workers and aggregates
+// wall-clock latency percentiles and throughput. A campaign answers the
+// production question the single-run harnesses cannot: how many elections
+// per second does the machine sustain, and what does the latency tail look
+// like, for a given algorithm, system size and backend?
+//
+// Runs are independent by construction — each gets its own system (a sim
+// kernel or a live goroutine set) and a sharded PRNG seed — so the engine
+// scales with GOMAXPROCS until the hardware saturates. Both backends fan
+// out: the sim backend runs many single-threaded kernels in parallel; the
+// live backend's elections are internally concurrent as well, so its
+// sweet spot is fewer workers at larger n.
+//
+// # Scenario matrices
+//
+// RunMatrix crosses a list of fault/latency scenarios (internal/fault) with
+// the campaign's seed set and fans every (scenario, seed) cell across the
+// same shared worker pool, so the matrix finishes in one pool-saturating
+// pass rather than scenario by scenario. Each scenario row reports its own
+// latency percentiles, the paper's time metric, and election-validity
+// counts: how many runs elected a unique surviving winner, how many ended
+// winnerless because the linearized winner crashed, and how many
+// participants the crash schedules killed in total. Run is the
+// single-scenario special case (Config.Scenario; the zero value is
+// fault-free).
+package campaign

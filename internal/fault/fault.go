@@ -1,0 +1,321 @@
+// Package fault is the scenario engine of the live backend: declarative
+// descriptions of the degraded conditions the paper's model allows — crash
+// faults and adversarial message delay — materialized into concrete per-run
+// injection plans for internal/live.
+//
+// The paper's adversary may delay any message arbitrarily and crash up to
+// ⌈n/2⌉−1 processors (Section 2); the discrete-event backend realizes that
+// adversary exactly, one scheduling decision at a time. The live backend has
+// no scheduler to subvert — the OS interleaves goroutines for real — so this
+// package attacks it the only way the model permits: by injecting real
+// wall-clock latency and real crashes into the channel-backed quorum,
+// without touching algorithm code.
+//
+// A Scenario describes one adversarial environment:
+//
+//   - crash schedules: up to ⌈n/2⌉−1 processors stop at randomized times
+//     (a crashed processor's server drops every request unanswered and its
+//     algorithm goroutine is killed at its next backend interaction);
+//   - per-link delay distributions: fixed, uniform, or heavy-tailed
+//     (Pareto) latency added to every quorum message on send;
+//   - slow processors: designated processors pay an extra delay on every
+//     outgoing message and local coin flip;
+//   - reordering: a fraction of messages take an extra randomized delay,
+//     explicitly shuffling delivery order relative to program order.
+//
+// Scenario.Plan materializes a Scenario for one (n, seed) run: victims,
+// crash times and slow sets are drawn deterministically from the seed, so a
+// campaign over sharded seeds explores the scenario's space reproducibly.
+// The paper's safety guarantees (unique winner among survivors, at least one
+// sift survivor) must hold under every scenario this package can express;
+// the conformance suite in internal/live checks that under the race
+// detector.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DistKind selects the shape of a delay distribution.
+type DistKind int
+
+const (
+	// None: no delay (the zero Dist).
+	None DistKind = iota
+	// Fixed: exactly Base on every sample.
+	Fixed
+	// Uniform: Base plus a uniform draw from [0, Jitter).
+	Uniform
+	// Pareto: Base plus a heavy-tailed Pareto draw with scale Jitter and
+	// tail index Alpha — small Alpha (1 < α ≤ 2) gives the occasional
+	// extreme straggler that dominates the latency tail.
+	Pareto
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Fixed:
+		return "fixed"
+	case Uniform:
+		return "uniform"
+	case Pareto:
+		return "pareto"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultCap bounds every delay sample whose distribution has an unbounded
+// tail and no explicit Cap. It keeps heavy-tailed runs finite: a live run
+// must quiesce before Shutdown can close the mailboxes.
+const DefaultCap = 25 * time.Millisecond
+
+// Dist is a latency distribution. The zero value samples zero delay.
+type Dist struct {
+	// Kind selects the shape.
+	Kind DistKind
+	// Base is the minimum delay of every sample.
+	Base time.Duration
+	// Jitter is the uniform width (Uniform) or Pareto scale (Pareto).
+	Jitter time.Duration
+	// Alpha is the Pareto tail index; values ≤ 1 have infinite mean and
+	// are clamped to just above 1.
+	Alpha float64
+	// Cap clamps every sample (0 = DefaultCap for Pareto, uncapped for the
+	// bounded kinds).
+	Cap time.Duration
+}
+
+// Sample draws one delay. rng must be owned by the calling goroutine.
+func (d Dist) Sample(rng *rand.Rand) time.Duration {
+	var v time.Duration
+	switch d.Kind {
+	case None:
+		return 0
+	case Fixed:
+		v = d.Base
+	case Uniform:
+		v = d.Base
+		if d.Jitter > 0 {
+			v += time.Duration(rng.Int63n(int64(d.Jitter)))
+		}
+	case Pareto:
+		alpha := d.Alpha
+		if alpha <= 1 {
+			alpha = 1.05
+		}
+		// Inverse-CDF Pareto with minimum 0: Jitter·(u^(−1/α) − 1).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		v = d.Base + time.Duration(float64(d.Jitter)*(math.Pow(u, -1/alpha)-1))
+		cap := d.Cap
+		if cap == 0 {
+			cap = DefaultCap
+		}
+		if v > cap {
+			v = cap
+		}
+		return v
+	}
+	if d.Cap > 0 && v > d.Cap {
+		v = d.Cap
+	}
+	return v
+}
+
+// Active reports whether the distribution can produce a nonzero delay.
+func (d Dist) Active() bool { return d.Kind != None && (d.Base > 0 || d.Jitter > 0) }
+
+// CrashMax is the sentinel Scenario.Crashes value meaning "as many crashes
+// as the model allows": MaxCrashes(n), resolved at Plan time.
+const CrashMax = -1
+
+// SlowThirdOfN is the sentinel Scenario.SlowProcs value meaning "one third
+// of the system (rounded up)", resolved at Plan time.
+const SlowThirdOfN = -1
+
+// MaxCrashes is the paper's fault bound ⌈n/2⌉−1: any more crashes and a
+// majority quorum becomes unreachable, so communicate could block forever.
+func MaxCrashes(n int) int { return (n - 1) / 2 }
+
+// DefaultCrashWindow spreads crash times when a Scenario sets none. It sits
+// inside the wall-clock span of benchmark-scale elections so crashes land
+// mid-protocol rather than after the decision.
+const DefaultCrashWindow = 2 * time.Millisecond
+
+// Scenario declaratively describes one adversarial environment for a live
+// run. The zero value is the fault-free scenario (no injection at all).
+type Scenario struct {
+	// Name labels the scenario in campaign reports and CLI output.
+	Name string
+
+	// Crashes is the number of processors to crash, at most ⌈n/2⌉−1
+	// (CrashMax resolves to exactly that bound). Victims are drawn
+	// uniformly from all n processors at Plan time.
+	Crashes int
+	// CrashWindow bounds the randomized crash times: each victim stops at
+	// a uniform time in [0, CrashWindow). 0 = DefaultCrashWindow.
+	CrashWindow time.Duration
+
+	// Link is the per-message delay distribution applied to every quorum
+	// request on send (the round trip's latency is modelled on the forward
+	// path, keeping servers reply-never-block).
+	Link Dist
+
+	// SlowProcs designates that many processors (drawn at Plan time;
+	// SlowThirdOfN resolves to ⌈n/3⌉) as throttled: every outgoing message
+	// and every local coin flip pays an extra Slow delay.
+	SlowProcs int
+	// Slow is the throttled processors' extra delay distribution.
+	Slow Dist
+
+	// ReorderProb is the probability that a message takes an extra Reorder
+	// delay, shuffling delivery order relative to program order.
+	ReorderProb float64
+	// Reorder is the extra delay of reordered messages.
+	Reorder Dist
+}
+
+// Active reports whether the scenario injects anything at all.
+func (s Scenario) Active() bool {
+	return s.Crashes != 0 || s.Link.Active() ||
+		(s.SlowProcs != 0 && s.Slow.Active()) ||
+		(s.ReorderProb > 0 && s.Reorder.Active())
+}
+
+// Validate checks the scenario against a system of size n.
+func (s Scenario) Validate(n int) error {
+	if n < 1 {
+		return fmt.Errorf("fault: system size %d must be at least 1", n)
+	}
+	if s.Crashes != CrashMax {
+		if s.Crashes < 0 {
+			return fmt.Errorf("fault: crash count %d must be ≥ 0 (or CrashMax)", s.Crashes)
+		}
+		if max := MaxCrashes(n); s.Crashes > max {
+			return fmt.Errorf("fault: %d crashes exceed the model's bound ⌈n/2⌉−1 = %d at n=%d (a majority quorum must stay reachable)",
+				s.Crashes, max, n)
+		}
+	}
+	if s.SlowProcs != SlowThirdOfN && s.SlowProcs < 0 {
+		return fmt.Errorf("fault: slow-processor count %d must be ≥ 0 (or SlowThirdOfN)", s.SlowProcs)
+	}
+	if s.SlowProcs > n {
+		return fmt.Errorf("fault: %d slow processors exceed system size %d", s.SlowProcs, n)
+	}
+	if s.ReorderProb < 0 || s.ReorderProb > 1 {
+		return fmt.Errorf("fault: reorder probability %v outside [0, 1]", s.ReorderProb)
+	}
+	if s.CrashWindow < 0 {
+		return fmt.Errorf("fault: negative crash window %v", s.CrashWindow)
+	}
+	return nil
+}
+
+// Crash schedules one processor's failure: Proc stops at wall-clock time At
+// after the run starts.
+type Crash struct {
+	Proc int
+	At   time.Duration
+}
+
+// Plan is a Scenario materialized for one run: concrete victims, crash
+// times and slow sets, drawn deterministically from (n, seed). A nil *Plan
+// is the fault-free plan.
+type Plan struct {
+	// Scenario is the description this plan realizes.
+	Scenario Scenario
+	// N is the system size the plan was drawn for.
+	N int
+	// Crashes lists the victims and their randomized crash times.
+	Crashes []Crash
+	// Slow flags the throttled processors.
+	Slow []bool
+}
+
+// Plan materializes the scenario for one run of n processors. It returns
+// (nil, nil) for an inactive scenario, so the backend's fault-free hot path
+// stays branch-on-nil cheap.
+func (s Scenario) Plan(n int, seed int64) (*Plan, error) {
+	if err := s.Validate(n); err != nil {
+		return nil, err
+	}
+	if !s.Active() {
+		return nil, nil
+	}
+	// A dedicated PRNG: plan drawing must not perturb the run's coin-flip
+	// streams, which the backend derives from the same seed.
+	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	pl := &Plan{Scenario: s, N: n}
+
+	crashes := s.Crashes
+	if crashes == CrashMax {
+		crashes = MaxCrashes(n)
+	}
+	window := s.CrashWindow
+	if window == 0 {
+		window = DefaultCrashWindow
+	}
+	if crashes > 0 {
+		for _, victim := range rng.Perm(n)[:crashes] {
+			pl.Crashes = append(pl.Crashes, Crash{
+				Proc: victim,
+				At:   time.Duration(rng.Int63n(int64(window))),
+			})
+		}
+	}
+
+	slow := s.SlowProcs
+	if slow == SlowThirdOfN {
+		slow = (n + 2) / 3
+	}
+	if slow > n {
+		slow = n
+	}
+	if slow > 0 && s.Slow.Active() {
+		pl.Slow = make([]bool, n)
+		for _, i := range rng.Perm(n)[:slow] {
+			pl.Slow[i] = true
+		}
+	}
+	return pl, nil
+}
+
+// IsSlow reports whether processor i is throttled under this plan.
+func (pl *Plan) IsSlow(i int) bool {
+	return pl != nil && pl.Slow != nil && pl.Slow[i]
+}
+
+// SendDelay samples the injected delay for one message from processor
+// "from" to processor "to": link latency, plus the slow-processor tax when
+// either endpoint is throttled, plus the occasional reorder delay. rng must
+// be owned by the sending goroutine.
+func (pl *Plan) SendDelay(rng *rand.Rand, from, to int) time.Duration {
+	if pl == nil {
+		return 0
+	}
+	d := pl.Scenario.Link.Sample(rng)
+	if pl.IsSlow(from) || pl.IsSlow(to) {
+		d += pl.Scenario.Slow.Sample(rng)
+	}
+	if p := pl.Scenario.ReorderProb; p > 0 && rng.Float64() < p {
+		d += pl.Scenario.Reorder.Sample(rng)
+	}
+	return d
+}
+
+// StepDelay samples the local-step throttle of processor proc (nonzero only
+// for slow processors): the pause it pays at each coin flip.
+func (pl *Plan) StepDelay(rng *rand.Rand, proc int) time.Duration {
+	if pl == nil || !pl.IsSlow(proc) {
+		return 0
+	}
+	return pl.Scenario.Slow.Sample(rng)
+}

@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDistSample: each distribution kind respects its bounds.
+func TestDistSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	if d := (Dist{}).Sample(rng); d != 0 {
+		t.Errorf("zero Dist sampled %v, want 0", d)
+	}
+	fixed := Dist{Kind: Fixed, Base: 3 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		if d := fixed.Sample(rng); d != 3*time.Millisecond {
+			t.Fatalf("fixed sampled %v", d)
+		}
+	}
+	uni := Dist{Kind: Uniform, Base: time.Millisecond, Jitter: 2 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := uni.Sample(rng)
+		if d < time.Millisecond || d >= 3*time.Millisecond {
+			t.Fatalf("uniform sampled %v outside [1ms, 3ms)", d)
+		}
+	}
+	par := Dist{Kind: Pareto, Base: 10 * time.Microsecond, Jitter: 50 * time.Microsecond, Alpha: 1.2}
+	sawTail := false
+	for i := 0; i < 5000; i++ {
+		d := par.Sample(rng)
+		if d < 10*time.Microsecond || d > DefaultCap {
+			t.Fatalf("pareto sampled %v outside [10µs, DefaultCap]", d)
+		}
+		if d > time.Millisecond {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Error("5000 pareto(α=1.2) samples produced no >1ms straggler; tail missing")
+	}
+	capped := Dist{Kind: Pareto, Jitter: 50 * time.Microsecond, Alpha: 1.1, Cap: 200 * time.Microsecond}
+	for i := 0; i < 2000; i++ {
+		if d := capped.Sample(rng); d > 200*time.Microsecond {
+			t.Fatalf("explicit cap violated: %v", d)
+		}
+	}
+}
+
+// TestMaxCrashes: the bound is ⌈n/2⌉−1.
+func TestMaxCrashes(t *testing.T) {
+	want := map[int]int{1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2, 7: 3, 16: 7, 17: 8}
+	for n, m := range want {
+		if got := MaxCrashes(n); got != m {
+			t.Errorf("MaxCrashes(%d) = %d, want %d", n, got, m)
+		}
+	}
+}
+
+// TestValidate: the crash cap and parameter ranges are enforced.
+func TestValidate(t *testing.T) {
+	if err := (Scenario{Crashes: 2}).Validate(4); err == nil {
+		t.Error("2 crashes at n=4 accepted (cap is 1)")
+	}
+	if err := (Scenario{Crashes: CrashMax}).Validate(4); err != nil {
+		t.Errorf("CrashMax rejected: %v", err)
+	}
+	if err := (Scenario{Crashes: -2}).Validate(4); err == nil {
+		t.Error("negative crash count accepted")
+	}
+	if err := (Scenario{ReorderProb: 1.5}).Validate(4); err == nil {
+		t.Error("reorder probability > 1 accepted")
+	}
+	if err := (Scenario{SlowProcs: 9}).Validate(4); err == nil {
+		t.Error("more slow processors than the system holds accepted")
+	}
+	for _, s := range Presets() {
+		if err := s.Validate(8); err != nil {
+			t.Errorf("preset %q invalid at n=8: %v", s.Name, err)
+		}
+	}
+}
+
+// TestPlanDeterminism: the same (scenario, n, seed) draws the same victims,
+// times and slow sets; a different seed draws a different plan.
+func TestPlanDeterminism(t *testing.T) {
+	s := Chaos()
+	a, err := s.Plan(16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Plan(16, 42)
+	if !reflect.DeepEqual(a.Crashes, b.Crashes) || !reflect.DeepEqual(a.Slow, b.Slow) {
+		t.Error("equal seeds drew different plans")
+	}
+	c, _ := s.Plan(16, 43)
+	if reflect.DeepEqual(a.Crashes, c.Crashes) {
+		t.Error("different seeds drew identical crash schedules")
+	}
+}
+
+// TestPlanShape: the materialized plan respects the scenario's counts and
+// the model's crash cap, with distinct victims inside the crash window.
+func TestPlanShape(t *testing.T) {
+	const n = 17
+	pl, err := CrashMinority().Plan(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Crashes) != MaxCrashes(n) {
+		t.Fatalf("CrashMax resolved to %d victims, want %d", len(pl.Crashes), MaxCrashes(n))
+	}
+	seen := map[int]bool{}
+	for _, cr := range pl.Crashes {
+		if cr.Proc < 0 || cr.Proc >= n {
+			t.Fatalf("victim %d outside [0, %d)", cr.Proc, n)
+		}
+		if seen[cr.Proc] {
+			t.Fatalf("victim %d crashed twice", cr.Proc)
+		}
+		seen[cr.Proc] = true
+		if cr.At < 0 || cr.At >= DefaultCrashWindow {
+			t.Fatalf("crash time %v outside the default window", cr.At)
+		}
+	}
+
+	sl, err := SlowThird().Plan(9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for i := 0; i < 9; i++ {
+		if sl.IsSlow(i) {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Fatalf("SlowThirdOfN at n=9 marked %d processors, want 3", count)
+	}
+}
+
+// TestInactivePlanIsNil: the fault-free scenario materializes to nil so the
+// backend's hot path stays a nil check, and nil plans inject nothing.
+func TestInactivePlanIsNil(t *testing.T) {
+	pl, err := Baseline().Plan(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl != nil {
+		t.Fatalf("baseline plan = %+v, want nil", pl)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if d := pl.SendDelay(rng, 0, 1); d != 0 {
+		t.Errorf("nil plan send delay %v", d)
+	}
+	if d := pl.StepDelay(rng, 0); d != 0 {
+		t.Errorf("nil plan step delay %v", d)
+	}
+	if pl.IsSlow(0) {
+		t.Error("nil plan marks processors slow")
+	}
+}
+
+// TestSendDelayComposition: slow endpoints add their tax on top of link
+// latency, in either direction.
+func TestSendDelayComposition(t *testing.T) {
+	s := Scenario{
+		Name:      "compose",
+		Link:      Dist{Kind: Fixed, Base: 100 * time.Microsecond},
+		SlowProcs: 1,
+		Slow:      Dist{Kind: Fixed, Base: time.Millisecond},
+	}
+	pl, err := s.Plan(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := -1
+	for i := 0; i < 4; i++ {
+		if pl.IsSlow(i) {
+			slow = i
+		}
+	}
+	if slow < 0 {
+		t.Fatal("no slow processor drawn")
+	}
+	rng := rand.New(rand.NewSource(1))
+	fast := (slow + 1) % 4
+	if d := pl.SendDelay(rng, fast, (slow+2)%4); d != 100*time.Microsecond {
+		t.Errorf("fast→fast delay %v, want pure link latency", d)
+	}
+	if d := pl.SendDelay(rng, slow, fast); d != 1100*time.Microsecond {
+		t.Errorf("slow→fast delay %v, want link+slow", d)
+	}
+	if d := pl.SendDelay(rng, fast, slow); d != 1100*time.Microsecond {
+		t.Errorf("fast→slow delay %v, want link+slow", d)
+	}
+	if d := pl.StepDelay(rng, slow); d != time.Millisecond {
+		t.Errorf("slow step delay %v", d)
+	}
+	if d := pl.StepDelay(rng, fast); d != 0 {
+		t.Errorf("fast step delay %v", d)
+	}
+}
+
+// TestLookup: every preset resolves by name; unknown names don't.
+func TestLookup(t *testing.T) {
+	for _, name := range Names() {
+		s, ok := Lookup(name)
+		if !ok || s.Name != name {
+			t.Errorf("Lookup(%q) = (%q, %v)", name, s.Name, ok)
+		}
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Error("unknown scenario resolved")
+	}
+}

@@ -1,0 +1,117 @@
+package fault
+
+import "time"
+
+// Baseline is the fault-free scenario: no injection, the live backend's
+// native behavior. It anchors every scenario matrix.
+func Baseline() Scenario {
+	return Scenario{Name: "baseline"}
+}
+
+// CrashOne crashes a single randomly chosen processor early in the run —
+// the smallest fault the model admits.
+func CrashOne() Scenario {
+	return Scenario{Name: "crash-1", Crashes: 1}
+}
+
+// CrashMinority crashes the full fault budget ⌈n/2⌉−1 at randomized times:
+// the paper's worst case (Theorem A.5 still promises a unique winner among
+// the survivors).
+func CrashMinority() Scenario {
+	return Scenario{Name: "crash-minority", Crashes: CrashMax}
+}
+
+// LAN adds datacenter-like link latency: a small fixed floor with mild
+// uniform jitter.
+func LAN() Scenario {
+	return Scenario{
+		Name: "lan",
+		Link: Dist{Kind: Uniform, Base: 50 * time.Microsecond, Jitter: 100 * time.Microsecond},
+	}
+}
+
+// WAN adds wide-area link latency: a larger floor and wide jitter, enough
+// to reorder most concurrent quorum traffic.
+func WAN() Scenario {
+	return Scenario{
+		Name: "wan",
+		Link: Dist{Kind: Uniform, Base: 300 * time.Microsecond, Jitter: 700 * time.Microsecond},
+	}
+}
+
+// HeavyTail adds Pareto-distributed link latency (α = 1.2): most messages
+// are fast, a few are extreme stragglers — the distribution that separates
+// quorum-based protocols from barrier-based ones, since a quorum only ever
+// waits for the fastest majority.
+func HeavyTail() Scenario {
+	return Scenario{
+		Name: "heavy-tail",
+		Link: Dist{Kind: Pareto, Base: 20 * time.Microsecond, Jitter: 60 * time.Microsecond, Alpha: 1.2},
+	}
+}
+
+// SlowThird throttles ⌈n/3⌉ processors: every message they send or receive
+// and every coin flip they make pays an extra uniform delay. The sub-quorum
+// slow set must not stall anyone else — quorums route around it.
+func SlowThird() Scenario {
+	return Scenario{
+		Name:      "slow-third",
+		SlowProcs: SlowThirdOfN,
+		Slow:      Dist{Kind: Uniform, Base: 100 * time.Microsecond, Jitter: 400 * time.Microsecond},
+	}
+}
+
+// Reordering delays a third of all messages by a uniform extra amount,
+// shuffling delivery order relative to send order without slowing the rest
+// of the system.
+func Reordering() Scenario {
+	return Scenario{
+		Name:        "reorder",
+		ReorderProb: 1.0 / 3,
+		Reorder:     Dist{Kind: Uniform, Jitter: 500 * time.Microsecond},
+	}
+}
+
+// Chaos combines everything: the full crash budget, heavy-tailed links, a
+// slow third and reordering — the widest scenario the engine expresses.
+func Chaos() Scenario {
+	return Scenario{
+		Name:        "chaos",
+		Crashes:     CrashMax,
+		CrashWindow: 3 * time.Millisecond,
+		Link:        Dist{Kind: Pareto, Base: 20 * time.Microsecond, Jitter: 60 * time.Microsecond, Alpha: 1.2},
+		SlowProcs:   SlowThirdOfN,
+		Slow:        Dist{Kind: Uniform, Base: 50 * time.Microsecond, Jitter: 200 * time.Microsecond},
+		ReorderProb: 0.25,
+		Reorder:     Dist{Kind: Uniform, Jitter: 300 * time.Microsecond},
+	}
+}
+
+// Presets returns every named scenario, baseline first — the default
+// campaign matrix.
+func Presets() []Scenario {
+	return []Scenario{
+		Baseline(), CrashOne(), CrashMinority(), LAN(), WAN(),
+		HeavyTail(), SlowThird(), Reordering(), Chaos(),
+	}
+}
+
+// Names returns the preset names in Presets order.
+func Names() []string {
+	ps := Presets()
+	out := make([]string, len(ps))
+	for i, s := range ps {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup resolves a preset by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range Presets() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

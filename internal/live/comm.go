@@ -2,6 +2,7 @@ package live
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/rt"
 )
@@ -59,8 +60,16 @@ func (c *Comm) Collect(reg string) []rt.View {
 // only the first quorum−1, and stragglers land in the abandoned buffer
 // without ever blocking a server — that asymmetry is what gives live runs
 // their stale-view, adversary-like interleavings.
+//
+// Under a scenario plan each outgoing message may carry an injected delay
+// (link latency, slow-processor tax, reordering); the delivery then rides a
+// helper goroutine so one slow link never stalls the rest of the broadcast.
+// The quorum wait itself needs no fault handling: with at most ⌈n/2⌉−1
+// crashes, at least ⌊n/2⌋ live peers answer every delivered request, which
+// is exactly the quorum−1 replies awaited here.
 func (c *Comm) communicate(req request) []reply {
 	p := c.p
+	p.maybeCrash()
 	p.commCalls++
 	n := p.sys.n
 	need := c.QuorumSize() - 1
@@ -73,16 +82,30 @@ func (c *Comm) communicate(req request) []reply {
 	}
 	ch := make(chan reply, n-1)
 	req.reply = ch
+	pl := p.sys.plan
 	for j := 0; j < n; j++ {
 		if rt.ProcID(j) == p.id {
 			continue
 		}
-		p.sys.procs[j].inbox <- req
+		inbox := p.sys.procs[j].inbox
 		p.sys.messages.Add(1)
+		if d := pl.SendDelay(p.frng, int(p.id), j); d > 0 {
+			// Delayed delivery. The inflight group lets Shutdown wait for
+			// stragglers before closing the mailboxes.
+			p.sys.inflight.Add(1)
+			go func() {
+				defer p.sys.inflight.Done()
+				time.Sleep(d)
+				inbox <- req
+			}()
+			continue
+		}
+		inbox <- req
 	}
 	out := make([]reply, need)
 	for i := range out {
 		out[i] = <-ch
 	}
+	p.maybeCrash()
 	return out
 }

@@ -3,16 +3,22 @@ package live_test
 // Cross-backend conformance: for a grid of (n, k, seed, algorithm)
 // configurations, the sim backend and the live backend must both satisfy
 // the paper's safety properties — exactly one winner, every other
-// participant loses. CI runs this file under the race detector
+// participant loses. The crash-scenario tests additionally check Theorem
+// A.5's fault-tolerant form across the fault-injection matrix: with up to
+// ⌈n/2⌉−1 crashes, every surviving participant that decides agrees on a
+// unique leader (a winnerless run is legitimate only when the linearized
+// winner itself crashed). CI runs this file under the race detector
 // (go test -race ./internal/live/...), so the live half also proves the
-// backend memory-safe under real interleavings.
+// backend memory-safe under real interleavings, faults included.
 
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/live"
 	"repro/internal/sim"
 )
@@ -126,6 +132,141 @@ func TestConformanceSift(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// scenarioMatrix is the fault-injection conformance matrix: tight crash
+// windows so crashes land mid-protocol, alone and combined with link
+// latency, slowness and reordering. Delay magnitudes are kept small — the
+// suite runs under the race detector.
+var scenarioMatrix = []fault.Scenario{
+	{Name: "crash-1", Crashes: 1, CrashWindow: 300 * time.Microsecond},
+	{Name: "crash-minority", Crashes: fault.CrashMax, CrashWindow: 300 * time.Microsecond},
+	{
+		Name: "crash-jitter", Crashes: fault.CrashMax, CrashWindow: 500 * time.Microsecond,
+		Link: fault.Dist{Kind: fault.Uniform, Jitter: 200 * time.Microsecond},
+	},
+	{
+		Name: "chaos-lite", Crashes: fault.CrashMax, CrashWindow: 500 * time.Microsecond,
+		Link:      fault.Dist{Kind: fault.Pareto, Jitter: 30 * time.Microsecond, Alpha: 1.3, Cap: 2 * time.Millisecond},
+		SlowProcs: fault.SlowThirdOfN,
+		Slow:      fault.Dist{Kind: fault.Uniform, Jitter: 100 * time.Microsecond},
+
+		ReorderProb: 0.25,
+		Reorder:     fault.Dist{Kind: fault.Uniform, Jitter: 150 * time.Microsecond},
+	},
+}
+
+// TestConformanceCrashScenarios: across the scenario matrix, every
+// surviving participant decides, decisions partition into at most one WIN
+// and the rest LOSE, and a winnerless election implies the winner crashed.
+func TestConformanceCrashScenarios(t *testing.T) {
+	grid := []struct{ n, k int }{
+		{3, 0}, {4, 0}, {5, 0}, {8, 0}, {9, 0}, {16, 0}, {8, 5},
+	}
+	for _, sc := range scenarioMatrix {
+		for _, g := range grid {
+			k := g.k
+			if k == 0 {
+				k = g.n
+			}
+			for _, seed := range seeds {
+				label := fmt.Sprintf("%s n=%d k=%d seed=%d", sc.Name, g.n, k, seed)
+				res, err := live.Elect(live.Config{N: g.n, K: g.k, Seed: seed, Scenario: sc})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if len(res.Crashed) > fault.MaxCrashes(g.n) {
+					t.Fatalf("%s: %d participants crashed, model caps crashes at %d",
+						label, len(res.Crashed), fault.MaxCrashes(g.n))
+				}
+				if got := len(res.Decisions) + len(res.Crashed); got != k {
+					t.Fatalf("%s: %d decisions + %d crashed != %d participants",
+						label, len(res.Decisions), len(res.Crashed), k)
+				}
+				winners := 0
+				for id, d := range res.Decisions {
+					switch d {
+					case core.Win:
+						winners++
+						if id != res.Winner {
+							t.Fatalf("%s: winner %d but %d decided WIN", label, res.Winner, id)
+						}
+					case core.Lose:
+					default:
+						t.Fatalf("%s: surviving processor %d has undecided outcome %v", label, id, d)
+					}
+				}
+				if winners > 1 {
+					t.Fatalf("%s: %d winners among survivors, want at most 1", label, winners)
+				}
+				if winners == 0 && len(res.Crashed) == 0 {
+					t.Fatalf("%s: no winner yet nobody crashed", label)
+				}
+				if winners == 0 && res.Winner >= 0 {
+					t.Fatalf("%s: Winner=%d reported without a WIN decision", label, res.Winner)
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceSiftUnderCrashes: a sift round under the full crash budget
+// still never kills every *returning* participant — an empty survivor set
+// is legitimate only when some participant crashed.
+func TestConformanceSiftUnderCrashes(t *testing.T) {
+	sc := fault.Scenario{Name: "crash-minority", Crashes: fault.CrashMax, CrashWindow: 200 * time.Microsecond}
+	for _, algo := range []live.Algorithm{live.AlgoBasicSift, live.AlgoHetSift} {
+		for _, n := range []int{3, 8, 16} {
+			for _, seed := range seeds {
+				label := fmt.Sprintf("%s n=%d seed=%d", algo, n, seed)
+				res, err := live.Sift(live.Config{N: n, Seed: seed, Algorithm: algo, Scenario: sc})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				survivors := 0
+				for _, o := range res.Outcomes {
+					if o == core.Survive {
+						survivors++
+					}
+				}
+				if survivors == 0 && len(res.Crashed) == 0 {
+					t.Fatalf("%s: no survivor and no crash (Claim 3.1 violated)", label)
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioThroughFacade: WithScenario works end to end through the
+// public API, and is refused on the sim backend and for unknown names.
+func TestScenarioThroughFacade(t *testing.T) {
+	res, err := repro.Elect(repro.WithN(8), repro.WithSeed(2),
+		repro.WithBackend(repro.Live), repro.WithScenario("crash-minority"))
+	if err != nil && err != repro.ErrNoWinner {
+		t.Fatalf("scenario election: %v", err)
+	}
+	if err == repro.ErrNoWinner && len(res.Crashed) == 0 {
+		t.Error("ErrNoWinner without any crashed participant")
+	}
+	if _, err := repro.Elect(repro.WithN(8), repro.WithScenario("heavy-tail")); err == nil {
+		t.Error("sim backend accepted a scenario")
+	}
+	if _, err := repro.Elect(repro.WithN(8), repro.WithBackend(repro.Live),
+		repro.WithScenario("no-such-scenario")); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+	rep, err := repro.Campaign(repro.WithN(8), repro.WithRuns(8), repro.WithWorkers(2),
+		repro.WithSeed(3), repro.WithScenario("crash-1"))
+	if err != nil {
+		t.Fatalf("scenario campaign: %v", err)
+	}
+	if rep.Elected+rep.WinnerCrashed != rep.Runs {
+		t.Errorf("campaign validity counts don't balance: %+v", rep)
+	}
+	if _, err := repro.Campaign(repro.WithN(8), repro.WithRuns(2), repro.WithBackend(repro.Sim),
+		repro.WithSchedule(repro.Crashing), repro.WithFaults(3)); err == nil {
+		t.Error("campaign silently accepted WithFaults (it would run fault-free)")
 	}
 }
 

@@ -1,0 +1,50 @@
+// Package live is the real-concurrency execution backend of the runtime
+// seam (internal/rt): it runs the same leader-election algorithms as the
+// deterministic discrete-event kernel (internal/sim + internal/quorum), but
+// on real OS-scheduled goroutines with channel-backed best-effort broadcast
+// and majority-quorum collect.
+//
+// Where the sim backend hands every interleaving decision to a strong
+// adaptive adversary and measures virtual time, the live backend lets the Go
+// scheduler interleave n server goroutines and k participant goroutines for
+// real, and measures wall-clock time. The paper's safety guarantees (unique
+// winner, at least one sift survivor) hold under *any* schedule, so they
+// must — and do — survive genuine hardware contention; the conformance
+// suite checks exactly that, under the race detector.
+//
+// # Topology
+//
+// Every processor runs a server goroutine draining a buffered mailbox of
+// quorum requests (the reactive half — the paper's standing assumption that
+// all processors always reply). Participants additionally run an algorithm
+// goroutine that issues communicate calls through Comm: a request is
+// broadcast to all n−1 peers and the caller blocks until ⌊n/2⌋+1 processors
+// (itself included) have answered, so any two communicate calls intersect —
+// the quorum property every proof in the paper relies on. Replies beyond
+// the quorum arrive late into an abandoned buffered channel, naturally
+// reproducing the stale-view behaviour the adversary model abstracts.
+//
+// # Fault and latency injection
+//
+// The model's remaining adversarial powers — delaying messages arbitrarily
+// and crashing up to ⌈n/2⌉−1 processors — are recovered through the
+// scenario engine (internal/fault). Config.Scenario materializes into a
+// per-run plan; the backend injects it without touching algorithm code:
+//
+//   - message delays (link distributions, slow-processor taxes, reorder
+//     jitter) are sampled on the sending side and ride helper goroutines,
+//     so one slow link never stalls the rest of a broadcast, and Shutdown
+//     waits for stragglers before closing mailboxes;
+//   - a crashed processor's server keeps draining its mailbox but drops
+//     every request unanswered (messages to the dead are lost, senders
+//     never block), and its algorithm goroutine is unwound by a recovered
+//     panic at its next backend interaction;
+//   - quorum liveness is preserved by construction: with at most ⌈n/2⌉−1
+//     crashes, every communicate call still assembles its ⌊n/2⌋+1
+//     acknowledgments from the survivors.
+//
+// Crashed participants appear in Result.Crashed rather than Decisions; an
+// election whose every survivor lost is reported with Winner == -1 — the
+// linearized winner died holding the election, exactly the outcome Theorem
+// A.5 permits.
+package live

@@ -1,27 +1,3 @@
-// Package live is the real-concurrency execution backend of the runtime
-// seam (internal/rt): it runs the same leader-election algorithms as the
-// deterministic discrete-event kernel (internal/sim + internal/quorum), but
-// on real OS-scheduled goroutines with channel-backed best-effort broadcast
-// and majority-quorum collect.
-//
-// Where the sim backend hands every interleaving decision to a strong
-// adaptive adversary and measures virtual time, the live backend lets the Go
-// scheduler interleave n server goroutines and k participant goroutines for
-// real, and measures wall-clock time. The paper's safety guarantees (unique
-// winner, at least one sift survivor) hold under *any* schedule, so they
-// must — and do — survive genuine hardware contention; the conformance
-// suite checks exactly that, under the race detector.
-//
-// Topology: every processor runs a server goroutine draining a buffered
-// mailbox of quorum requests (the reactive half — the paper's standing
-// assumption that all processors always reply). Participants additionally
-// run an algorithm goroutine that issues communicate calls through Comm:
-// a request is broadcast to all n−1 peers and the caller blocks until
-// ⌊n/2⌋+1 processors (itself included) have answered, so any two
-// communicate calls intersect — the quorum property every proof in the
-// paper relies on. Replies beyond the quorum arrive late into an abandoned
-// buffered channel, naturally reproducing the stale-view behaviour the
-// adversary model abstracts.
 package live
 
 import (
@@ -29,7 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/rt"
 )
 
@@ -77,19 +55,36 @@ type regArray struct {
 	cells []cell
 }
 
-// System is one live run's processor set. Construct with NewSystem, run
-// algorithm goroutines against Comm handles, then Shutdown.
+// crashSignal unwinds a crashed processor's algorithm goroutine: the
+// backend panics with it at the processor's next interaction (communicate,
+// flip, await) after its crash time, and the runner recovers it — the
+// algorithm code itself never observes the crash, exactly as in the model.
+type crashSignal struct{ id rt.ProcID }
+
+// System is one live run's processor set. Construct with NewSystem (or
+// NewScenarioSystem to inject faults), run algorithm goroutines against
+// Comm handles, then Shutdown.
 type System struct {
 	n        int
+	plan     *fault.Plan
 	procs    []*Proc
 	servers  sync.WaitGroup
+	inflight sync.WaitGroup // delayed message deliveries still sleeping
 	messages atomic.Int64
 }
 
 // NewSystem creates n processors, each with a running server goroutine, and
 // deterministic per-processor PRNG streams derived from seed.
 func NewSystem(n int, seed int64) *System {
-	sys := &System{n: n, procs: make([]*Proc, n)}
+	return NewScenarioSystem(n, seed, nil)
+}
+
+// NewScenarioSystem is NewSystem with a fault-injection plan (nil = none):
+// the materialized crash schedule, link-delay distributions and slow sets
+// of a fault.Scenario. Crash times are armed by the runner, not here — the
+// clock starts when the algorithms do.
+func NewScenarioSystem(n int, seed int64, plan *fault.Plan) *System {
+	sys := &System{n: n, plan: plan, procs: make([]*Proc, n)}
 	for i := 0; i < n; i++ {
 		p := &Proc{
 			id:  rt.ProcID(i),
@@ -106,6 +101,12 @@ func NewSystem(n int, seed int64) *System {
 			inbox: make(chan request, n),
 			regs:  make(map[string]*regArray),
 		}
+		if plan != nil {
+			// A separate delay-sampling PRNG, also algorithm-goroutine
+			// owned: injected latency must not perturb the coin-flip
+			// stream, so equal seeds keep equal flips across scenarios.
+			p.frng = rand.New(rand.NewSource(int64(uint64(seed)+uint64(i)*SeedStride) ^ faultStreamSalt))
+		}
 		p.cond = sync.NewCond(&p.mu)
 		sys.procs[i] = p
 	}
@@ -116,8 +117,34 @@ func NewSystem(n int, seed int64) *System {
 	return sys
 }
 
+// faultStreamSalt decorrelates a processor's delay-sampling PRNG stream
+// from its coin-flip stream (both are derived from the same sharded seed).
+const faultStreamSalt = 0x3C6EF372FE94F82A
+
 // N returns the system size.
 func (sys *System) N() int { return sys.n }
+
+// Plan returns the system's fault-injection plan (nil when fault-free).
+func (sys *System) Plan() *fault.Plan { return sys.plan }
+
+// Crash fails processor id: its server goroutine keeps draining its mailbox
+// but drops every request unanswered (messages to a crashed processor are
+// lost), and its algorithm goroutine — if any — is unwound by a crashSignal
+// panic at its next backend interaction. Quorum liveness is unaffected as
+// long as at most ⌈n/2⌉−1 processors crash: every communicate call can
+// still assemble ⌊n/2⌋+1 acknowledgments from the survivors.
+func (sys *System) Crash(id rt.ProcID) {
+	p := sys.procs[id]
+	p.crashed.Store(true)
+	// Broadcast under the mutex so an algorithm goroutine between its
+	// Await check and its cond.Wait cannot miss the wakeup.
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Crashed reports whether processor id has crashed.
+func (sys *System) Crashed(id rt.ProcID) bool { return sys.procs[id].crashed.Load() }
 
 // Proc returns the handle of processor id.
 func (sys *System) Proc(id rt.ProcID) *Proc { return sys.procs[id] }
@@ -129,7 +156,10 @@ func (sys *System) Messages() int64 { return sys.messages.Load() }
 // Shutdown stops the server goroutines and waits for them to drain. It must
 // only be called after every algorithm goroutine has returned: closing the
 // mailboxes while a communicate call is still broadcasting would panic.
+// Deliveries still sleeping out an injected delay are waited for first, for
+// the same reason — the servers outlive every in-flight message.
 func (sys *System) Shutdown() {
+	sys.inflight.Wait()
 	for _, p := range sys.procs {
 		close(p.inbox)
 	}
@@ -141,10 +171,12 @@ func (sys *System) Shutdown() {
 // algorithm goroutine; the server goroutine only touches the mutex-guarded
 // store and raw mailbox.
 type Proc struct {
-	id    rt.ProcID
-	sys   *System
-	rng   *rand.Rand
-	inbox chan request
+	id      rt.ProcID
+	sys     *System
+	rng     *rand.Rand
+	frng    *rand.Rand // delay sampling; non-nil iff sys.plan is
+	crashed atomic.Bool
+	inbox   chan request
 
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast whenever guarded state changes
@@ -209,21 +241,46 @@ func (p *Proc) Await(cond func() bool) {
 	}
 	p.mu.Lock()
 	for !cond() {
+		if p.crashed.Load() {
+			p.mu.Unlock()
+			panic(crashSignal{p.id})
+		}
 		p.cond.Wait()
 	}
 	p.mu.Unlock()
 }
 
+// maybeCrash unwinds the algorithm goroutine if the processor has crashed.
+// Every algorithm-facing primitive calls it, so a crash becomes effective
+// at the processor's next step — between steps the model cannot observe a
+// crash anyway.
+func (p *Proc) maybeCrash() {
+	if p.crashed.Load() {
+		panic(crashSignal{p.id})
+	}
+}
+
 // Pause implements rt.Procer: on the live backend it simply yields the OS
 // thread, inviting the scheduler to interleave other goroutines — the
 // real-concurrency analogue of handing control to the adversary.
-func (p *Proc) Pause() { runtime.Gosched() }
+func (p *Proc) Pause() {
+	p.maybeCrash()
+	runtime.Gosched()
+}
 
 // Flip implements rt.Procer: a biased local coin flip, 1 with probability
 // prob. Where the sim backend publishes the outcome to the adversary and
 // yields, the live backend yields to the OS scheduler, preserving the
-// "flip, then lose control" shape of the model.
+// "flip, then lose control" shape of the model. Under a scenario plan a
+// slow processor sleeps out its step delay here — the flip is the
+// algorithms' only purely local step.
 func (p *Proc) Flip(prob float64) int {
+	p.maybeCrash()
+	if pl := p.sys.plan; pl != nil {
+		if d := pl.StepDelay(p.frng, int(p.id)); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	v := 0
 	if p.rng.Float64() < prob {
 		v = 1
@@ -296,10 +353,14 @@ func (p *Proc) snapshotLocked(reg string) []rt.Entry {
 // drains the mailbox until Shutdown closes it, merging propagations and
 // answering collects. Replies go to per-call buffered channels sized for
 // all n−1 repliers, so the server never blocks and the system cannot
-// deadlock.
+// deadlock. A crashed processor's server keeps draining — senders must
+// never block on a dead peer — but drops every request unanswered.
 func (p *Proc) serve() {
 	defer p.sys.servers.Done()
 	for req := range p.inbox {
+		if p.crashed.Load() {
+			continue // crashed: the message is lost, no acknowledgment
+		}
 		switch req.kind {
 		case propagateReq:
 			p.mu.Lock()

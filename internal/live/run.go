@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/rt"
 )
 
@@ -37,6 +38,10 @@ type Config struct {
 	Seed int64
 	// Algorithm picks the protocol. Default AlgoPoisonPill.
 	Algorithm Algorithm
+	// Scenario injects faults and latency into the run: crash schedules,
+	// per-link delay distributions, slow processors, reordering. The zero
+	// value is fault-free. See internal/fault.
+	Scenario fault.Scenario
 	// Timeout aborts a run that has not completed in time (0 = a generous
 	// default). A fired timeout reports an error and leaks the run's
 	// goroutines: it is a diagnostic for liveness bugs, not a control path.
@@ -51,19 +56,31 @@ const DefaultTimeout = 2 * time.Minute
 // ErrTimeout is returned when a live run exceeds its timeout.
 var ErrTimeout = errors.New("live: run timed out (liveness bug?)")
 
-// ErrNoWinner is returned when an election run completes with no Win
-// decision. It cannot happen on the live backend (no crashes) unless the
-// algorithm or the backend is broken.
+// ErrNoWinner is returned when a fault-free election run completes with no
+// Win decision. It cannot happen without crashes unless the algorithm or
+// the backend is broken. Under a crash scenario a winnerless outcome is
+// legitimate — the linearized winner may have crashed after taking the
+// election but before returning — and is reported as Winner == -1 with a
+// nil error and a non-empty Crashed list.
 var ErrNoWinner = errors.New("live: election completed without a winner")
 
 // Result reports one live run.
 type Result struct {
-	// Winner is the elected processor (election algorithms; -1 otherwise).
+	// Winner is the elected processor; -1 for sift algorithms, and for
+	// elections in which every potential winner crashed (possible only
+	// under a crash scenario).
 	Winner rt.ProcID
-	// Decisions maps every participant to WIN/LOSE (election algorithms).
+	// Decisions maps every returning participant to WIN/LOSE (election
+	// algorithms). Participants crashed by the scenario do not return and
+	// are listed in Crashed instead.
 	Decisions map[rt.ProcID]core.Decision
-	// Outcomes maps every participant to SURVIVE/DIE (sift algorithms).
+	// Outcomes maps every returning participant to SURVIVE/DIE (sift
+	// algorithms).
 	Outcomes map[rt.ProcID]core.Outcome
+	// Crashed lists the participants the scenario killed mid-protocol, in
+	// id order. Crashed non-participants (silent servers) are not listed:
+	// they affect only message loss, not decisions.
+	Crashed []rt.ProcID
 	// Rounds is the highest election round any participant reached.
 	Rounds int
 	// Time is the maximum number of communicate calls any processor made —
@@ -87,6 +104,9 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = AlgoPoisonPill
+	}
+	if err := cfg.Scenario.Validate(cfg.N); err != nil {
+		return err
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
@@ -127,23 +147,39 @@ func Elect(cfg Config) (Result, error) {
 		return res, err
 	}
 
+	crashed := make(map[rt.ProcID]bool, len(res.Crashed))
+	for _, id := range res.Crashed {
+		crashed[id] = true
+	}
 	res.Winner = -1
 	res.Decisions = make(map[rt.ProcID]core.Decision, cfg.K)
 	for i, d := range decisions {
 		id := rt.ProcID(i)
-		res.Decisions[id] = d
 		if s := states[i]; s.Round > res.Rounds {
 			res.Rounds = s.Round
 		}
-		if d == core.Win {
+		if crashed[id] {
+			continue // killed mid-protocol; no decision to report
+		}
+		switch d {
+		case core.Win:
 			if res.Winner >= 0 {
 				return res, fmt.Errorf("live: safety violation: processors %d and %d both won", res.Winner, id)
 			}
 			res.Winner = id
+		case core.Lose:
+		default:
+			return res, fmt.Errorf("live: participant %d returned undecided without crashing", id)
 		}
+		res.Decisions[id] = d
 	}
 	if res.Winner < 0 {
-		return res, ErrNoWinner
+		if len(res.Crashed) == 0 {
+			return res, ErrNoWinner
+		}
+		// Every survivor lost: the linearized winner is among the crashed
+		// (Theorem A.5 allows this — the election is a test-and-set, and
+		// the processor that "took" it died before returning).
 	}
 	return res, nil
 }
@@ -181,33 +217,76 @@ func Sift(cfg Config) (Result, error) {
 		return res, err
 	}
 
+	crashed := make(map[rt.ProcID]bool, len(res.Crashed))
+	for _, id := range res.Crashed {
+		crashed[id] = true
+	}
 	res.Winner = -1
 	res.Outcomes = make(map[rt.ProcID]core.Outcome, cfg.K)
 	survivors := 0
 	for i, o := range outcomes {
+		if crashed[rt.ProcID(i)] {
+			continue
+		}
 		res.Outcomes[rt.ProcID(i)] = o
 		if o == core.Survive {
 			survivors++
 		}
 	}
-	if survivors == 0 {
+	// Claim 3.1 guarantees a survivor only when every participant returns;
+	// with crashed participants an empty survivor set is legitimate.
+	if survivors == 0 && len(res.Crashed) == 0 {
 		return res, fmt.Errorf("live: safety violation: no sift survivor (Claim 3.1)")
 	}
 	return res, nil
 }
 
-// run builds a system, executes algo on the first K processors concurrently,
-// joins them, shuts the servers down and reports the shared measures. The
-// timeout path leaves the run's goroutines behind by design: there is no
-// safe way to interrupt them, and the caller is about to fail anyway.
+// run builds a system (materializing the scenario's fault plan, if any),
+// executes algo on the first K processors concurrently, joins them, shuts
+// the servers down and reports the shared measures. Scenario crashes are
+// armed as wall-clock timers when the algorithms start; a crashed
+// participant's goroutine unwinds via crashSignal and is recorded in
+// Result.Crashed. The timeout path leaves the run's goroutines behind by
+// design: there is no safe way to interrupt them, and the caller is about
+// to fail anyway.
 func run(cfg Config, algo func(p *Proc, i int)) (Result, error) {
-	sys := NewSystem(cfg.N, cfg.Seed)
+	plan, err := cfg.Scenario.Plan(cfg.N, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	sys := NewScenarioSystem(cfg.N, cfg.Seed, plan)
+
+	crashed := make([]bool, cfg.K)
 	var wg sync.WaitGroup
 	start := time.Now()
+	if plan != nil {
+		timers := make([]*time.Timer, 0, len(plan.Crashes))
+		for _, cr := range plan.Crashes {
+			id := rt.ProcID(cr.Proc)
+			timers = append(timers, time.AfterFunc(cr.At, func() { sys.Crash(id) }))
+		}
+		// Pending crashes are cancelled once the run completes: a crash
+		// scheduled after the last decision didn't happen, as far as the
+		// run's results are concerned.
+		defer func() {
+			for _, t := range timers {
+				t.Stop()
+			}
+		}()
+	}
 	for i := 0; i < cfg.K; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(crashSignal); ok {
+						crashed[i] = true
+						return
+					}
+					panic(r)
+				}
+			}()
 			algo(sys.procs[i], i)
 		}(i)
 	}
@@ -220,14 +299,17 @@ func run(cfg Config, algo func(p *Proc, i int)) (Result, error) {
 	select {
 	case <-done:
 	case <-time.After(cfg.Timeout):
-		return Result{}, fmt.Errorf("%w after %v (n=%d k=%d algorithm=%s)",
-			ErrTimeout, cfg.Timeout, cfg.N, cfg.K, cfg.Algorithm)
+		return Result{}, fmt.Errorf("%w after %v (n=%d k=%d algorithm=%s scenario=%q)",
+			ErrTimeout, cfg.Timeout, cfg.N, cfg.K, cfg.Algorithm, cfg.Scenario.Name)
 	}
 	elapsed := time.Since(start)
 	sys.Shutdown()
 
 	res := Result{Elapsed: elapsed, Messages: sys.Messages()}
 	for i := 0; i < cfg.K; i++ {
+		if crashed[i] {
+			res.Crashed = append(res.Crashed, rt.ProcID(i))
+		}
 		if c := sys.procs[i].CommCalls(); c > res.Time {
 			res.Time = c
 		}

@@ -1,0 +1,28 @@
+// Package rt defines the runtime seam between the leader-election
+// algorithms (internal/core, internal/baseline, internal/renaming) and the
+// execution backends that run them. The algorithms are written once against
+// two small interfaces:
+//
+//   - Procer: a processor handle — identity, system size, private
+//     randomness, message primitives and adversary-visible publication
+//     (the Send/Await/Flip/Publish/Rand surface of sim.Proc);
+//   - Comm: the communicate primitive of Attiya, Bar-Noy and Dolev as the
+//     paper uses it — Propagate and Collect against named register arrays,
+//     each waiting for a majority quorum (the surface of quorum.Comm).
+//
+// Two backends implement the seam:
+//
+//   - internal/sim + internal/quorum: the deterministic discrete-event
+//     kernel with a strong adaptive adversary (the paper's model, exactly);
+//   - internal/live: real OS-scheduled goroutines with channel-backed
+//     best-effort broadcast and majority-quorum collect (wall-clock runs
+//     with genuine contention), optionally degraded by the fault/latency
+//     scenarios of internal/fault.
+//
+// The shared data types (ProcID, Entry, View) live here so that views
+// collected on either backend are interchangeable and the algorithm code is
+// backend-blind. Keeping algorithms backend-blind is what lets one
+// implementation be checked two ways — exhaustively against the model's
+// adversary in simulation, and empirically under real contention, faults
+// and latency on live hardware.
+package rt

@@ -25,9 +25,13 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/live"
 	"repro/internal/sim"
 )
@@ -83,13 +87,15 @@ const (
 
 // config collects the run parameters; zero values select defaults.
 type config struct {
-	n, k      int
-	seed      int64
-	algorithm Algorithm
-	schedule  Schedule
-	backend   Backend
-	faults    int
-	budget    int64
+	n, k          int
+	seed          int64
+	algorithm     Algorithm
+	schedule      Schedule
+	backend       Backend
+	faults        int
+	budget        int64
+	scenario      string
+	runs, workers int
 }
 
 // Option configures a run.
@@ -122,6 +128,22 @@ func WithFaults(f int) Option { return func(c *config) { c.faults = f } }
 // length).
 func WithBudget(b int64) Option { return func(c *config) { c.budget = b } }
 
+// WithScenario injects a named fault/latency scenario into Live-backend
+// runs: crash schedules, per-link delay distributions, slow processors,
+// message reordering. Scenarios() lists the names. Requires
+// WithBackend(Live).
+func WithScenario(name string) Option { return func(c *config) { c.scenario = name } }
+
+// WithRuns sets the number of elections a Campaign executes. Default 128.
+func WithRuns(r int) Option { return func(c *config) { c.runs = r } }
+
+// WithWorkers sets a Campaign's worker-pool size. Default: GOMAXPROCS.
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// Scenarios lists the named fault/latency scenarios WithScenario accepts,
+// fault-free "baseline" first.
+func Scenarios() []string { return fault.Names() }
+
 func buildConfig(opts []Option) config {
 	c := config{n: 16, schedule: Fair, algorithm: PoisonPill, backend: Sim}
 	for _, o := range opts {
@@ -150,17 +172,37 @@ func (c config) validate() error {
 			return fmt.Errorf("repro: schedule %q requires the Sim backend (the Live backend has no adversary)", c.schedule)
 		}
 		if c.faults > 0 {
-			return fmt.Errorf("repro: crash faults require the Sim backend")
+			return fmt.Errorf("repro: crash faults require the Sim backend (for Live crash scenarios use WithScenario)")
 		}
 		if c.budget > 0 {
 			return fmt.Errorf("repro: the action budget is a Sim kernel bound; Live runs are bounded by a wall-clock timeout")
 		}
 	}
+	if c.scenario != "" && c.backend != Live {
+		return fmt.Errorf("repro: scenario %q requires the Live backend (Sim runs are driven by adversary schedules)", c.scenario)
+	}
 	return nil
 }
 
+// resolveScenario maps the configured scenario name to its fault.Scenario
+// (the zero, fault-free scenario when unset).
+func (c config) resolveScenario() (fault.Scenario, error) {
+	if c.scenario == "" {
+		return fault.Scenario{}, nil
+	}
+	sc, ok := fault.Lookup(c.scenario)
+	if !ok {
+		return fault.Scenario{}, fmt.Errorf("repro: unknown scenario %q (available: %s)",
+			c.scenario, strings.Join(fault.Names(), ", "))
+	}
+	return sc, nil
+}
+
 // ErrNoWinner is returned by Elect when every potential winner crashed
-// before deciding (possible only under the Crashing schedule).
+// before deciding — possible under the Sim backend's Crashing schedule and
+// under Live-backend crash scenarios (WithScenario). It reports a
+// legitimate fault-model outcome, not a safety violation: the linearized
+// winner died holding the election, and every survivor correctly lost.
 var ErrNoWinner = errors.New("repro: all potential winners crashed before deciding")
 
 // ElectionResult reports one leader-election run.
@@ -169,6 +211,9 @@ type ElectionResult struct {
 	Winner sim.ProcID
 	// Decisions maps every returning participant to WIN/LOSE.
 	Decisions map[sim.ProcID]core.Decision
+	// Crashed lists participants killed mid-protocol by a WithScenario
+	// crash schedule (Live backend), in id order.
+	Crashed []sim.ProcID
 	// Time is the maximum number of communicate calls any processor made —
 	// the paper's time metric (Claim 2.1).
 	Time int
@@ -229,18 +274,97 @@ func electLive(c config) (ElectionResult, error) {
 	default:
 		return ElectionResult{}, fmt.Errorf("repro: %q is not an election algorithm", c.algorithm)
 	}
+	sc, err := c.resolveScenario()
+	if err != nil {
+		return ElectionResult{}, err
+	}
 	r, err := live.Elect(live.Config{
-		N: c.n, K: c.k, Seed: c.seed, Algorithm: live.Algorithm(c.algorithm),
+		N: c.n, K: c.k, Seed: c.seed, Algorithm: live.Algorithm(c.algorithm), Scenario: sc,
 	})
 	if err != nil {
 		return ElectionResult{}, fmt.Errorf("repro: live election run: %w", err)
 	}
-	return ElectionResult{
+	res := ElectionResult{
 		Winner:    r.Winner,
 		Decisions: r.Decisions,
+		Crashed:   r.Crashed,
 		Time:      r.Time,
 		Messages:  r.Messages,
 		Rounds:    r.Rounds,
+	}
+	if res.Winner < 0 {
+		// Every survivor lost: the linearized winner is among the crashed,
+		// exactly as under the Sim backend's Crashing schedule.
+		return res, ErrNoWinner
+	}
+	return res, nil
+}
+
+// CampaignReport summarises a parallel election campaign: many independent
+// elections fanned across a worker pool (see internal/campaign).
+type CampaignReport struct {
+	// Runs and Workers echo the effective configuration.
+	Runs, Workers int
+	// Elapsed is the campaign's wall-clock duration; Throughput its
+	// elections completed per second.
+	Elapsed    time.Duration
+	Throughput float64
+	// MeanLatency and the percentiles summarise per-election wall-clock
+	// latency.
+	MeanLatency, P50, P90, P99, MaxLatency time.Duration
+	// MeanTime is the mean of the paper's time metric (max communicate
+	// calls per processor) across runs.
+	MeanTime float64
+	// Elected counts runs with a unique surviving winner; WinnerCrashed
+	// counts runs whose winner crashed before returning (possible only
+	// under a WithScenario crash schedule); Crashed totals participants
+	// killed across all runs.
+	Elected, WinnerCrashed, Crashed int
+}
+
+// Campaign fans WithRuns independent elections across a WithWorkers-sized
+// pool and aggregates throughput, latency percentiles and election-validity
+// counts. It accepts the options of Elect plus WithRuns/WithWorkers, with
+// two exceptions: WithFaults and WithBudget are single-run Sim knobs the
+// campaign engine does not carry and are rejected rather than ignored. The
+// default backend is Live (wall-clock latency is the campaign question),
+// and WithScenario injects a fault/latency scenario into every run.
+func Campaign(opts ...Option) (CampaignReport, error) {
+	c := config{n: 16, schedule: Fair, algorithm: PoisonPill, backend: Live}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.k == 0 {
+		c.k = c.n
+	}
+	if err := c.validate(); err != nil {
+		return CampaignReport{}, err
+	}
+	if c.faults > 0 {
+		return CampaignReport{}, fmt.Errorf("repro: WithFaults is not supported in campaigns (use WithScenario crash scenarios on the Live backend)")
+	}
+	if c.budget > 0 {
+		return CampaignReport{}, fmt.Errorf("repro: WithBudget is not supported in campaigns")
+	}
+	sc, err := c.resolveScenario()
+	if err != nil {
+		return CampaignReport{}, err
+	}
+	rep, err := campaign.Run(campaign.Config{
+		Runs: c.runs, Workers: c.workers, N: c.n, K: c.k, BaseSeed: c.seed,
+		Algorithm: live.Algorithm(c.algorithm), Backend: campaign.Backend(c.backend),
+		Schedule: c.schedule, Scenario: sc,
+	})
+	if err != nil {
+		return CampaignReport{}, fmt.Errorf("repro: %w", err)
+	}
+	return CampaignReport{
+		Runs: rep.Runs, Workers: rep.Workers,
+		Elapsed: rep.Elapsed, Throughput: rep.Throughput,
+		MeanLatency: rep.Latency.Mean, P50: rep.Latency.P50, P90: rep.Latency.P90,
+		P99: rep.Latency.P99, MaxLatency: rep.Latency.Max,
+		MeanTime: rep.MeanTime,
+		Elected:  rep.Elected, WinnerCrashed: rep.WinnerCrashed, Crashed: rep.Crashed,
 	}, nil
 }
 
