@@ -1,0 +1,212 @@
+// Command electd runs the election service: a long-lived daemon hosting the
+// paper's register arrays behind majority-quorum reads and writes, and a
+// client mode that runs leader elections against a set of such servers over
+// TCP. One server set multiplexes any number of concurrent election
+// instances by election ID.
+//
+// A quorum system is n server processes; elections tolerate up to ⌈n/2⌉−1
+// of them failing. Participants are pure clients — they can live anywhere
+// that can dial the servers.
+//
+// Servers retain each election instance's register state until told to
+// drop it (electd.Server.DropElection); the protocol itself has no
+// completion signal, since no participant can know whether others still
+// need the registers. Long-lived deployments should recycle the server
+// processes, or embed electd.Server and evict finished instances.
+//
+// Start a three-server system (each in its own process, or machine):
+//
+//	electd -serve -id 0 -listen 127.0.0.1:7600
+//	electd -serve -id 1 -listen 127.0.0.1:7601
+//	electd -serve -id 2 -listen 127.0.0.1:7602
+//
+// Run elections against it from a separate participant process:
+//
+//	electd -elect -servers 127.0.0.1:7600,127.0.0.1:7601,127.0.0.1:7602 \
+//	       -k 8 -elections 100 -seed 1
+//
+// Or demo the whole thing in one process (servers on ephemeral loopback
+// ports, participants dialling them over real sockets):
+//
+//	electd -demo -n 5 -k 5 -elections 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/electd"
+	"repro/internal/rt"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		serve     = flag.Bool("serve", false, "run one quorum server (daemon mode)")
+		elect     = flag.Bool("elect", false, "run elections as a client against -servers")
+		demo      = flag.Bool("demo", false, "run servers and participants in one process over loopback TCP")
+		id        = flag.Int("id", 0, "serve: this server's replica id")
+		listen    = flag.String("listen", "127.0.0.1:0", "serve: listen address")
+		servers   = flag.String("servers", "", "elect: comma-separated server addresses, in replica-id order")
+		n         = flag.Int("n", 3, "demo: number of quorum servers")
+		k         = flag.Int("k", 4, "elect/demo: participants per election")
+		elections = flag.Int("elections", 1, "elect/demo: number of (concurrent) election instances")
+		seed      = flag.Int64("seed", 1, "elect/demo: base PRNG seed")
+		algo      = flag.String("algorithm", "poisonpill", "poisonpill | tournament")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *serve:
+		err = runServe(*id, *listen)
+	case *elect:
+		err = runElect(strings.Split(*servers, ","), *k, *elections, *seed, *algo)
+	case *demo:
+		err = runDemo(*n, *k, *elections, *seed, *algo)
+	default:
+		err = fmt.Errorf("pick a mode: -serve, -elect or -demo")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "electd:", err)
+		os.Exit(1)
+	}
+}
+
+// runServe hosts one register replica until interrupted.
+func runServe(id int, addr string) error {
+	if id < 0 {
+		return fmt.Errorf("server id %d must be non-negative", id)
+	}
+	srv := electd.NewServer(rt.ProcID(id))
+	ln, err := transport.ListenTCP(addr, srv.Handle)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("electd: server %d listening on %s\n", id, ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(30 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Printf("electd: server %d shutting down (%d requests served, %d elections hosted)\n",
+				id, srv.Served(), srv.Elections())
+			return nil
+		case <-tick.C:
+			fmt.Printf("electd: server %d: %d requests served, %d elections hosted\n",
+				id, srv.Served(), srv.Elections())
+		}
+	}
+}
+
+// runElect dials the servers and runs the requested elections concurrently,
+// multiplexed by election ID over one connection pool.
+func runElect(addrs []string, k, elections int, seed int64, algo string) error {
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if len(addrs) == 0 || addrs[0] == "" {
+		return fmt.Errorf("-elect needs -servers")
+	}
+	pool, err := electd.DialPool(transport.NewTCP(), addrs)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	return runElections(pool.NewComm, len(addrs), k, elections, seed, algo)
+}
+
+// runDemo starts an in-process cluster over loopback TCP and elects on it.
+func runDemo(n, k, elections int, seed int64, algo string) error {
+	cluster, err := electd.NewCluster(transport.NewTCP(), n)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Printf("electd: %d servers on %s\n", n, strings.Join(cluster.Addrs(), " "))
+	return runElections(cluster.NewComm, n, k, elections, seed, algo)
+}
+
+// runElections fans the requested election instances out concurrently —
+// each with k participant goroutines — and verifies a unique winner per
+// instance.
+func runElections(newComm func(p rt.Procer, election uint64, delay func(int) time.Duration) *electd.Client,
+	n, k, elections int, seed int64, algo string) error {
+	if k < 1 {
+		return fmt.Errorf("participants %d must be positive", k)
+	}
+	if elections < 1 {
+		return fmt.Errorf("election count %d must be positive", elections)
+	}
+	body := core.LeaderElectWithState
+	switch algo {
+	case "poisonpill", "":
+	case "tournament":
+		return fmt.Errorf("tournament over electd needs the livesim harness (livesim -transport tcp -algorithm tournament)")
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	// Election IDs must be unique across invocations, not just within one:
+	// long-lived servers keep per-ID register state, so a second `-elect`
+	// run reusing IDs 1..E would collide with the first run's cells and
+	// decide on stale state. A per-invocation nanosecond base keeps every
+	// run in its own namespace on the shared servers.
+	base := uint64(time.Now().UnixNano())
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, elections)
+	for e := 0; e < elections; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			decisions := make([]core.Decision, k)
+			var pwg sync.WaitGroup
+			for i := 0; i < k; i++ {
+				pwg.Add(1)
+				go func(i int) {
+					defer pwg.Done()
+					p := electd.NewParticipant(rt.ProcID(i), k, seed+int64(e*k+i))
+					c := newComm(p, base+uint64(e), nil)
+					s := core.NewState(p, "leaderelect")
+					decisions[i] = body(c, "elect", s)
+				}(i)
+			}
+			pwg.Wait()
+			winner := rt.ProcID(-1)
+			for i, d := range decisions {
+				if d == core.Win {
+					if winner >= 0 {
+						errs[e] = fmt.Errorf("election %d: processors %d and %d both won", e, winner, i)
+						return
+					}
+					winner = rt.ProcID(i)
+				}
+			}
+			if winner < 0 {
+				errs[e] = fmt.Errorf("election %d: no winner", e)
+				return
+			}
+			fmt.Printf("election=%-4d winner=%d\n", e, winner)
+		}(e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%d elections, %d participants each, %d servers: %v total\n",
+		elections, k, n, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -10,6 +10,7 @@
 //	livesim -n 256 -runs 64 -algorithm tournament
 //	livesim -n 64 -runs 256 -scan                # worker-scaling curve 1..GOMAXPROCS
 //	livesim -n 32 -runs 128 -backend sim         # same campaign on the sim kernel
+//	livesim -n 32 -runs 128 -transport tcp       # quorums over loopback TCP (electd)
 //	livesim -n 64 -runs 1 -v                     # one election, per-run detail
 //
 // Scenario matrices (live backend only):
@@ -20,8 +21,10 @@
 //	livesim -n 64 -runs 128 -delay 100us -jitter 400us -tail 1.2
 //
 // Algorithms: poisonpill (default), tournament. Backends: live (default),
-// sim. Preset scenarios: baseline, crash-1, crash-minority, lan, wan,
-// heavy-tail, slow-third, reorder, chaos.
+// sim. Transports (live backend): chan (default, in-process mailboxes), tcp
+// (electd quorum servers over loopback TCP sockets; the campaign shares one
+// multiplexed server set). Preset scenarios: baseline, crash-1,
+// crash-minority, lan, wan, heavy-tail, slow-third, reorder, chaos.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base seed (per-run seeds are sharded from it)")
 		algo    = flag.String("algorithm", "poisonpill", "poisonpill | tournament")
 		backend = flag.String("backend", "live", "live | sim")
+		trans   = flag.String("transport", "chan", "chan | tcp (live backend comm substrate)")
 		scan    = flag.Bool("scan", false, "sweep worker counts 1,2,4,...,GOMAXPROCS and print the scaling curve")
 		verbose = flag.Bool("v", false, "run additional individual live elections first and print their per-run details")
 
@@ -69,7 +73,7 @@ func main() {
 	}
 	if err := run(config{
 		n: *n, k: *k, runs: *runs, workers: *workers, seed: *seed,
-		algo: *algo, backend: *backend, scan: *scan, verbose: *verbose,
+		algo: *algo, backend: *backend, transport: *trans, scan: *scan, verbose: *verbose,
 		scenarios: *scenarios, custom: custom,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "livesim:", err)
@@ -81,6 +85,7 @@ type config struct {
 	n, k, runs, workers int
 	seed                int64
 	algo, backend       string
+	transport           string
 	scan, verbose       bool
 	scenarios           string
 	custom              *fault.Scenario
@@ -153,6 +158,7 @@ func run(cfg config) error {
 	ccfg := campaign.Config{
 		Runs: cfg.runs, Workers: cfg.workers, N: cfg.n, K: cfg.k, BaseSeed: cfg.seed,
 		Algorithm: live.Algorithm(cfg.algo), Backend: campaign.Backend(cfg.backend),
+		Transport: live.Transport(cfg.transport),
 	}
 	scenarios, err := resolveScenarios(cfg)
 	if err != nil {
@@ -206,12 +212,13 @@ func printRuns(cfg config, sc fault.Scenario) error {
 		res, err := live.Elect(live.Config{
 			N: cfg.n, K: cfg.k, Seed: cfg.seed + int64(i),
 			Algorithm: live.Algorithm(cfg.algo), Scenario: sc,
+			Transport: live.Transport(cfg.transport),
 		})
 		if err != nil {
 			return fmt.Errorf("%s run %d: %w", name, i, err)
 		}
-		fmt.Printf("scenario=%-16s run=%-4d winner=%-4d rounds=%-3d time=%-4d messages=%-8d crashed=%-3d wall=%v\n",
-			name, i, res.Winner, res.Rounds, res.Time, res.Messages, len(res.Crashed),
+		fmt.Printf("scenario=%-16s run=%-4d winner=%-4d rounds=%-3d time=%-4d messages=%-8d bytes=%-8d crashed=%-3d wall=%v\n",
+			name, i, res.Winner, res.Rounds, res.Time, res.Messages, res.Bytes, len(res.Crashed),
 			res.Elapsed.Round(time.Microsecond))
 	}
 	return nil

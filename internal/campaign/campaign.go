@@ -8,9 +8,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/electd"
 	"repro/internal/expt"
 	"repro/internal/fault"
 	"repro/internal/live"
+	"repro/internal/transport"
 )
 
 // Backend selects the execution backend elections run on.
@@ -65,6 +67,17 @@ type Config struct {
 	// control delay and crashes. For a cross product of scenarios, use
 	// RunMatrix.
 	Scenario fault.Scenario
+	// Transport picks the BackendLive comm substrate: live.TransportChan
+	// (default) or live.TransportTCP. Over TCP a fault-free campaign
+	// shares one electd cluster — n loopback-TCP servers — and multiplexes
+	// its elections onto it by election ID, so hundreds of runs exercise a
+	// single set of listening servers like traffic on a deployed service.
+	// Campaigns with active fault scenarios run one cluster per election
+	// instead: crashing a shared server would leak faults across runs.
+	Transport live.Transport
+
+	// cluster is the campaign-owned shared server set of a TCP campaign.
+	cluster *electd.Cluster
 }
 
 // Latency summarises a campaign's per-election wall-clock latencies.
@@ -170,6 +183,17 @@ func (cfg *Config) normalize() error {
 	if cfg.Backend == BackendSim && cfg.Schedule == "" {
 		cfg.Schedule = expt.SchedFair
 	}
+	switch cfg.Transport {
+	case "":
+		cfg.Transport = live.TransportChan
+	case live.TransportChan:
+	case live.TransportTCP:
+		if cfg.Backend != BackendLive {
+			return fmt.Errorf("campaign: the TCP transport requires the live backend")
+		}
+	default:
+		return fmt.Errorf("campaign: unknown transport %q", cfg.Transport)
+	}
 	return nil
 }
 
@@ -201,9 +225,19 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 	seed := shardSeed(cfg.BaseSeed, idx)
 	switch cfg.Backend {
 	case BackendLive:
-		res, err := live.Elect(live.Config{
+		lcfg := live.Config{
 			N: cfg.N, K: cfg.K, Seed: seed, Algorithm: cfg.Algorithm, Scenario: sc,
-		})
+			Transport: cfg.Transport,
+		}
+		if cfg.cluster != nil {
+			lcfg.Cluster = cfg.cluster
+			lcfg.ElectionID = cfg.cluster.NextElectionID()
+			// The instance is over once Elect returns (every participant
+			// joined); evict its register state so a long campaign doesn't
+			// accumulate one store per election on the shared servers.
+			defer cfg.cluster.DropElection(lcfg.ElectionID)
+		}
+		res, err := live.Elect(lcfg)
 		if err != nil {
 			return runStats{}, fmt.Errorf("run %d (seed %d, scenario %q): %w", idx, seed, sc.Name, err)
 		}
@@ -265,6 +299,27 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 	for _, sc := range scenarios {
 		if err := cfg.checkScenario(sc); err != nil {
 			return MatrixReport{}, err
+		}
+	}
+	if cfg.Backend == BackendLive && cfg.Transport == live.TransportTCP {
+		// One shared server set for the whole matrix: every run multiplexes
+		// onto it under a fresh election ID. Fault scenarios preclude the
+		// sharing — crashing a shared server would leak faults across
+		// elections — so scenario matrices fall back to one cluster per run.
+		shared := true
+		for _, sc := range scenarios {
+			if sc.Active() {
+				shared = false
+				break
+			}
+		}
+		if shared {
+			cluster, err := electd.NewCluster(transport.NewTCP(), cfg.N)
+			if err != nil {
+				return MatrixReport{}, fmt.Errorf("campaign: start electd cluster: %w", err)
+			}
+			defer cluster.Close()
+			cfg.cluster = cluster
 		}
 	}
 	total := len(scenarios) * cfg.Runs

@@ -103,9 +103,16 @@ type Status struct {
 	List []rt.ProcID
 }
 
-// WireSize implements rt.WireSizer: one byte of status plus four bytes per
-// list entry (bit-complexity accounting).
-func (s Status) WireSize() int { return 1 + 4*len(s.List) }
+// WireSize implements rt.WireSizer with the status's exact encoded body
+// size under the internal/wire codec: one stat byte, the list length and
+// each listed processor id as uvarints.
+func (s Status) WireSize() int {
+	n := 1 + rt.UvarintSize(uint64(len(s.List)))
+	for _, id := range s.List {
+		n += rt.UvarintSize(uint64(id))
+	}
+	return n
+}
 
 // Stage identifies where in the protocol a participant currently is; it is
 // part of the adversary-visible State.

@@ -121,12 +121,19 @@ func TestSiftPropertyAlwaysOneSurvivor(t *testing.T) {
 }
 
 func TestStatusWireSize(t *testing.T) {
-	if (Status{Stat: Commit}).WireSize() != 1 {
-		t.Fatal("commit status should cost 1 byte")
+	// Exact internal/wire codec body sizes: stat byte + list-length uvarint
+	// + one uvarint per listed id. The codec's property tests pin that
+	// these match the encoder byte for byte.
+	if got := (Status{Stat: Commit}).WireSize(); got != 2 {
+		t.Fatalf("commit status = %d bytes, want 2 (stat byte + empty-list uvarint)", got)
 	}
 	s := Status{Stat: LowPri, List: []sim.ProcID{1, 2, 3}}
-	if s.WireSize() != 1+12 {
-		t.Fatalf("status with 3-entry list = %d bytes, want 13", s.WireSize())
+	if s.WireSize() != 1+1+3 {
+		t.Fatalf("status with 3-entry list = %d bytes, want 5", s.WireSize())
+	}
+	wide := Status{Stat: HighPri, List: []sim.ProcID{200}} // 200 needs a 2-byte uvarint
+	if wide.WireSize() != 1+1+2 {
+		t.Fatalf("status listing processor 200 = %d bytes, want 4", wide.WireSize())
 	}
 }
 

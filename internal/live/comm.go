@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/rt"
+	"repro/internal/wire"
 )
 
 // Comm is the live backend's communicate handle; it implements rt.Comm for
@@ -36,7 +37,7 @@ func (c *Comm) Propagate(reg string, val rt.Value) {
 	e := rt.Entry{Reg: reg, Owner: p.id, Seq: arr.cells[self].seq, Val: val}
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	c.communicate(request{kind: propagateReq, entries: []rt.Entry{e}})
+	c.communicate(request{kind: propagateReq, reg: reg, entries: []rt.Entry{e}})
 }
 
 // Collect implements rt.Comm: gather the register-array views of a quorum,
@@ -71,6 +72,7 @@ func (c *Comm) communicate(req request) []reply {
 	p := c.p
 	p.maybeCrash()
 	p.commCalls++
+	req.call = uint64(p.commCalls)
 	n := p.sys.n
 	need := c.QuorumSize() - 1
 	if need == 0 {
@@ -82,6 +84,14 @@ func (c *Comm) communicate(req request) []reply {
 	}
 	ch := make(chan reply, n-1)
 	req.reply = ch
+	// Byte accounting uses the request's internal/wire equivalent, so the
+	// channel backend reports the same bit complexity the codec would put
+	// on a socket (and the sim kernel's PayloadBytes measures).
+	wk := wire.KindCollect
+	if req.kind == propagateReq {
+		wk = wire.KindPropagate
+	}
+	reqSize := int64((&wire.Msg{Kind: wk, Call: req.call, From: p.id, Reg: req.reg, Entries: req.entries}).WireSize())
 	pl := p.sys.plan
 	for j := 0; j < n; j++ {
 		if rt.ProcID(j) == p.id {
@@ -89,6 +99,7 @@ func (c *Comm) communicate(req request) []reply {
 		}
 		inbox := p.sys.procs[j].inbox
 		p.sys.messages.Add(1)
+		p.sys.bytes.Add(reqSize)
 		if d := pl.SendDelay(p.frng, int(p.id), j); d > 0 {
 			// Delayed delivery. The inflight group lets Shutdown wait for
 			// stragglers before closing the mailboxes.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/rt"
+	"repro/internal/wire"
 )
 
 // SeedStride separates per-processor PRNG streams: consecutive processor
@@ -33,6 +34,7 @@ const (
 // request is one quorum message travelling to a server goroutine.
 type request struct {
 	kind    msgKind
+	call    uint64       // caller's communicate-call ordinal (byte accounting)
 	entries []rt.Entry   // propagateReq payload (treated as immutable)
 	reg     string       // collectReq target register array
 	reply   chan<- reply // per-call buffered channel; never blocks the server
@@ -68,9 +70,11 @@ type System struct {
 	n        int
 	plan     *fault.Plan
 	procs    []*Proc
+	serving  bool
 	servers  sync.WaitGroup
 	inflight sync.WaitGroup // delayed message deliveries still sleeping
 	messages atomic.Int64
+	bytes    atomic.Int64 // wire-codec bytes of all quorum traffic
 }
 
 // NewSystem creates n processors, each with a running server goroutine, and
@@ -84,7 +88,14 @@ func NewSystem(n int, seed int64) *System {
 // of a fault.Scenario. Crash times are armed by the runner, not here — the
 // clock starts when the algorithms do.
 func NewScenarioSystem(n int, seed int64, plan *fault.Plan) *System {
-	sys := &System{n: n, plan: plan, procs: make([]*Proc, n)}
+	return newSystem(n, seed, plan, true)
+}
+
+// newSystem optionally skips the server goroutines: a TCP-transport run
+// replaces the channel-backed quorum with electd servers, leaving the
+// in-process mailboxes unused.
+func newSystem(n int, seed int64, plan *fault.Plan, serve bool) *System {
+	sys := &System{n: n, plan: plan, serving: serve, procs: make([]*Proc, n)}
 	for i := 0; i < n; i++ {
 		p := &Proc{
 			id:  rt.ProcID(i),
@@ -110,9 +121,11 @@ func NewScenarioSystem(n int, seed int64, plan *fault.Plan) *System {
 		p.cond = sync.NewCond(&p.mu)
 		sys.procs[i] = p
 	}
-	for _, p := range sys.procs {
-		sys.servers.Add(1)
-		go p.serve()
+	if serve {
+		for _, p := range sys.procs {
+			sys.servers.Add(1)
+			go p.serve()
+		}
 	}
 	return sys
 }
@@ -153,6 +166,11 @@ func (sys *System) Proc(id rt.ProcID) *Proc { return sys.procs[id] }
 // (requests and replies, as in the sim backend's accounting).
 func (sys *System) Messages() int64 { return sys.messages.Load() }
 
+// Bytes returns the total wire-codec payload bytes of all quorum traffic so
+// far — the same internal/wire frame-body accounting as the sim backend's
+// PayloadBytes statistic and the TCP transport's byte counters.
+func (sys *System) Bytes() int64 { return sys.bytes.Load() }
+
 // Shutdown stops the server goroutines and waits for them to drain. It must
 // only be called after every algorithm goroutine has returned: closing the
 // mailboxes while a communicate call is still broadcasting would panic.
@@ -163,7 +181,9 @@ func (sys *System) Shutdown() {
 	for _, p := range sys.procs {
 		close(p.inbox)
 	}
-	sys.servers.Wait()
+	if sys.serving {
+		sys.servers.Wait()
+	}
 }
 
 // Proc is a processor handle of the live backend; it implements rt.Procer.
@@ -370,11 +390,13 @@ func (p *Proc) serve() {
 			p.cond.Broadcast()
 			p.mu.Unlock()
 			req.reply <- reply{}
+			p.sys.bytes.Add(int64((&wire.Msg{Kind: wire.KindAck, Call: req.call, From: p.id}).WireSize()))
 		case collectReq:
 			p.mu.Lock()
 			v := rt.View{From: p.id, Entries: p.snapshotLocked(req.reg)}
 			p.mu.Unlock()
 			req.reply <- reply{view: v}
+			p.sys.bytes.Add(int64((&wire.Msg{Kind: wire.KindView, Call: req.call, From: p.id, Reg: req.reg, Entries: v.Entries}).WireSize()))
 		}
 		p.sys.messages.Add(1) // the reply
 	}

@@ -8,8 +8,10 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/electd"
 	"repro/internal/fault"
 	"repro/internal/rt"
+	"repro/internal/transport"
 )
 
 // Algorithm selects the protocol a live run executes. The values match the
@@ -26,6 +28,20 @@ const (
 	AlgoBasicSift Algorithm = "basic-sift"
 	// AlgoHetSift is one standalone heterogeneous round (Figure 2).
 	AlgoHetSift Algorithm = "het-sift"
+)
+
+// Transport selects the comm substrate a live run's quorum traffic crosses.
+type Transport string
+
+// Transports understood by the live runners.
+const (
+	// TransportChan is the in-process substrate: server-goroutine mailboxes
+	// and channel broadcast (the default).
+	TransportChan Transport = "chan"
+	// TransportTCP routes every communicate call through electd servers
+	// over loopback TCP sockets: real network boundary, kernel scheduling,
+	// wire-codec frames. Algorithms run unchanged behind rt.Comm.
+	TransportTCP Transport = "tcp"
 )
 
 // Config parameterises one live run.
@@ -46,6 +62,17 @@ type Config struct {
 	// default). A fired timeout reports an error and leaks the run's
 	// goroutines: it is a diagnostic for liveness bugs, not a control path.
 	Timeout time.Duration
+	// Transport picks the comm substrate: TransportChan (default) or
+	// TransportTCP.
+	Transport Transport
+	// Cluster (TransportTCP only) reuses an already-running electd server
+	// set instead of building one per run; the run then multiplexes onto it
+	// under ElectionID. Crash scenarios are rejected with a shared cluster —
+	// they would fail servers other elections depend on.
+	Cluster *electd.Cluster
+	// ElectionID namespaces this run's register state on a shared Cluster.
+	// Ignored (an owned cluster hosts exactly one election) otherwise.
+	ElectionID uint64
 }
 
 // DefaultTimeout bounds a live run when Config.Timeout is zero. The
@@ -88,6 +115,11 @@ type Result struct {
 	Time int
 	// Messages is the total number of point-to-point messages exchanged.
 	Messages int64
+	// Bytes is the total wire-codec payload size of those messages — the
+	// exact internal/wire frame-body bytes, comparable with the sim
+	// backend's PayloadBytes statistic. On a shared TCP cluster it counts
+	// only this run's traffic.
+	Bytes int64
 	// Elapsed is the run's wall-clock duration.
 	Elapsed time.Duration
 }
@@ -111,6 +143,28 @@ func (cfg *Config) normalize() error {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
 	}
+	switch cfg.Transport {
+	case "":
+		cfg.Transport = TransportChan
+	case TransportChan, TransportTCP:
+	default:
+		return fmt.Errorf("live: unknown transport %q", cfg.Transport)
+	}
+	if cfg.Transport != TransportTCP {
+		if cfg.Cluster != nil {
+			return fmt.Errorf("live: an electd cluster requires the TCP transport")
+		}
+		if cfg.ElectionID != 0 {
+			return fmt.Errorf("live: election IDs exist only on the TCP transport")
+		}
+	} else if cfg.Cluster != nil {
+		if cfg.Cluster.N() != cfg.N {
+			return fmt.Errorf("live: shared cluster has %d servers, run wants n=%d", cfg.Cluster.N(), cfg.N)
+		}
+		if cfg.Scenario.Active() {
+			return fmt.Errorf("live: scenario %q cannot run on a shared cluster (faults would leak into other elections); omit Cluster", cfg.Scenario.Name)
+		}
+	}
 	return nil
 }
 
@@ -121,14 +175,14 @@ func Elect(cfg Config) (Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return Result{}, err
 	}
-	var body func(c *Comm, s *core.State) core.Decision
+	var body func(c rt.Comm, s *core.State) core.Decision
 	switch cfg.Algorithm {
 	case AlgoPoisonPill:
-		body = func(c *Comm, s *core.State) core.Decision {
+		body = func(c rt.Comm, s *core.State) core.Decision {
 			return core.LeaderElectWithState(c, "elect", s)
 		}
 	case AlgoTournament:
-		body = func(c *Comm, s *core.State) core.Decision {
+		body = func(c rt.Comm, s *core.State) core.Decision {
 			return baseline.TournamentWithState(c, "tourn", s)
 		}
 	default:
@@ -137,8 +191,7 @@ func Elect(cfg Config) (Result, error) {
 
 	decisions := make([]core.Decision, cfg.K)
 	states := make([]*core.State, cfg.K)
-	res, err := run(cfg, func(p *Proc, i int) {
-		c := NewComm(p)
+	res, err := run(cfg, func(p *Proc, c rt.Comm, i int) {
 		s := core.NewState(p, string(cfg.Algorithm))
 		states[i] = s
 		decisions[i] = body(c, s)
@@ -193,14 +246,14 @@ func Sift(cfg Config) (Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return Result{}, err
 	}
-	var body func(c *Comm, s *core.State) core.Outcome
+	var body func(c rt.Comm, s *core.State) core.Outcome
 	switch cfg.Algorithm {
 	case AlgoBasicSift:
-		body = func(c *Comm, s *core.State) core.Outcome {
+		body = func(c rt.Comm, s *core.State) core.Outcome {
 			return core.PoisonPill(c, "pp", s)
 		}
 	case AlgoHetSift:
-		body = func(c *Comm, s *core.State) core.Outcome {
+		body = func(c rt.Comm, s *core.State) core.Outcome {
 			return core.HetPoisonPill(c, "pp", s)
 		}
 	default:
@@ -208,8 +261,7 @@ func Sift(cfg Config) (Result, error) {
 	}
 
 	outcomes := make([]core.Outcome, cfg.K)
-	res, err := run(cfg, func(p *Proc, i int) {
-		c := NewComm(p)
+	res, err := run(cfg, func(p *Proc, c rt.Comm, i int) {
 		s := core.NewState(p, string(cfg.Algorithm))
 		outcomes[i] = body(c, s)
 	})
@@ -241,20 +293,83 @@ func Sift(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// countedComm books a participant's communicate calls into its Proc (for
+// the paper's time metric) and gives crashes their unwind points, wrapping
+// comm substrates — the electd TCP client — that do not have access to the
+// Proc's internals. The chan substrate's own Comm does both natively.
+type countedComm struct {
+	p     *Proc
+	inner rt.Comm
+}
+
+func (c *countedComm) Proc() rt.Procer { return c.p }
+func (c *countedComm) QuorumSize() int { return c.inner.QuorumSize() }
+func (c *countedComm) Propagate(reg string, val rt.Value) {
+	c.p.maybeCrash()
+	c.p.commCalls++
+	c.inner.Propagate(reg, val)
+	c.p.maybeCrash()
+}
+func (c *countedComm) Collect(reg string) []rt.View {
+	c.p.maybeCrash()
+	c.p.commCalls++
+	views := c.inner.Collect(reg)
+	c.p.maybeCrash()
+	return views
+}
+
 // run builds a system (materializing the scenario's fault plan, if any),
 // executes algo on the first K processors concurrently, joins them, shuts
-// the servers down and reports the shared measures. Scenario crashes are
+// the substrate down and reports the shared measures.
+//
+// On TransportChan the quorum runs over the in-process server goroutines;
+// on TransportTCP it runs over an electd cluster — cfg.Cluster when shared,
+// otherwise a cluster of n loopback-TCP servers owned by this run — with
+// scenario link delays injected as delayed writes at the transport and
+// crashes dropping the victim's server connections. Scenario crashes are
 // armed as wall-clock timers when the algorithms start; a crashed
 // participant's goroutine unwinds via crashSignal and is recorded in
 // Result.Crashed. The timeout path leaves the run's goroutines behind by
 // design: there is no safe way to interrupt them, and the caller is about
 // to fail anyway.
-func run(cfg Config, algo func(p *Proc, i int)) (Result, error) {
+func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	plan, err := cfg.Scenario.Plan(cfg.N, cfg.Seed)
 	if err != nil {
 		return Result{}, err
 	}
-	sys := NewScenarioSystem(cfg.N, cfg.Seed, plan)
+	sys := newSystem(cfg.N, cfg.Seed, plan, cfg.Transport != TransportTCP)
+
+	var cluster *electd.Cluster
+	var clients []*electd.Client
+	comms := make([]rt.Comm, cfg.K)
+	if cfg.Transport == TransportTCP {
+		cluster = cfg.Cluster
+		election := cfg.ElectionID
+		if cluster == nil {
+			cluster, err = electd.NewCluster(transport.NewTCP(), cfg.N)
+			if err != nil {
+				return Result{}, fmt.Errorf("live: start electd cluster: %w", err)
+			}
+			defer cluster.Close()
+		}
+		clients = make([]*electd.Client, cfg.K)
+		for i := 0; i < cfg.K; i++ {
+			p := sys.procs[i]
+			var delay func(int) time.Duration
+			if plan != nil {
+				// Sampled on the algorithm goroutine, which owns p.frng.
+				delay = func(to int) time.Duration {
+					return plan.SendDelay(p.frng, int(p.id), to)
+				}
+			}
+			clients[i] = cluster.NewComm(p, election, delay)
+			comms[i] = &countedComm{p: p, inner: clients[i]}
+		}
+	} else {
+		for i := 0; i < cfg.K; i++ {
+			comms[i] = NewComm(sys.procs[i])
+		}
+	}
 
 	crashed := make([]bool, cfg.K)
 	var wg sync.WaitGroup
@@ -263,7 +378,15 @@ func run(cfg Config, algo func(p *Proc, i int)) (Result, error) {
 		timers := make([]*time.Timer, 0, len(plan.Crashes))
 		for _, cr := range plan.Crashes {
 			id := rt.ProcID(cr.Proc)
-			timers = append(timers, time.AfterFunc(cr.At, func() { sys.Crash(id) }))
+			timers = append(timers, time.AfterFunc(cr.At, func() {
+				sys.Crash(id)
+				if cluster != nil {
+					// An owned cluster pairs server i with processor i, so a
+					// crash fails both halves, as on the chan substrate.
+					// (Shared clusters reject scenarios at normalize.)
+					cluster.Crash(id)
+				}
+			}))
 		}
 		// Pending crashes are cancelled once the run completes: a crash
 		// scheduled after the last decision didn't happen, as far as the
@@ -287,7 +410,7 @@ func run(cfg Config, algo func(p *Proc, i int)) (Result, error) {
 					panic(r)
 				}
 			}()
-			algo(sys.procs[i], i)
+			algo(sys.procs[i], comms[i], i)
 		}(i)
 	}
 
@@ -299,13 +422,22 @@ func run(cfg Config, algo func(p *Proc, i int)) (Result, error) {
 	select {
 	case <-done:
 	case <-time.After(cfg.Timeout):
-		return Result{}, fmt.Errorf("%w after %v (n=%d k=%d algorithm=%s scenario=%q)",
-			ErrTimeout, cfg.Timeout, cfg.N, cfg.K, cfg.Algorithm, cfg.Scenario.Name)
+		return Result{}, fmt.Errorf("%w after %v (n=%d k=%d algorithm=%s transport=%s scenario=%q)",
+			ErrTimeout, cfg.Timeout, cfg.N, cfg.K, cfg.Algorithm, cfg.Transport, cfg.Scenario.Name)
 	}
 	elapsed := time.Since(start)
 	sys.Shutdown()
 
-	res := Result{Elapsed: elapsed, Messages: sys.Messages()}
+	res := Result{Elapsed: elapsed, Messages: sys.Messages(), Bytes: sys.Bytes()}
+	if clients != nil {
+		// TCP traffic is booked per participant, so a shared cluster still
+		// reports this run's own messages and bytes.
+		res.Messages, res.Bytes = 0, 0
+		for _, cl := range clients {
+			res.Messages += cl.Messages()
+			res.Bytes += cl.Bytes()
+		}
+	}
 	for i := 0; i < cfg.K; i++ {
 		if crashed[i] {
 			res.Crashed = append(res.Crashed, rt.ProcID(i))

@@ -51,15 +51,18 @@ type (
 	// and acknowledges.
 	propagateMsg struct {
 		Call    int64
+		From    sim.ProcID
 		Entries []Entry
 	}
 	// ackMsg acknowledges a propagateMsg.
 	ackMsg struct {
 		Call int64
+		From sim.ProcID
 	}
 	// collectMsg requests the recipient's view of one register array.
 	collectMsg struct {
 		Call int64
+		From sim.ProcID
 		Reg  string
 	}
 	// collectAck carries the recipient's view back to the caller.
@@ -72,9 +75,31 @@ type (
 	}
 )
 
+// The WireSize methods report the exact frame-body sizes of each payload's
+// internal/wire equivalent, so the sim kernel's PayloadBytes statistic and
+// the live backend's byte counters account the identical wire format. The
+// arithmetic mirrors wire.Msg.WireSize: kind byte, election/call/from
+// uvarints (election is 0 on this backend — a run is one instance), the
+// register name once per message, then the entries. entriesReg returns
+// that per-message register name.
+func entriesReg(entries []Entry) string {
+	if len(entries) == 0 {
+		return ""
+	}
+	return entries[0].Reg
+}
+
+// msgOverhead is the shared frame-body header: kind byte + election uvarint
+// + call uvarint + from uvarint + register-name length and bytes.
+func msgOverhead(call int64, from sim.ProcID, reg string) int {
+	return 1 + rt.UvarintSize(0) + rt.UvarintSize(uint64(call)) +
+		rt.UvarintSize(uint64(from)) + rt.UvarintSize(uint64(len(reg))) + len(reg)
+}
+
 // WireSize implements sim.WireSizer.
 func (m propagateMsg) WireSize() int {
-	n := 8
+	reg := entriesReg(m.Entries)
+	n := msgOverhead(m.Call, m.From, reg) + rt.UvarintSize(uint64(len(m.Entries)))
 	for _, e := range m.Entries {
 		n += e.WireSize()
 	}
@@ -82,17 +107,18 @@ func (m propagateMsg) WireSize() int {
 }
 
 // WireSize implements sim.WireSizer.
-func (ackMsg) WireSize() int { return 8 }
+func (m ackMsg) WireSize() int { return msgOverhead(m.Call, m.From, "") }
 
 // WireSize implements sim.WireSizer.
-func (m collectMsg) WireSize() int { return 8 + len(m.Reg) }
+func (m collectMsg) WireSize() int { return msgOverhead(m.Call, m.From, m.Reg) }
 
 // WireSize implements sim.WireSizer.
 func (m collectAck) WireSize() int {
+	reg := entriesReg(m.Entries)
+	n := msgOverhead(m.Call, m.From, reg) + rt.UvarintSize(uint64(len(m.Entries)))
 	if m.entriesSize > 0 || len(m.Entries) == 0 {
-		return 12 + m.entriesSize
+		return n + m.entriesSize
 	}
-	n := 12
 	for _, e := range m.Entries {
 		n += e.WireSize()
 	}
@@ -174,7 +200,7 @@ func (s *Store) HandleMessage(from sim.ProcID, payload any) (any, bool) {
 		for _, e := range m.Entries {
 			s.merge(e)
 		}
-		return ackMsg{Call: m.Call}, true
+		return ackMsg{Call: m.Call, From: s.id}, true
 	case collectMsg:
 		entries, size := s.snapshotSized(m.Reg)
 		return collectAck{Call: m.Call, From: s.id, Entries: entries, entriesSize: size}, true
@@ -319,7 +345,7 @@ func (c *Comm) Collect(reg string) []View {
 		if sim.ProcID(i) == c.p.ID() {
 			continue
 		}
-		c.p.Send(sim.ProcID(i), collectMsg{Call: call, Reg: reg})
+		c.p.Send(sim.ProcID(i), collectMsg{Call: call, From: c.p.ID(), Reg: reg})
 	}
 	c.await(call)
 	views := pc.views
@@ -337,7 +363,7 @@ func (c *Comm) broadcast(pcall propagateEntriesCall) {
 	call := c.newCall()
 	pc := c.st.pending[call]
 	pc.acks++ // self-ack: the local store is updated synchronously
-	msg := propagateMsg{Call: call, Entries: pcall.entries}
+	msg := propagateMsg{Call: call, From: c.p.ID(), Entries: pcall.entries}
 	for i := 0; i < c.st.n; i++ {
 		if sim.ProcID(i) == c.p.ID() {
 			continue

@@ -84,8 +84,10 @@ func (s NameSet) Count() int {
 	return c
 }
 
-// WireSize implements rt.WireSizer.
-func (s NameSet) WireSize() int { return 8 * len(s) }
+// WireSize implements rt.WireSizer with the set's exact encoded body size
+// under the internal/wire codec: the word count as a uvarint plus eight
+// bytes per bitset word.
+func (s NameSet) WireSize() int { return rt.UvarintSize(uint64(len(s))) + 8*len(s) }
 
 // State is the adversary- and experiment-visible progress of one renaming
 // participant.

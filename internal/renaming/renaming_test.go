@@ -214,11 +214,13 @@ func TestNameSetQuickProperties(t *testing.T) {
 }
 
 func TestNameSetWireSize(t *testing.T) {
-	if (NewNameSet(64)).WireSize() != 8 {
-		t.Fatalf("WireSize(64 names) = %d, want 8", NewNameSet(64).WireSize())
+	// Exact internal/wire codec body sizes: word-count uvarint + 8 bytes
+	// per bitset word.
+	if (NewNameSet(64)).WireSize() != 1+8 {
+		t.Fatalf("WireSize(64 names) = %d, want 9", NewNameSet(64).WireSize())
 	}
-	if (NewNameSet(65)).WireSize() != 16 {
-		t.Fatalf("WireSize(65 names) = %d, want 16", NewNameSet(65).WireSize())
+	if (NewNameSet(65)).WireSize() != 1+16 {
+		t.Fatalf("WireSize(65 names) = %d, want 17", NewNameSet(65).WireSize())
 	}
 }
 

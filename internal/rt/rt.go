@@ -12,9 +12,53 @@ type ProcID int
 type Value any
 
 // WireSizer is implemented by payloads that can report their size in bytes
-// for bit-complexity accounting.
+// for bit-complexity accounting. For values that travel through the
+// internal/wire codec, WireSize must equal the codec's encoded body size
+// exactly — internal/wire's property tests pin that contract.
 type WireSizer interface {
 	WireSize() int
+}
+
+// UvarintSize returns the encoded length in bytes of v as an unsigned
+// varint, the integer representation of the internal/wire codec
+// (encoding/binary's uvarint). It is exported so WireSizer implementations
+// outside internal/wire can account sizes without importing the codec.
+func UvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// ZigZag maps a signed integer to the unsigned representation the codec
+// encodes signed values with (small magnitudes stay small: 0→0, -1→1, 1→2).
+func ZigZag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// ValueSize returns the exact encoded size of a register value under the
+// internal/wire codec: one kind tag byte plus the value body. Natively
+// codable kinds (⊥, bool, int, string) are sized here; every other value
+// must implement WireSizer and report its encoded body size (core.Status and
+// renaming.NameSet do). Values that do neither cannot cross the wire; they
+// are charged a coarse 8-byte body so sim-backend accounting of ad-hoc test
+// payloads stays monotone.
+func ValueSize(v Value) int {
+	switch x := v.(type) {
+	case nil:
+		return 1
+	case bool:
+		return 1 + 1
+	case int:
+		return 1 + UvarintSize(ZigZag(int64(x)))
+	case string:
+		return 1 + UvarintSize(uint64(len(x))) + len(x)
+	default:
+		if s, ok := v.(WireSizer); ok {
+			return 1 + s.WireSize()
+		}
+		return 1 + 8
+	}
 }
 
 // Entry is one register cell in transit or in a view: the cell of register
@@ -26,14 +70,12 @@ type Entry struct {
 	Val   Value
 }
 
-// WireSize implements WireSizer with a coarse fixed estimate per entry
-// (identifier + sequence number + small payload); values that implement
-// WireSizer themselves are measured instead.
+// WireSize implements WireSizer with the entry's exact encoded size under
+// the internal/wire codec: owner and sequence number as uvarints plus the
+// tagged value. The register name is not part of an entry's wire cost —
+// frames carry it once per message, not once per entry.
 func (e Entry) WireSize() int {
-	if s, ok := e.Val.(WireSizer); ok {
-		return 16 + s.WireSize()
-	}
-	return 24
+	return UvarintSize(uint64(e.Owner)) + UvarintSize(e.Seq) + ValueSize(e.Val)
 }
 
 // View is one processor's register-array snapshot returned by Comm.Collect:

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Loopback is the in-process Network: connections are paired frame queues
+// pumped by their own goroutines, so delivery is asynchronous and reorders
+// across connections exactly like sockets. Every message still round-trips
+// through the wire codec — encode on Send, decode on delivery — so loopback
+// runs exercise the exact byte format TCP puts on the network, minus the
+// kernel. Use it for deterministic-environment tests and as the conformance
+// reference for new Network implementations.
+type Loopback struct {
+	mu        sync.Mutex
+	next      int
+	listeners map[string]*loopListener
+}
+
+// NewLoopback creates an empty in-process network.
+func NewLoopback() *Loopback {
+	return &Loopback{listeners: make(map[string]*loopListener)}
+}
+
+// Listen implements Network.
+func (lo *Loopback) Listen(h Handler) (Listener, error) {
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	addr := fmt.Sprintf("loop:%d", lo.next)
+	lo.next++
+	l := &loopListener{net: lo, addr: addr, handler: h}
+	lo.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (lo *Loopback) Dial(addr string, h Handler) (Conn, error) {
+	lo.mu.Lock()
+	l := lo.listeners[addr]
+	lo.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: no loopback listener at %q", addr)
+	}
+	return l.accept(h)
+}
+
+// loopListener is the accept side of the loopback network.
+type loopListener struct {
+	net     *Loopback
+	addr    string
+	handler Handler
+
+	mu      sync.Mutex
+	conns   []*loopConn
+	crashed bool
+	closed  bool
+}
+
+func (l *loopListener) Addr() string { return l.addr }
+
+// accept builds a connection pair: the client half is returned to the
+// dialer, the server half dispatches to the listener's handler.
+func (l *loopListener) accept(h Handler) (Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.crashed {
+		return nil, fmt.Errorf("transport: loopback listener %q is down", l.addr)
+	}
+	client := newLoopConn(h)
+	server := newLoopConn(func(c Conn, m *wire.Msg) {
+		// A crashed node's inbound messages are lost, never handled.
+		l.mu.Lock()
+		dead := l.crashed || l.closed
+		l.mu.Unlock()
+		if !dead {
+			l.handler(c, m)
+		}
+	})
+	client.peer, server.peer = server, client
+	go client.pump()
+	go server.pump()
+	l.conns = append(l.conns, server)
+	return client, nil
+}
+
+// Crash implements Listener: drop every connection, refuse new ones.
+func (l *loopListener) Crash() {
+	l.mu.Lock()
+	l.crashed = true
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close implements Listener.
+func (l *loopListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	return nil
+}
+
+// loopQueueDepth is the per-connection frame queue: deep enough that a
+// quorum broadcast never blocks the sender in practice, shallow enough to
+// model backpressure under sustained overload, matching the TCP write
+// queue.
+const loopQueueDepth = 256
+
+// loopConn is one half of a loopback connection: frames enqueued by the
+// peer's Send are decoded and dispatched to this half's handler by pump.
+type loopConn struct {
+	handler   Handler
+	peer      *loopConn
+	q         chan []byte
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newLoopConn(h Handler) *loopConn {
+	return &loopConn{handler: h, q: make(chan []byte, loopQueueDepth), done: make(chan struct{})}
+}
+
+// Send implements Conn: encode the frame and enqueue it at the peer.
+func (c *loopConn) Send(m *wire.Msg) error {
+	frame, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	p := c.peer
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-p.done:
+		return ErrClosed
+	case p.q <- frame:
+		return nil
+	}
+}
+
+// pump is the read loop: decode queued frames and hand them to the handler.
+func (c *loopConn) pump() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case frame := <-c.q:
+			m, err := decodeFrame(frame)
+			if err != nil {
+				// A corrupt frame on a real socket kills the connection;
+				// mirror that.
+				c.Close()
+				return
+			}
+			c.handler(c, m)
+		}
+	}
+}
+
+// Close implements Conn. Closing either half severs both, like a socket.
+// Each half's done channel is closed under its own Once, never recursively
+// through the peer's Close (which would re-enter this half's Once and
+// deadlock).
+func (c *loopConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	if p := c.peer; p != nil {
+		p.closeOnce.Do(func() { close(p.done) })
+	}
+	return nil
+}
+
+// decodeFrame strips the length prefix and decodes the body.
+func decodeFrame(frame []byte) (*wire.Msg, error) {
+	r := frameReader{b: frame}
+	return wire.ReadMsg(&r)
+}
+
+// frameReader adapts a byte slice to wire.ReadMsg's reader contract.
+type frameReader struct{ b []byte }
+
+func (r *frameReader) ReadByte() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, fmt.Errorf("transport: truncated frame")
+	}
+	b := r.b[0]
+	r.b = r.b[1:]
+	return b, nil
+}
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, fmt.Errorf("transport: truncated frame")
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// TCP is the socket-backed Network: one net.Listener per server, one
+// pooled connection per (client, server) pair, length-prefixed wire frames
+// on the stream. Listeners bind to Host (default loopback) on an ephemeral
+// port, so a test or an in-process cluster can run dozens of nodes without
+// address coordination; cmd/electd binds explicit addresses via ListenTCP.
+type TCP struct {
+	// Host is the bind address for Listen, without a port. Default
+	// "127.0.0.1" — loopback TCP: real sockets, kernel scheduling and
+	// backpressure, no external reachability.
+	Host string
+}
+
+// NewTCP returns the loopback-TCP network.
+func NewTCP() *TCP { return &TCP{Host: "127.0.0.1"} }
+
+// Listen implements Network on an ephemeral port.
+func (t *TCP) Listen(h Handler) (Listener, error) {
+	host := t.Host
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	return ListenTCP(net.JoinHostPort(host, "0"), h)
+}
+
+// Dial implements Network.
+func (t *TCP) Dial(addr string, h Handler) (Conn, error) { return DialTCP(addr, h) }
+
+// TCPListener is a server-side TCP endpoint: an accept loop spawning one
+// read loop per inbound connection.
+type TCPListener struct {
+	ln      net.Listener
+	handler Handler
+	crashed atomic.Bool
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*tcpConn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ListenTCP binds addr (host:port; port 0 for ephemeral) and serves inbound
+// frames to h.
+func ListenTCP(addr string, h Handler) (*TCPListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &TCPListener{ln: ln, handler: h, conns: make(map[*tcpConn]struct{})}
+	l.wg.Add(1)
+	go l.accept()
+	return l, nil
+}
+
+// Addr implements Listener.
+func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+
+func (l *TCPListener) accept() {
+	defer l.wg.Done()
+	for {
+		c, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed or crashed
+		}
+		if l.crashed.Load() {
+			c.Close()
+			continue
+		}
+		conn := newTCPConn(c, func(tc Conn, m *wire.Msg) {
+			// A crashed node loses inbound messages silently: connections
+			// may linger a moment after Crash, but nothing reaches the
+			// handler.
+			if !l.crashed.Load() {
+				l.handler(tc, m)
+			}
+		})
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		conn.onClose = func() {
+			l.mu.Lock()
+			delete(l.conns, conn)
+			l.mu.Unlock()
+		}
+		l.mu.Unlock()
+		conn.start()
+	}
+}
+
+// Crash implements Listener: refuse new connections, sever established
+// ones, drop anything already inbound.
+func (l *TCPListener) Crash() {
+	l.crashed.Store(true)
+	l.ln.Close()
+	l.mu.Lock()
+	conns := make([]*tcpConn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close implements Listener: stop accepting, close every connection, wait
+// for the accept loop to drain.
+func (l *TCPListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	conns := make([]*tcpConn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	l.wg.Wait()
+	return err
+}
+
+// DialTCP connects to a TCP listener; h receives the frames the server
+// sends back on this connection.
+func DialTCP(addr string, h Handler) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := newTCPConn(c, h)
+	conn.start()
+	return conn, nil
+}
+
+// tcpQueueDepth bounds a connection's outbound frame queue; a full queue
+// backpressures Send, mirroring socket buffers.
+const tcpQueueDepth = 256
+
+// tcpConn frames wire messages onto one TCP stream: Send enqueues encoded
+// frames to a dedicated write loop (so one slow peer never stalls a
+// broadcast mid-loop), and a read loop decodes inbound frames into the
+// handler.
+type tcpConn struct {
+	c         net.Conn
+	handler   Handler
+	out       chan []byte
+	done      chan struct{}
+	closeOnce sync.Once
+	onClose   func() // set before start; read-only afterwards
+}
+
+// newTCPConn wraps an established socket; the read/write loops launch on
+// start, after the owner has finished wiring onClose.
+func newTCPConn(c net.Conn, h Handler) *tcpConn {
+	return &tcpConn{c: c, handler: h, out: make(chan []byte, tcpQueueDepth), done: make(chan struct{})}
+}
+
+func (t *tcpConn) start() {
+	go t.writeLoop()
+	go t.readLoop()
+}
+
+// Send implements Conn.
+func (t *tcpConn) Send(m *wire.Msg) error {
+	frame, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-t.done:
+		return ErrClosed
+	case t.out <- frame:
+		return nil
+	}
+}
+
+// writeLoop drains the outbound queue onto the socket, flushing whenever
+// the queue momentarily empties (batching consecutive frames into one
+// syscall).
+func (t *tcpConn) writeLoop() {
+	w := bufio.NewWriter(t.c)
+	for {
+		select {
+		case <-t.done:
+			return
+		case frame := <-t.out:
+			if _, err := w.Write(frame); err != nil {
+				t.Close()
+				return
+			}
+			if len(t.out) == 0 {
+				if err := w.Flush(); err != nil {
+					t.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop decodes inbound frames and dispatches them. Any stream error —
+// peer close, crash, corruption — severs the connection: message loss, the
+// model's one failure mode for links.
+func (t *tcpConn) readLoop() {
+	r := bufio.NewReader(t.c)
+	for {
+		m, err := wire.ReadMsg(r)
+		if err != nil {
+			t.Close()
+			return
+		}
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		t.handler(t, m)
+	}
+}
+
+// Close implements Conn.
+func (t *tcpConn) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		t.c.Close()
+		if t.onClose != nil {
+			t.onClose()
+		}
+	})
+	return nil
+}

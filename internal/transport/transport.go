@@ -1,0 +1,89 @@
+// Package transport carries wire frames between the nodes of an election
+// cluster: the network boundary beneath internal/electd and the live
+// backend's TCP mode.
+//
+// The abstraction is a message-oriented, connection-based RPC substrate.
+// Servers Listen and receive every inbound message together with the Conn
+// it arrived on; replies go back over that same connection, so servers need
+// no routing state and never dial. Clients Dial each server once and keep
+// the connection for the life of the run — the connection pool is the set
+// of Conns, each with its own write loop.
+//
+// Two Networks implement the interface: Loopback (in-process queues that
+// still round-trip every message through the internal/wire codec — the
+// reference implementation and test double) and TCP (real sockets on the
+// host, one listener per server, length-prefixed frames). The fault engine
+// plugs in here: a crashed node's Listener drops its connections and stops
+// answering (transport.Listener.Crash), and injected link latency rides
+// delayed writes (transport.SendDelayed).
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by Send on a connection that has been closed —
+// locally, by the peer, or by a crash. Senders treat it as message loss,
+// exactly what the model prescribes for a dead link.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is one bidirectional message stream. Send enqueues a frame for
+// asynchronous delivery: it never waits for the peer to process the message
+// (backpressure applies only when the write queue is full). Implementations
+// must be safe for concurrent Send.
+type Conn interface {
+	Send(m *wire.Msg) error
+	Close() error
+}
+
+// Handler consumes inbound messages. On the listen side it runs on the
+// connection's read loop — replies are sent via c; a handler that blocks
+// forever stalls only its own connection.
+type Handler func(c Conn, m *wire.Msg)
+
+// Listener is a server-side endpoint accepting connections.
+type Listener interface {
+	// Addr is the dialable address of this endpoint.
+	Addr() string
+	// Crash simulates a node failure: every established connection is
+	// dropped, new connections are refused, and inbound messages stop
+	// reaching the handler. Unlike Close it is abrupt — no draining.
+	Crash()
+	// Close shuts the endpoint down gracefully.
+	Close() error
+}
+
+// Network is a transport implementation: a dialer/listener factory whose
+// addresses are mutually reachable.
+type Network interface {
+	Listen(h Handler) (Listener, error)
+	// Dial connects to a listener. h receives the messages the server sends
+	// back over this connection; it runs on the connection's read loop.
+	Dial(addr string, h Handler) (Conn, error)
+}
+
+// SendDelayed delivers m over c after an injected latency d, without
+// blocking the caller: the write rides a timer, modelling an adversarially
+// delayed link. inflight (optional) is incremented until the delayed write
+// has been handed to the connection, so shutdown can wait for stragglers
+// instead of racing them. Send errors after the delay are message loss, as
+// for every closed connection.
+func SendDelayed(c Conn, m *wire.Msg, d time.Duration, inflight *sync.WaitGroup) {
+	if d <= 0 {
+		c.Send(m) //nolint:errcheck // loss is the model's prerogative
+		return
+	}
+	if inflight != nil {
+		inflight.Add(1)
+	}
+	time.AfterFunc(d, func() {
+		if inflight != nil {
+			defer inflight.Done()
+		}
+		c.Send(m) //nolint:errcheck
+	})
+}

@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/renaming"
+	"repro/internal/rt"
+)
+
+// seedCorpus returns encoded frames of every message kind (bodies, without
+// the length prefix) — the checked-in starting points for the fuzzers,
+// complemented by the files under testdata/fuzz.
+func seedCorpus() [][]byte {
+	msgs := []*Msg{
+		{Kind: KindAck, Election: 1, Call: 2, From: 3},
+		{Kind: KindCollect, Election: 1, Call: 7, From: 0, Reg: "elect/door"},
+		{Kind: KindPropagate, Election: 4, Call: 1, From: 2, Reg: "elect/round",
+			Entries: []rt.Entry{{Reg: "elect/round", Owner: 2, Seq: 5, Val: 3}}},
+		{Kind: KindPropagate, Election: 1, Call: 1, From: 1, Reg: "pp",
+			Entries: []rt.Entry{{Reg: "pp", Owner: 1, Seq: 1,
+				Val: core.Status{Stat: core.HighPri, List: []rt.ProcID{0, 1, 129}}}}},
+		{Kind: KindView, Election: 2, Call: 9, From: 6, Reg: "rename/contended",
+			Entries: []rt.Entry{
+				{Reg: "rename/contended", Owner: 0, Seq: 3, Val: renaming.NewNameSet(70).With(65)},
+				{Reg: "rename/contended", Owner: 1, Seq: 1, Val: nil},
+				{Reg: "rename/contended", Owner: 2, Seq: 2, Val: "str"},
+				{Reg: "rename/contended", Owner: 3, Seq: 4, Val: true},
+			}},
+	}
+	var out [][]byte
+	for _, m := range msgs {
+		frame, err := Encode(m)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, frame[PrefixSize(m.WireSize()):])
+	}
+	return out
+}
+
+// FuzzDecode: no frame body, however corrupt, may panic the decoder or
+// decode into a message that does not re-encode to the identical bytes —
+// decode∘encode is the identity on the decoder's accepted set.
+func FuzzDecode(f *testing.F) {
+	for _, body := range seedCorpus() {
+		f.Add(body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindAck)})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		m, err := Decode(body)
+		if err != nil {
+			return // rejected is fine; panicking is the bug being hunted
+		}
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message fails to re-encode: %v (%+v)", err, m)
+		}
+		if got := frame[PrefixSize(len(body)):]; !bytes.Equal(got, body) {
+			t.Fatalf("decode∘encode not identity:\n in  %x\n out %x", body, got)
+		}
+		if m.WireSize() != len(body) {
+			t.Fatalf("WireSize %d != accepted body length %d", m.WireSize(), len(body))
+		}
+	})
+}
+
+// FuzzRoundTripPropagate: structured fuzzing of the encoder — arbitrary
+// field values (identifiers, register names, int payload) must round-trip
+// exactly through encode/decode.
+func FuzzRoundTripPropagate(f *testing.F) {
+	f.Add(uint64(1), uint64(1), 0, "elect/door", uint64(1), 1)
+	f.Add(uint64(1<<40), uint64(128), 300, "", uint64(0), -(1 << 40))
+	f.Add(uint64(0), uint64(0), 0, "sift/12/pp", uint64(1<<63), 63)
+	f.Fuzz(func(t *testing.T, election, call uint64, from int, reg string, seq uint64, val int) {
+		if from < 0 {
+			from = -from
+		}
+		m := &Msg{Kind: KindPropagate, Election: election, Call: call, From: rt.ProcID(from), Reg: reg,
+			Entries: []rt.Entry{{Reg: reg, Owner: rt.ProcID(from), Seq: seq, Val: val}}}
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := Decode(frame[PrefixSize(m.WireSize()):])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("round trip mismatch:\n sent %+v\n got  %+v", m, got)
+		}
+	})
+}

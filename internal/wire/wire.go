@@ -1,0 +1,426 @@
+// Package wire is the binary codec of the network subsystem: a compact,
+// length-prefixed frame format for the quorum protocol's four message kinds
+// (propagate, collect, ack, view) and the register values the paper's
+// algorithms propagate.
+//
+// The format is deliberately minimal — encoding/binary uvarints everywhere,
+// one tag byte per value — because the paper's message complexity bound
+// O(kn) counts *messages*, and the bit complexity of each is dominated by
+// the register entries it carries. Every WireSizer in the repository
+// (rt.Entry, core.Status, renaming.NameSet, the quorum-layer messages)
+// reports the exact size this codec produces, so the sim backend's
+// PayloadBytes statistic and the live backend's byte counters measure the
+// same wire format that internal/transport actually puts on TCP sockets.
+// See docs/WIRE.md for the byte-level layout.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/renaming"
+	"repro/internal/rt"
+)
+
+// Kind tags a frame's protocol role.
+type Kind uint8
+
+// Frame kinds: the quorum protocol's request/reply message forms.
+const (
+	// KindPropagate pushes register entries to a server, which merges them
+	// and answers with KindAck (the paper's "propagate, v").
+	KindPropagate Kind = iota + 1
+	// KindCollect requests a server's view of one register array; the
+	// server answers with KindView (the paper's "collect, v").
+	KindCollect
+	// KindAck acknowledges a KindPropagate.
+	KindAck
+	// KindView carries a register-array snapshot back to a collector.
+	KindView
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPropagate:
+		return "propagate"
+	case KindCollect:
+		return "collect"
+	case KindAck:
+		return "ack"
+	case KindView:
+		return "view"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value kind tags. A register value is encoded as one tag byte followed by
+// its kind-specific body.
+const (
+	vNil     = 0 // ⊥ (no body)
+	vBool    = 1 // 1 byte, 0 or 1
+	vInt     = 2 // zigzag uvarint
+	vString  = 3 // uvarint length + bytes
+	vStatus  = 4 // core.Status: 1 stat byte + uvarint count + count uvarint ids
+	vNameSet = 5 // renaming.NameSet: uvarint word count + 8 little-endian bytes per word
+)
+
+// MaxFrame bounds a decoded frame body. Frames carry at most one register
+// array (n entries of small values); anything near this bound is corrupt.
+const MaxFrame = 1 << 24
+
+// MaxID bounds every processor identifier on the wire (senders, entry
+// owners, status-list members). Identifiers are array indices in [0, n);
+// the bound keeps a hostile uvarint from overflowing the int-typed
+// rt.ProcID.
+const MaxID = 1<<31 - 1
+
+// Msg is one protocol message: the decoded form of a frame body.
+//
+// Election multiplexes independent election instances over one shared
+// server set — servers keep disjoint register state per election ID. Call
+// correlates a reply with the request it answers; the requester chooses it
+// and the server echoes it. From identifies the sender (the participant on
+// requests, the answering server on replies). Reg names the register array
+// and is carried once per message: the entries of a propagate or view all
+// belong to it, and Entry.Reg is restored from it on decode.
+type Msg struct {
+	Kind     Kind
+	Election uint64
+	Call     uint64
+	From     rt.ProcID
+	Reg      string
+	Entries  []rt.Entry // KindPropagate payload / KindView snapshot
+}
+
+// WireSize returns the exact encoded size of the frame body (the length
+// prefix adds PrefixSize of it on the wire).
+func (m *Msg) WireSize() int {
+	n := 1 + // kind
+		rt.UvarintSize(m.Election) +
+		rt.UvarintSize(m.Call) +
+		rt.UvarintSize(uint64(m.From)) +
+		rt.UvarintSize(uint64(len(m.Reg))) + len(m.Reg)
+	if m.Kind == KindPropagate || m.Kind == KindView {
+		n += rt.UvarintSize(uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			n += e.WireSize()
+		}
+	}
+	return n
+}
+
+// PrefixSize returns the length of the uvarint frame prefix for a body of
+// the given size.
+func PrefixSize(body int) int { return rt.UvarintSize(uint64(body)) }
+
+// Append encodes m as one frame (uvarint body length + body) onto dst and
+// returns the extended slice. It fails on negative identifiers, on entries
+// whose Reg differs from m.Reg, and on values outside the codec's domain.
+func Append(dst []byte, m *Msg) ([]byte, error) {
+	switch m.Kind {
+	case KindPropagate, KindCollect, KindAck, KindView:
+	default:
+		return dst, fmt.Errorf("wire: cannot encode unknown kind %d", m.Kind)
+	}
+	if m.From < 0 {
+		return dst, fmt.Errorf("wire: negative sender id %d", m.From)
+	}
+	body := m.WireSize()
+	if body > MaxFrame {
+		return dst, fmt.Errorf("wire: frame body %d exceeds MaxFrame", body)
+	}
+	dst = binary.AppendUvarint(dst, uint64(body))
+	start := len(dst)
+	dst = append(dst, byte(m.Kind))
+	dst = binary.AppendUvarint(dst, m.Election)
+	dst = binary.AppendUvarint(dst, m.Call)
+	dst = binary.AppendUvarint(dst, uint64(m.From))
+	dst = appendString(dst, m.Reg)
+	if m.Kind == KindPropagate || m.Kind == KindView {
+		dst = binary.AppendUvarint(dst, uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			if e.Reg != m.Reg {
+				return dst, fmt.Errorf("wire: entry register %q differs from message register %q", e.Reg, m.Reg)
+			}
+			if e.Owner < 0 {
+				return dst, fmt.Errorf("wire: negative entry owner %d", e.Owner)
+			}
+			dst = binary.AppendUvarint(dst, uint64(e.Owner))
+			dst = binary.AppendUvarint(dst, e.Seq)
+			var err error
+			if dst, err = appendValue(dst, e.Val); err != nil {
+				return dst, err
+			}
+		}
+	}
+	if got := len(dst) - start; got != body {
+		// A WireSizer lied about its size; catching it here keeps the frame
+		// stream parseable and the bit-accounting honest.
+		return dst, fmt.Errorf("wire: encoded %d bytes but WireSize reported %d", got, body)
+	}
+	return dst, nil
+}
+
+// Encode returns m as one freshly allocated frame.
+func Encode(m *Msg) ([]byte, error) {
+	return Append(make([]byte, 0, PrefixSize(m.WireSize())+m.WireSize()), m)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendValue encodes one tagged register value.
+func appendValue(dst []byte, v rt.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, vNil), nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(dst, vBool, b), nil
+	case int:
+		dst = append(dst, vInt)
+		return binary.AppendUvarint(dst, rt.ZigZag(int64(x))), nil
+	case string:
+		return appendString(append(dst, vString), x), nil
+	case core.Status:
+		dst = append(dst, vStatus, byte(x.Stat))
+		dst = binary.AppendUvarint(dst, uint64(len(x.List)))
+		for _, id := range x.List {
+			if id < 0 {
+				return dst, fmt.Errorf("wire: negative processor id %d in status list", id)
+			}
+			dst = binary.AppendUvarint(dst, uint64(id))
+		}
+		return dst, nil
+	case renaming.NameSet:
+		dst = append(dst, vNameSet)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, w := range x {
+			dst = binary.LittleEndian.AppendUint64(dst, w)
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("wire: value type %T is outside the codec's domain", v)
+	}
+}
+
+// decoder consumes one frame body.
+type decoder struct {
+	b []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated or overlong uvarint")
+	}
+	if n != rt.UvarintSize(v) {
+		// Reject non-minimal encodings: the codec is canonical, so that
+		// decode∘encode is the identity and WireSize always equals the
+		// accepted body length.
+		return 0, fmt.Errorf("wire: non-canonical uvarint (%d bytes for %d)", n, v)
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+// procID decodes one bounded processor identifier.
+func (d *decoder) procID() (rt.ProcID, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > MaxID {
+		return 0, fmt.Errorf("wire: processor id %d exceeds MaxID", v)
+	}
+	return rt.ProcID(v), nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if len(d.b) == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := d.b[0]
+	d.b = d.b[1:]
+	return b, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.b)) {
+		return "", fmt.Errorf("wire: string length %d exceeds remaining %d bytes", n, len(d.b))
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, nil
+}
+
+func (d *decoder) value() (rt.Value, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case vNil:
+		return nil, nil
+	case vBool:
+		b, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if b > 1 {
+			return nil, fmt.Errorf("wire: bool byte %d", b)
+		}
+		return b == 1, nil
+	case vInt:
+		u, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return int(int64(u>>1) ^ -int64(u&1)), nil
+	case vString:
+		return d.string()
+	case vStatus:
+		stat, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		count, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > uint64(len(d.b)) { // every id takes ≥1 byte
+			return nil, fmt.Errorf("wire: status list count %d exceeds remaining %d bytes", count, len(d.b))
+		}
+		st := core.Status{Stat: core.StatKind(stat)}
+		if count > 0 {
+			st.List = make([]rt.ProcID, count)
+			for i := range st.List {
+				id, err := d.procID()
+				if err != nil {
+					return nil, err
+				}
+				st.List[i] = id
+			}
+		}
+		return st, nil
+	case vNameSet:
+		words, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if words > uint64(len(d.b))/8 { // divide, never multiply: words*8 could wrap
+			return nil, fmt.Errorf("wire: name-set of %d words exceeds remaining %d bytes", words, len(d.b))
+		}
+		set := make(renaming.NameSet, words)
+		for i := range set {
+			set[i] = binary.LittleEndian.Uint64(d.b)
+			d.b = d.b[8:]
+		}
+		return set, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown value tag %d", tag)
+	}
+}
+
+// Decode parses one frame body (without its length prefix).
+func Decode(body []byte) (*Msg, error) {
+	d := decoder{b: body}
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	m := &Msg{Kind: Kind(kind)}
+	switch m.Kind {
+	case KindPropagate, KindCollect, KindAck, KindView:
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", kind)
+	}
+	if m.Election, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.Call, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	from, err := d.procID()
+	if err != nil {
+		return nil, err
+	}
+	m.From = from
+	if m.Reg, err = d.string(); err != nil {
+		return nil, err
+	}
+	if m.Kind == KindPropagate || m.Kind == KindView {
+		count, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if count > uint64(len(d.b)) { // every entry takes ≥3 bytes
+			return nil, fmt.Errorf("wire: entry count %d exceeds remaining %d bytes", count, len(d.b))
+		}
+		if count > 0 {
+			m.Entries = make([]rt.Entry, count)
+			for i := range m.Entries {
+				owner, err := d.procID()
+				if err != nil {
+					return nil, err
+				}
+				seq, err := d.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				val, err := d.value()
+				if err != nil {
+					return nil, err
+				}
+				m.Entries[i] = rt.Entry{Reg: m.Reg, Owner: owner, Seq: seq, Val: val}
+			}
+		}
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after frame body", len(d.b))
+	}
+	return m, nil
+}
+
+// ReadMsg reads and decodes one length-prefixed frame from r (typically a
+// *bufio.Reader wrapping a socket). It returns io.EOF cleanly when the
+// stream ends on a frame boundary.
+func ReadMsg(r interface {
+	io.ByteReader
+	io.Reader
+}) (*Msg, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if size > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return Decode(body)
+}
+
+// SortEntries orders entries by owner, the canonical snapshot order shared
+// by both backends' stores and the electd servers.
+func SortEntries(entries []rt.Entry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Owner < entries[j].Owner })
+}

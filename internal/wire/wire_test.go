@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/renaming"
+	"repro/internal/rt"
+)
+
+// sampleValues covers every value kind the codec encodes, including the
+// uvarint boundary cases.
+func sampleValues() []rt.Value {
+	big := renaming.NewNameSet(130)
+	bigSet := big.With(1).With(64).With(65).With(130)
+	return []rt.Value{
+		nil,
+		true,
+		false,
+		0,
+		1,
+		-1,
+		63,
+		64,
+		-64,
+		-65,
+		1 << 30,
+		-(1 << 30),
+		"",
+		"elect/door",
+		core.Status{Stat: core.Commit},
+		core.Status{Stat: core.LowPri, List: []rt.ProcID{0, 1, 2}},
+		core.Status{Stat: core.HighPri, List: []rt.ProcID{127, 128, 300}},
+		renaming.NewNameSet(1),
+		bigSet,
+	}
+}
+
+// sampleMsgs builds one message of every kind plus boundary variants.
+func sampleMsgs(t *testing.T) []*Msg {
+	t.Helper()
+	var entries []rt.Entry
+	for i, v := range sampleValues() {
+		entries = append(entries, rt.Entry{Reg: "r", Owner: rt.ProcID(i * 17), Seq: uint64(i) * 129, Val: v})
+	}
+	return []*Msg{
+		{Kind: KindAck},
+		{Kind: KindAck, Election: 1 << 40, Call: 1 << 20, From: 300},
+		{Kind: KindCollect, Reg: "elect/sift/3/pp"},
+		{Kind: KindCollect, Election: 7, Call: 128, From: 127, Reg: ""},
+		{Kind: KindPropagate, Reg: "r", Entries: entries[:1]},
+		{Kind: KindPropagate, Election: 9, Call: 3, From: 2, Reg: "r", Entries: entries},
+		{Kind: KindView, Reg: "r"},
+		{Kind: KindView, Election: 2, Call: 99, From: 64, Reg: "r", Entries: entries},
+	}
+}
+
+// TestRoundTrip: decode(encode(x)) == x for every message kind and every
+// value kind.
+func TestRoundTrip(t *testing.T) {
+	for i, m := range sampleMsgs(t) {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatalf("msg %d: encode: %v", i, err)
+		}
+		got, err := ReadMsg(bufio.NewReader(bytes.NewReader(frame)))
+		if err != nil {
+			t.Fatalf("msg %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(m), normalize(got)) {
+			t.Fatalf("msg %d: round trip mismatch:\n sent %+v\n got  %+v", i, m, got)
+		}
+	}
+}
+
+// normalize maps nil and empty entry slices together: the wire cannot
+// distinguish them, and no caller does either.
+func normalize(m *Msg) *Msg {
+	out := *m
+	if len(out.Entries) == 0 {
+		out.Entries = nil
+	}
+	return &out
+}
+
+// TestExactSizes: WireSize is the encoded body size, byte for byte, and
+// Entry/Status/NameSet WireSize report their exact encoded cost — the
+// contract the sim and live backends' bit-complexity accounting relies on.
+func TestExactSizes(t *testing.T) {
+	for i, m := range sampleMsgs(t) {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatalf("msg %d: encode: %v", i, err)
+		}
+		body := m.WireSize()
+		if got := len(frame); got != PrefixSize(body)+body {
+			t.Fatalf("msg %d: frame is %d bytes, WireSize %d + prefix %d", i, got, body, PrefixSize(body))
+		}
+	}
+	// Per-entry exactness: encode a view with and without each entry; the
+	// size delta must equal Entry.WireSize.
+	for i, v := range sampleValues() {
+		e := rt.Entry{Reg: "r", Owner: rt.ProcID(i), Seq: uint64(i), Val: v}
+		with := &Msg{Kind: KindView, Reg: "r", Entries: []rt.Entry{e}}
+		without := &Msg{Kind: KindView, Reg: "r"}
+		delta := with.WireSize() - without.WireSize()
+		if delta != e.WireSize() {
+			t.Fatalf("value %d (%T): entry delta %d != Entry.WireSize %d", i, v, delta, e.WireSize())
+		}
+		frame, err := Encode(with)
+		if err != nil {
+			t.Fatalf("value %d (%T): encode: %v", i, v, err)
+		}
+		if len(frame) != PrefixSize(with.WireSize())+with.WireSize() {
+			t.Fatalf("value %d (%T): encoded %d bytes, sized %d", i, v, len(frame), with.WireSize())
+		}
+	}
+}
+
+// TestValueSizeMatchesEncoder: rt.ValueSize (used by Entry.WireSize without
+// importing this package) equals the encoder's output for every codable
+// value.
+func TestValueSizeMatchesEncoder(t *testing.T) {
+	for i, v := range sampleValues() {
+		enc, err := appendValue(nil, v)
+		if err != nil {
+			t.Fatalf("value %d (%T): %v", i, v, err)
+		}
+		if len(enc) != rt.ValueSize(v) {
+			t.Fatalf("value %d (%T): encoded %d bytes, ValueSize says %d", i, v, len(enc), rt.ValueSize(v))
+		}
+	}
+}
+
+// TestEncodeRejects: out-of-domain inputs fail loudly instead of producing
+// unparseable frames.
+func TestEncodeRejects(t *testing.T) {
+	cases := []*Msg{
+		{Kind: 0},
+		{Kind: 99},
+		{Kind: KindAck, From: -1},
+		{Kind: KindPropagate, Reg: "a", Entries: []rt.Entry{{Reg: "b", Owner: 0, Seq: 1}}},
+		{Kind: KindPropagate, Reg: "a", Entries: []rt.Entry{{Reg: "a", Owner: -2, Seq: 1}}},
+		{Kind: KindPropagate, Reg: "a", Entries: []rt.Entry{{Reg: "a", Owner: 1, Seq: 1, Val: 3.14}}},
+		{Kind: KindView, Reg: "a", Entries: []rt.Entry{{Reg: "a", Owner: 1, Seq: 1, Val: struct{}{}}}},
+	}
+	for i, m := range cases {
+		if _, err := Encode(m); err == nil {
+			t.Fatalf("case %d (%+v): encode accepted an out-of-domain message", i, m)
+		}
+	}
+}
+
+// TestDecodeRejectsCorrupt: truncations and tag corruption of valid frames
+// error rather than panic or mis-decode silently.
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	m := &Msg{Kind: KindPropagate, Election: 5, Call: 9, From: 3, Reg: "reg", Entries: []rt.Entry{
+		{Reg: "reg", Owner: 1, Seq: 2, Val: core.Status{Stat: core.HighPri, List: []rt.ProcID{1, 2}}},
+	}}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[PrefixSize(m.WireSize()):]
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := Decode(body[:cut]); err == nil {
+			t.Fatalf("decode accepted a frame truncated to %d of %d bytes", cut, len(body))
+		}
+	}
+	if _, err := Decode(append(append([]byte{}, body...), 0)); err == nil {
+		t.Fatal("decode accepted a frame with a trailing byte")
+	}
+}
+
+// TestDecodeRejectsHostileLengths: declared counts engineered to overflow
+// size arithmetic must error, not panic or allocate (regression for the
+// name-set words*8 wrap).
+func TestDecodeRejectsHostileLengths(t *testing.T) {
+	// KindView frame claiming one entry whose value is a name-set of 2^61
+	// words: words*8 wraps to 0 in naive checks.
+	hostile := []byte{
+		byte(KindView), 0, 0, 0, // election, call, from
+		1, 'r', // reg "r"
+		1,    // one entry
+		0, 1, // owner 0, seq 1
+		vNameSet,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20, // uvarint 1<<61
+	}
+	if _, err := Decode(hostile); err == nil {
+		t.Fatal("decoder accepted a 2^61-word name-set")
+	}
+}
+
+// TestReadMsgStream: several frames back to back parse cleanly off one
+// buffered stream, the TCP read loop's exact code path.
+func TestReadMsgStream(t *testing.T) {
+	msgs := sampleMsgs(t)
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range msgs {
+		got, err := ReadMsg(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(want), normalize(got)) {
+			t.Fatalf("frame %d: mismatch", i)
+		}
+	}
+	if _, err := ReadMsg(r); err == nil {
+		t.Fatal("stream should end after the last frame")
+	}
+}
+
+// TestCompactness: the headline frames stay small — the codec's reason to
+// exist. A doorway propagate (the hot message of every election) fits in a
+// dozen-odd bytes.
+func TestCompactness(t *testing.T) {
+	door := &Msg{Kind: KindPropagate, Election: 1, Call: 1, From: 1, Reg: "elect/door",
+		Entries: []rt.Entry{{Reg: "elect/door", Owner: 1, Seq: 1, Val: true}}}
+	if s := door.WireSize(); s > 24 {
+		t.Fatalf("doorway propagate costs %d bytes; the codec has bloated", s)
+	}
+	ack := &Msg{Kind: KindAck, Election: 1, Call: 1, From: 1}
+	if s := ack.WireSize(); s > 8 {
+		t.Fatalf("ack costs %d bytes; the codec has bloated", s)
+	}
+}
+
+func ExampleMsg_WireSize() {
+	m := &Msg{Kind: KindAck, Election: 1, Call: 1, From: 2}
+	frame, _ := Encode(m)
+	fmt.Println(m.WireSize(), len(frame))
+	// Output: 5 6
+}

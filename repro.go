@@ -83,6 +83,25 @@ const (
 	// channel-backed quorums: wall-clock time, genuine contention, no
 	// adversary control. Safety properties hold on both backends.
 	Live Backend = "live"
+	// BackendTCP is shorthand for the Live backend with the TCP transport:
+	// every communicate call crosses loopback TCP sockets to electd quorum
+	// servers through the internal/wire codec. Equivalent to
+	// WithBackend(Live) plus WithTransport(TCPTransport).
+	BackendTCP Backend = "live-tcp"
+)
+
+// Transport selects the Live backend's comm substrate (see internal/live
+// and the wire/transport/electd packages).
+type Transport = live.Transport
+
+// Live-backend transport choices.
+const (
+	// ChanTransport is the in-process substrate: server-goroutine mailboxes
+	// and channel broadcast (default).
+	ChanTransport = live.TransportChan
+	// TCPTransport routes quorum traffic through electd servers over
+	// loopback TCP: a real network boundary under the same algorithms.
+	TCPTransport = live.TransportTCP
 )
 
 // config collects the run parameters; zero values select defaults.
@@ -92,6 +111,7 @@ type config struct {
 	algorithm     Algorithm
 	schedule      Schedule
 	backend       Backend
+	transport     Transport
 	faults        int
 	budget        int64
 	scenario      string
@@ -118,8 +138,13 @@ func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = 
 // schedules exist only on the Sim backend.
 func WithSchedule(s Schedule) Option { return func(c *config) { c.schedule = s } }
 
-// WithBackend selects the execution backend: Sim (default) or Live.
+// WithBackend selects the execution backend: Sim (default), Live, or
+// BackendTCP (Live over the TCP transport).
 func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
+// WithTransport selects the Live backend's comm substrate: ChanTransport
+// (default) or TCPTransport. Requires WithBackend(Live).
+func WithTransport(t Transport) Option { return func(c *config) { c.transport = t } }
 
 // WithFaults sets the crash budget used by the Crashing schedule.
 func WithFaults(f int) Option { return func(c *config) { c.faults = f } }
@@ -155,6 +180,16 @@ func buildConfig(opts []Option) config {
 	return c
 }
 
+// resolveBackend folds the BackendTCP shorthand into Live + TCPTransport.
+func (c *config) resolveBackend() {
+	if c.backend == BackendTCP {
+		c.backend = Live
+		if c.transport == "" {
+			c.transport = TCPTransport
+		}
+	}
+}
+
 func (c config) validate() error {
 	if c.n < 1 {
 		return fmt.Errorf("repro: system size %d must be at least 1", c.n)
@@ -166,6 +201,14 @@ func (c config) validate() error {
 	case Sim, Live:
 	default:
 		return fmt.Errorf("repro: unknown backend %q", c.backend)
+	}
+	if c.transport != "" && c.backend != Live {
+		return fmt.Errorf("repro: transport %q requires the Live backend (the Sim kernel has no network)", c.transport)
+	}
+	switch c.transport {
+	case "", ChanTransport, TCPTransport:
+	default:
+		return fmt.Errorf("repro: unknown transport %q", c.transport)
 	}
 	if c.backend == Live {
 		if c.schedule != Fair {
@@ -219,6 +262,11 @@ type ElectionResult struct {
 	Time int
 	// Messages is the total number of point-to-point messages sent.
 	Messages int64
+	// PayloadBytes is the total wire-codec payload size of those messages —
+	// the exact internal/wire frame-body accounting, consistent across the
+	// Sim kernel (Stats.PayloadBytes), the Live chan substrate and the TCP
+	// transport.
+	PayloadBytes int64
 	// Rounds is the highest election round reached.
 	Rounds int
 	// Stats exposes the full kernel statistics.
@@ -234,6 +282,7 @@ type ElectionResult struct {
 // winner's uniqueness is deterministic.
 func Elect(opts ...Option) (ElectionResult, error) {
 	c := buildConfig(opts)
+	c.resolveBackend()
 	if err := c.validate(); err != nil {
 		return ElectionResult{}, err
 	}
@@ -249,12 +298,13 @@ func Elect(opts ...Option) (ElectionResult, error) {
 		return ElectionResult{}, fmt.Errorf("repro: election run: %w", r.Err)
 	}
 	res := ElectionResult{
-		Winner:    -1,
-		Decisions: r.Decisions,
-		Time:      r.Stats.MaxCommunicateCalls(),
-		Messages:  r.Stats.MessagesSent,
-		Rounds:    r.MaxRound,
-		Stats:     r.Stats,
+		Winner:       -1,
+		Decisions:    r.Decisions,
+		Time:         r.Stats.MaxCommunicateCalls(),
+		Messages:     r.Stats.MessagesSent,
+		PayloadBytes: r.Stats.PayloadBytes,
+		Rounds:       r.MaxRound,
+		Stats:        r.Stats,
 	}
 	for id, d := range r.Decisions {
 		if d == core.Win {
@@ -280,17 +330,19 @@ func electLive(c config) (ElectionResult, error) {
 	}
 	r, err := live.Elect(live.Config{
 		N: c.n, K: c.k, Seed: c.seed, Algorithm: live.Algorithm(c.algorithm), Scenario: sc,
+		Transport: c.transport,
 	})
 	if err != nil {
 		return ElectionResult{}, fmt.Errorf("repro: live election run: %w", err)
 	}
 	res := ElectionResult{
-		Winner:    r.Winner,
-		Decisions: r.Decisions,
-		Crashed:   r.Crashed,
-		Time:      r.Time,
-		Messages:  r.Messages,
-		Rounds:    r.Rounds,
+		Winner:       r.Winner,
+		Decisions:    r.Decisions,
+		Crashed:      r.Crashed,
+		Time:         r.Time,
+		Messages:     r.Messages,
+		PayloadBytes: r.Bytes,
+		Rounds:       r.Rounds,
 	}
 	if res.Winner < 0 {
 		// Every survivor lost: the linearized winner is among the crashed,
@@ -337,6 +389,7 @@ func Campaign(opts ...Option) (CampaignReport, error) {
 	if c.k == 0 {
 		c.k = c.n
 	}
+	c.resolveBackend()
 	if err := c.validate(); err != nil {
 		return CampaignReport{}, err
 	}
@@ -353,7 +406,7 @@ func Campaign(opts ...Option) (CampaignReport, error) {
 	rep, err := campaign.Run(campaign.Config{
 		Runs: c.runs, Workers: c.workers, N: c.n, K: c.k, BaseSeed: c.seed,
 		Algorithm: live.Algorithm(c.algorithm), Backend: campaign.Backend(c.backend),
-		Schedule: c.schedule, Scenario: sc,
+		Schedule: c.schedule, Scenario: sc, Transport: c.transport,
 	})
 	if err != nil {
 		return CampaignReport{}, fmt.Errorf("repro: %w", err)
@@ -384,6 +437,7 @@ type RenameResult struct {
 // distinct name in [1, n].
 func Rename(opts ...Option) (RenameResult, error) {
 	c := buildConfig(opts)
+	c.resolveBackend()
 	if err := c.validate(); err != nil {
 		return RenameResult{}, err
 	}
@@ -440,6 +494,7 @@ const (
 // HetSift or NaiveSift). At least one participant always survives.
 func Sift(opts ...Option) (SiftResult, error) {
 	c := buildConfig(opts)
+	c.resolveBackend()
 	if err := c.validate(); err != nil {
 		return SiftResult{}, err
 	}
@@ -458,6 +513,7 @@ func Sift(opts ...Option) (SiftResult, error) {
 		}
 		r, err := live.Sift(live.Config{
 			N: c.n, K: c.k, Seed: c.seed, Algorithm: live.Algorithm(algo),
+			Transport: c.transport,
 		})
 		if err != nil {
 			return SiftResult{}, fmt.Errorf("repro: live sift run: %w", err)
