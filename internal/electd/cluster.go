@@ -1,0 +1,113 @@
+package electd
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/transport"
+)
+
+// Cluster bundles a full quorum system in one process: n servers, each
+// behind its own transport listener, plus a connection pool dialled to all
+// of them. It is the harness the live backend's TCP mode, the campaign
+// engine and the tests build on; a production deployment instead runs one
+// `electd` process per server and DialPool from each client process.
+type Cluster struct {
+	n         int
+	servers   []*Server
+	listeners []transport.Listener
+	pool      *Pool
+	elections atomic.Uint64
+}
+
+// NewCluster starts n servers on the network and dials the shared pool.
+func NewCluster(nw transport.Network, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("electd: cluster size %d must be at least 1", n)
+	}
+	cl := &Cluster{n: n}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := NewServer(rt.ProcID(i))
+		ln, err := nw.Listen(srv.Handle)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("electd: listen server %d: %w", i, err)
+		}
+		cl.servers = append(cl.servers, srv)
+		cl.listeners = append(cl.listeners, ln)
+		addrs[i] = ln.Addr()
+	}
+	pool, err := DialPool(nw, addrs)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	cl.pool = pool
+	return cl, nil
+}
+
+// N returns the quorum system size.
+func (cl *Cluster) N() int { return cl.n }
+
+// Addrs returns the servers' dialable addresses, indexed by server id.
+func (cl *Cluster) Addrs() []string {
+	out := make([]string, len(cl.listeners))
+	for i, ln := range cl.listeners {
+		out[i] = ln.Addr()
+	}
+	return out
+}
+
+// Pool returns the cluster's shared client pool.
+func (cl *Cluster) Pool() *Pool { return cl.pool }
+
+// Server returns replica id (for stats and tests).
+func (cl *Cluster) Server(id rt.ProcID) *Server { return cl.servers[id] }
+
+// NextElectionID hands out a fresh election-instance ID; concurrent
+// campaigns over one shared cluster must not collide on IDs.
+func (cl *Cluster) NextElectionID() uint64 { return cl.elections.Add(1) }
+
+// NewComm returns participant p's communicate handle for one election on
+// this cluster. See Pool.NewComm.
+func (cl *Cluster) NewComm(p rt.Procer, election uint64, delay func(server int) time.Duration) *Client {
+	return cl.pool.NewComm(p, election, delay)
+}
+
+// DropElection evicts one finished election instance's register state from
+// every server, bounding a long-lived shared cluster's memory. Only call
+// it once every participant of the instance has returned.
+func (cl *Cluster) DropElection(election uint64) {
+	for _, srv := range cl.servers {
+		srv.DropElection(election)
+	}
+}
+
+// Crash fails server id: its replica drops requests and its listener drops
+// every connection — the network expression of a processor crash. With at
+// most ⌈n/2⌉−1 crashed servers every quorum call still completes.
+func (cl *Cluster) Crash(id rt.ProcID) {
+	if int(id) >= len(cl.servers) {
+		return
+	}
+	cl.servers[id].Crash()
+	cl.listeners[id].Crash()
+}
+
+// Close waits out in-flight delayed sends, then tears down the pool and
+// every listener. Call after all participants have returned.
+func (cl *Cluster) Close() error {
+	var first error
+	if cl.pool != nil {
+		first = cl.pool.Close()
+	}
+	for _, ln := range cl.listeners {
+		if err := ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,176 @@
+// Package electd is the election service: the long-lived daemon half of the
+// network subsystem, hosting the paper's register arrays behind quorum
+// reads and writes, plus the client side participants use to run elections
+// against a set of servers over a real transport.
+//
+// The deployment shape follows Attiya–Bar-Noy–Dolev emulation as practised
+// by production coordination services: n *servers* replicate the register
+// state (a majority of them must stay up — the paper's ⌈n/2⌉−1 crash
+// bound), while any number of *participants* run the election algorithms as
+// clients, each communicate call broadcasting to all n servers and waiting
+// for ⌊n/2⌋+1 answers. Any two quorums intersect in a correct server, which
+// is the only property the paper's proofs use — so PoisonPill, the
+// tournament and the sifting rounds run unchanged through rt.Comm.
+//
+// One server set multiplexes many concurrent election instances: every
+// frame carries an election ID, and servers keep disjoint register state
+// per ID (the paper's "protocols for different rounds are completely
+// disjoint" taken one level up). That is what lets internal/campaign fan
+// hundreds of elections over a single set of listening servers instead of
+// building a cluster per run.
+//
+// Composition: Server is the passive replica (give its Handle to a
+// transport Listener); Pool is a client-process connection pool over the n
+// servers; Client is one participant's rt.Comm in one election; Cluster
+// bundles n servers plus a pool in one process for tests, benchmarks and
+// the live backend's TCP mode; Participant is a minimal rt.Procer for
+// driving elections from processes that are not live-backend runs
+// (cmd/electd).
+package electd
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rt"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Server is one register replica: it merges propagated entries and answers
+// collects with snapshots, never initiating traffic. All state is guarded
+// by one mutex — contention is per-server, and a server does O(1) map work
+// per message.
+type Server struct {
+	id rt.ProcID
+
+	mu        sync.Mutex
+	elections map[uint64]*store
+
+	crashed atomic.Bool
+	served  atomic.Int64
+}
+
+// store is one election instance's register state on one server.
+type store struct {
+	regs map[string]*regArray
+}
+
+type regArray struct {
+	cells map[rt.ProcID]cell
+}
+
+type cell struct {
+	seq uint64
+	val rt.Value
+}
+
+// NewServer creates replica id (the identity stamped on its views).
+func NewServer(id rt.ProcID) *Server {
+	return &Server{id: id, elections: make(map[uint64]*store)}
+}
+
+// ID returns the replica's identity.
+func (s *Server) ID() rt.ProcID { return s.id }
+
+// Served reports how many requests the server has answered.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Elections reports how many election instances the server currently
+// hosts state for.
+func (s *Server) Elections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.elections)
+}
+
+// DropElection evicts one election instance's register state. Register
+// state is otherwise retained for the server's lifetime — there is no
+// in-protocol completion signal (a participant cannot know whether others
+// still need the registers) — so long-running hosts must garbage-collect
+// finished instances themselves: the campaign engine drops each election
+// once its run completes, and embedders of a standalone daemon should do
+// the equivalent when they know an instance is over.
+func (s *Server) DropElection(election uint64) {
+	s.mu.Lock()
+	delete(s.elections, election)
+	s.mu.Unlock()
+}
+
+// Crash fails the replica: every subsequent request is dropped unanswered.
+// The transport's Listener.Crash handles the connection-level half.
+func (s *Server) Crash() { s.crashed.Store(true) }
+
+// Crashed reports whether the replica has been crashed.
+func (s *Server) Crashed() bool { return s.crashed.Load() }
+
+// Handle is the transport.Handler of the replica: merge propagates, answer
+// collects, drop everything else. Replies return over the inbound
+// connection.
+func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
+	if s.crashed.Load() {
+		return // a crashed server loses requests, no acknowledgment
+	}
+	switch m.Kind {
+	case wire.KindPropagate:
+		s.mu.Lock()
+		for _, e := range m.Entries {
+			s.merge(m.Election, e)
+		}
+		s.mu.Unlock()
+		s.served.Add(1)
+		c.Send(&wire.Msg{ //nolint:errcheck // a dead link is message loss
+			Kind: wire.KindAck, Election: m.Election, Call: m.Call, From: s.id,
+		})
+	case wire.KindCollect:
+		s.mu.Lock()
+		entries := s.snapshot(m.Election, m.Reg)
+		s.mu.Unlock()
+		s.served.Add(1)
+		c.Send(&wire.Msg{ //nolint:errcheck
+			Kind: wire.KindView, Election: m.Election, Call: m.Call, From: s.id,
+			Reg: m.Reg, Entries: entries,
+		})
+	default:
+		// Replies arriving at a server are protocol noise; ignore.
+	}
+}
+
+// merge applies an entry under writer versioning (higher sequence numbers
+// win). Callers hold s.mu.
+func (s *Server) merge(election uint64, e rt.Entry) {
+	st := s.elections[election]
+	if st == nil {
+		st = &store{regs: make(map[string]*regArray)}
+		s.elections[election] = st
+	}
+	arr := st.regs[e.Reg]
+	if arr == nil {
+		arr = &regArray{cells: make(map[rt.ProcID]cell)}
+		st.regs[e.Reg] = arr
+	}
+	if e.Seq > arr.cells[e.Owner].seq {
+		arr.cells[e.Owner] = cell{seq: e.Seq, val: e.Val}
+	}
+}
+
+// snapshot returns the non-⊥ cells of one register array in owner order
+// (the canonical order both backends' stores use). Callers hold s.mu; the
+// returned slice is fresh and the values shared immutables.
+func (s *Server) snapshot(election uint64, reg string) []rt.Entry {
+	st := s.elections[election]
+	if st == nil {
+		return nil
+	}
+	arr := st.regs[reg]
+	if arr == nil {
+		return nil
+	}
+	out := make([]rt.Entry, 0, len(arr.cells))
+	for owner, c := range arr.cells {
+		out = append(out, rt.Entry{Reg: reg, Owner: owner, Seq: c.seq, Val: c.val})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}

@@ -1,0 +1,306 @@
+package electd_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/electd"
+	"repro/internal/rt"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// electOnce runs one k-participant leader election on the cluster under the
+// given election ID and returns the decisions.
+func electOnce(t *testing.T, cl *electd.Cluster, election uint64, k int, seed int64) []core.Decision {
+	t.Helper()
+	decisions := make([]core.Decision, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := electd.NewParticipant(rt.ProcID(i), cl.N(), seed+int64(i)*1e6)
+			c := cl.NewComm(p, election, nil)
+			s := core.NewState(p, "leaderelect")
+			decisions[i] = core.LeaderElectWithState(c, "elect", s)
+		}(i)
+	}
+	wg.Wait()
+	return decisions
+}
+
+// uniqueWinner asserts the safety contract on one election's decisions.
+func uniqueWinner(t *testing.T, label string, decisions []core.Decision) rt.ProcID {
+	t.Helper()
+	winner := rt.ProcID(-1)
+	for i, d := range decisions {
+		switch d {
+		case core.Win:
+			if winner >= 0 {
+				t.Fatalf("%s: processors %d and %d both won", label, winner, i)
+			}
+			winner = rt.ProcID(i)
+		case core.Lose:
+		default:
+			t.Fatalf("%s: participant %d undecided (%v)", label, i, d)
+		}
+	}
+	if winner < 0 {
+		t.Fatalf("%s: no winner", label)
+	}
+	return winner
+}
+
+// TestElectionOverLoopback: the full PoisonPill election through servers,
+// pool and codec on the in-process network, across sizes and seeds.
+func TestElectionOverLoopback(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cl, err := electd.NewCluster(transport.NewLoopback(), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("n=%d seed=%d", n, seed)
+			uniqueWinner(t, label, electOnce(t, cl, 1, n, seed))
+			cl.Close()
+		}
+	}
+}
+
+// TestMultiplexedElections: many elections share one server set
+// concurrently, each with its own ID; every instance elects a unique
+// winner and the servers host disjoint per-instance state.
+func TestMultiplexedElections(t *testing.T) {
+	const n, k, elections = 5, 4, 24
+	cl, err := electd.NewCluster(transport.NewLoopback(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	results := make([][]core.Decision, elections)
+	for e := 0; e < elections; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			results[e] = electOnce(t, cl, cl.NextElectionID(), k, int64(e+1))
+		}(e)
+	}
+	wg.Wait()
+	for e, decisions := range results {
+		uniqueWinner(t, fmt.Sprintf("election %d", e), decisions)
+	}
+	for i := 0; i < n; i++ {
+		if got := cl.Server(rt.ProcID(i)).Elections(); got == 0 {
+			t.Fatalf("server %d hosted no election state", i)
+		}
+	}
+	// Finished instances must be evictable: retention is caller-driven
+	// (the campaign engine drops each election as its run completes).
+	for e := uint64(1); e <= elections; e++ {
+		cl.DropElection(e)
+	}
+	for i := 0; i < n; i++ {
+		if got := cl.Server(rt.ProcID(i)).Elections(); got != 0 {
+			t.Fatalf("server %d still hosts %d elections after DropElection", i, got)
+		}
+	}
+}
+
+// TestClientServerSplitOverTCP: participants in a "separate process" shape —
+// their own DialPool over real TCP sockets, servers behind listeners — with
+// more participants than servers (clients are not replicas).
+func TestClientServerSplitOverTCP(t *testing.T) {
+	const n, k = 3, 7
+	nw := transport.NewTCP()
+	cl, err := electd.NewCluster(nw, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A second, independent client pool, as a separate participant process
+	// would build — the cluster's own pool is not used.
+	pool, err := electd.DialPool(nw, cl.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	decisions := make([]core.Decision, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := electd.NewParticipant(rt.ProcID(i), k, int64(i+1))
+			c := pool.NewComm(p, 42, nil)
+			s := core.NewState(p, "leaderelect")
+			decisions[i] = core.LeaderElectWithState(c, "elect", s)
+		}(i)
+	}
+	wg.Wait()
+	uniqueWinner(t, "tcp split", decisions)
+}
+
+// TestQuorumSurvivesServerCrashes: with ⌈n/2⌉−1 servers crashed, elections
+// still complete with a unique winner — participants only ever wait for the
+// majority that stays up.
+func TestQuorumSurvivesServerCrashes(t *testing.T) {
+	for _, n := range []int{3, 5, 9} {
+		cl, err := electd.NewCluster(transport.NewLoopback(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashes := (n - 1) / 2
+		for i := 0; i < crashes; i++ {
+			cl.Crash(rt.ProcID(i))
+		}
+		label := fmt.Sprintf("n=%d crashed=%d", n, crashes)
+		uniqueWinner(t, label, electOnce(t, cl, 1, n, 7))
+		cl.Close()
+	}
+}
+
+// TestDialToleratesDeadMinority: a client pool must come up with up to
+// ⌈n/2⌉−1 servers unreachable at dial time (the same fault as a later
+// crash) and still elect; one server short of a majority must fail loudly.
+func TestDialToleratesDeadMinority(t *testing.T) {
+	const n = 5
+	nw := transport.NewLoopback()
+	cl, err := electd.NewCluster(nw, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	addrs := cl.Addrs()
+	addrs[1] = "loop:9991" // never listened
+	addrs[3] = "loop:9993"
+	pool, err := electd.DialPool(nw, addrs)
+	if err != nil {
+		t.Fatalf("dial with a dead minority: %v", err)
+	}
+	defer pool.Close()
+	decisions := make([]core.Decision, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := electd.NewParticipant(rt.ProcID(i), 3, int64(i+1))
+			s := core.NewState(p, "leaderelect")
+			decisions[i] = core.LeaderElectWithState(pool.NewComm(p, 8, nil), "elect", s)
+		}(i)
+	}
+	wg.Wait()
+	uniqueWinner(t, "dead minority", decisions)
+
+	addrs[0] = "loop:9990" // three dead: majority impossible
+	if _, err := electd.DialPool(nw, addrs); err == nil {
+		t.Fatal("pool came up without a reachable majority")
+	}
+}
+
+// TestReadYourWrites: a client's completed Propagate is visible to every
+// subsequent Collect by anyone — the regular-register property through the
+// client/server split (quorum intersection).
+func TestReadYourWrites(t *testing.T) {
+	const n = 5
+	cl, err := electd.NewCluster(transport.NewLoopback(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	writer := cl.NewComm(electd.NewParticipant(0, n, 1), 1, nil)
+	reader := cl.NewComm(electd.NewParticipant(1, n, 2), 1, nil)
+	writer.Propagate("r", 41)
+	writer.Propagate("r", 42)
+	found := false
+	for _, v := range reader.Collect("r") {
+		if val, ok := v.Get(0); ok {
+			if val != 42 {
+				t.Fatalf("stale value %v (writer versioning broken)", val)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("completed propagate invisible to a subsequent collect")
+	}
+	if writer.Calls() != 2 || reader.Calls() != 1 {
+		t.Fatalf("communicate-call counts: writer %d (want 2), reader %d (want 1)", writer.Calls(), reader.Calls())
+	}
+	if writer.Messages() == 0 || writer.Bytes() == 0 {
+		t.Fatal("traffic counters stayed zero")
+	}
+}
+
+// TestInjectedDelayStillElects: per-link delay samplers (the scenario
+// engine's hook) slow elections down without breaking them.
+func TestInjectedDelayStillElects(t *testing.T) {
+	const n = 4
+	cl, err := electd.NewCluster(transport.NewLoopback(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	decisions := make([]core.Decision, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := electd.NewParticipant(rt.ProcID(i), n, int64(i+1))
+			delay := func(to int) time.Duration {
+				if to%2 == 0 {
+					return 200 * time.Microsecond
+				}
+				return 0
+			}
+			c := cl.NewComm(p, 1, delay)
+			s := core.NewState(p, "leaderelect")
+			decisions[i] = core.LeaderElectWithState(c, "elect", s)
+		}(i)
+	}
+	wg.Wait()
+	uniqueWinner(t, "delayed", decisions)
+}
+
+// TestServerIgnoresNoise: replies and unknown kinds arriving at a server
+// must not corrupt state or crash it.
+func TestServerIgnoresNoise(t *testing.T) {
+	srv := electd.NewServer(0)
+	nw := transport.NewLoopback()
+	ln, err := nw.Listen(srv.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan *wire.Msg, 4)
+	conn, err := nw.Dial(ln.Addr(), func(_ transport.Conn, m *wire.Msg) { got <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	conn.Send(&wire.Msg{Kind: wire.KindAck, Call: 1, From: 3})                            //nolint:errcheck
+	conn.Send(&wire.Msg{Kind: wire.KindView, Call: 2, From: 3})                           //nolint:errcheck
+	conn.Send(&wire.Msg{Kind: wire.KindCollect, Election: 1, Call: 3, From: 3, Reg: "r"}) //nolint:errcheck
+	select {
+	case m := <-got:
+		if m.Kind != wire.KindView || m.Call != 3 {
+			t.Fatalf("expected the collect's view, got %+v", m)
+		}
+		if len(m.Entries) != 0 {
+			t.Fatalf("noise messages materialised state: %+v", m.Entries)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server stopped answering after noise")
+	}
+}

@@ -1,0 +1,209 @@
+package electd
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Pool is a client process's connection pool over the n election servers:
+// one pooled transport connection per server, shared by every participant
+// and election instance in the process, with a call table routing replies
+// back to the communicate call that is waiting for them.
+type Pool struct {
+	n     int
+	conns []transport.Conn
+
+	mu    sync.Mutex
+	calls map[uint64]*pending
+	next  atomic.Uint64
+
+	// inflight tracks delayed (fault-injected) sends still riding timers,
+	// so Close can wait for stragglers instead of racing them.
+	inflight sync.WaitGroup
+}
+
+// pending is one outstanding communicate call awaiting quorum replies.
+type pending struct {
+	ch  chan *wire.Msg
+	cli *Client
+}
+
+// DialPool connects to every server address over the given network. The
+// address slice is indexed by server id; its length is the quorum system
+// size n. Unreachable servers are tolerated up to the model's fault budget
+// ⌈n/2⌉−1 — a dead replica at dial time is the same fault as one that
+// crashes later, and quorum calls route around it; only when a majority
+// cannot be reached does DialPool fail.
+func DialPool(nw transport.Network, addrs []string) (*Pool, error) {
+	pl := &Pool{n: len(addrs), calls: make(map[uint64]*pending)}
+	var down []string
+	for i, addr := range addrs {
+		c, err := nw.Dial(addr, pl.handle)
+		if err != nil {
+			down = append(down, fmt.Sprintf("server %d at %s: %v", i, addr, err))
+			pl.conns = append(pl.conns, nil)
+			continue
+		}
+		pl.conns = append(pl.conns, c)
+	}
+	if len(down) > (len(addrs)-1)/2 {
+		pl.Close()
+		return nil, fmt.Errorf("electd: %d of %d servers unreachable — a majority quorum is impossible (%s)",
+			len(down), len(addrs), strings.Join(down, "; "))
+	}
+	return pl, nil
+}
+
+// N returns the quorum system size.
+func (pl *Pool) N() int { return pl.n }
+
+// handle is the pool's reply router: it runs on each connection's read loop
+// and must never block, so pending channels are buffered for every possible
+// reply (n servers answer a call at most once each). Replies to completed
+// calls are dropped — those are the stragglers beyond the quorum, the same
+// abandoned-buffer asymmetry the in-process backend has.
+func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
+	if m.Kind != wire.KindAck && m.Kind != wire.KindView {
+		return
+	}
+	pl.mu.Lock()
+	p := pl.calls[m.Call]
+	pl.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.cli.msgs.Add(1)
+	p.cli.bytes.Add(int64(m.WireSize()))
+	select {
+	case p.ch <- m:
+	default: // over-full only if a server misbehaves; drop
+	}
+}
+
+// Close severs every server connection. Outstanding communicate calls fail
+// to make progress after Close; callers shut participants down first.
+func (pl *Pool) Close() error {
+	pl.inflight.Wait()
+	for _, c := range pl.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// NewComm returns participant p's communicate handle for one election
+// instance. delay (optional) injects per-server send latency — it is
+// sampled on the participant's algorithm goroutine, so a plan-driven
+// sampler may use a goroutine-owned PRNG. The handle must only be used
+// from p's algorithm goroutine.
+func (pl *Pool) NewComm(p rt.Procer, election uint64, delay func(server int) time.Duration) *Client {
+	return &Client{pool: pl, p: p, election: election, delay: delay, seqs: make(map[string]uint64)}
+}
+
+// Client is one participant's rt.Comm in one election instance: every
+// communicate call broadcasts to all n servers through the pool and blocks
+// until ⌊n/2⌋+1 of them answer — so any two calls, by any participants,
+// intersect in at least one server, the property every proof in the paper
+// stands on.
+type Client struct {
+	pool     *Pool
+	p        rt.Procer
+	election uint64
+	delay    func(int) time.Duration
+	seqs     map[string]uint64 // per-register write versions of the own cell
+	calls    int
+
+	msgs  atomic.Int64 // frames sent + replies received (the router bumps these)
+	bytes atomic.Int64
+}
+
+// Proc implements rt.Comm.
+func (c *Client) Proc() rt.Procer { return c.p }
+
+// QuorumSize implements rt.Comm: ⌊n/2⌋+1 of the n servers.
+func (c *Client) QuorumSize() int { return c.pool.n/2 + 1 }
+
+// Calls reports the number of communicate calls made — the paper's time
+// metric. Read it after the participant's goroutine has returned.
+func (c *Client) Calls() int { return c.calls }
+
+// Messages reports the frames this participant sent plus the replies that
+// reached it; Bytes the same in encoded bytes.
+func (c *Client) Messages() int64 { return c.msgs.Load() }
+
+// Bytes reports the participant's total wire traffic in bytes.
+func (c *Client) Bytes() int64 { return c.bytes.Load() }
+
+// Propagate implements rt.Comm: bump the own cell of reg and push it to a
+// quorum of servers. One communicate call.
+func (c *Client) Propagate(reg string, val rt.Value) {
+	c.seqs[reg]++
+	e := rt.Entry{Reg: reg, Owner: c.p.ID(), Seq: c.seqs[reg], Val: val}
+	c.rpc(&wire.Msg{
+		Kind: wire.KindPropagate, Election: c.election, From: c.p.ID(),
+		Reg: reg, Entries: []rt.Entry{e},
+	})
+}
+
+// Collect implements rt.Comm: gather the register-array views of a quorum
+// of servers. One communicate call.
+func (c *Client) Collect(reg string) []rt.View {
+	replies := c.rpc(&wire.Msg{
+		Kind: wire.KindCollect, Election: c.election, From: c.p.ID(), Reg: reg,
+	})
+	views := make([]rt.View, len(replies))
+	for i, m := range replies {
+		views[i] = rt.View{From: m.From, Entries: m.Entries}
+	}
+	return views
+}
+
+// rpc broadcasts m to every server and blocks until a quorum has answered.
+// Sends to crashed or unreachable servers are message loss; the quorum wait
+// rides on the ⌊n/2⌋+1 live majority the model guarantees.
+func (c *Client) rpc(m *wire.Msg) []*wire.Msg {
+	pl := c.pool
+	call := pl.next.Add(1)
+	m.Call = call
+	p := &pending{ch: make(chan *wire.Msg, pl.n), cli: c}
+	pl.mu.Lock()
+	pl.calls[call] = p
+	pl.mu.Unlock()
+
+	// Bit-complexity accounting counts frame bodies, like the sim kernel's
+	// PayloadBytes; the length prefix is transport framing, not payload.
+	size := int64(m.WireSize())
+	for j := 0; j < pl.n; j++ {
+		if pl.conns[j] == nil {
+			continue // server was unreachable at dial time: nothing to send
+		}
+		c.msgs.Add(1)
+		c.bytes.Add(size)
+		if c.delay != nil {
+			if d := c.delay(j); d > 0 {
+				transport.SendDelayed(pl.conns[j], m, d, &pl.inflight)
+				continue
+			}
+		}
+		pl.conns[j].Send(m) //nolint:errcheck // loss, per the model
+	}
+
+	need := c.QuorumSize()
+	out := make([]*wire.Msg, need)
+	for i := 0; i < need; i++ {
+		out[i] = <-p.ch
+	}
+	pl.mu.Lock()
+	delete(pl.calls, call)
+	pl.mu.Unlock()
+	c.calls++
+	return out
+}

@@ -1,0 +1,88 @@
+package electd
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/rt"
+)
+
+// Participant is a minimal rt.Procer for running the election algorithms
+// as a pure network client — one goroutine, a private PRNG, no backend
+// kernel. It is what cmd/electd and client-only processes hand to
+// core.LeaderElect next to a Pool client; live-backend runs use the richer
+// live.Proc (crash unwinding, scenario throttling) instead.
+//
+// The algorithms built on rt.Comm communicate exclusively through the
+// quorum layer, so Send and Await exist only to complete the interface:
+// Send drops (there are no peer mailboxes in a client process) and Await
+// spin-yields on its condition.
+type Participant struct {
+	id  rt.ProcID
+	n   int
+	rng *rand.Rand
+
+	mu        sync.Mutex
+	published any
+}
+
+// NewParticipant creates participant id with a deterministic private PRNG.
+// ids is the participant id space — the "n" the algorithms see: every
+// participant id in the election must lie in [0, ids), since the paper's
+// algorithms size their bookkeeping (and the PoisonPill coin bias 1/√n) by
+// it. It is independent of the server count: in the client/server split the
+// quorum size comes from the Pool, not from here.
+func NewParticipant(id rt.ProcID, ids int, seed int64) *Participant {
+	return &Participant{id: id, n: ids, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ID implements rt.Procer.
+func (p *Participant) ID() rt.ProcID { return p.id }
+
+// N implements rt.Procer: the participant id space.
+func (p *Participant) N() int { return p.n }
+
+// Rand implements rt.Procer: the participant's private PRNG, owned by its
+// algorithm goroutine.
+func (p *Participant) Rand() *rand.Rand { return p.rng }
+
+// Send implements rt.Procer by dropping the message: a client-only process
+// has no peer mailboxes, and the rt.Comm algorithms never use Send.
+func (p *Participant) Send(to rt.ProcID, payload any) {}
+
+// Await implements rt.Procer by yielding until cond holds. Conditions in a
+// client process can only be flipped by other local goroutines.
+func (p *Participant) Await(cond func() bool) {
+	for !cond() {
+		runtime.Gosched()
+	}
+}
+
+// Pause implements rt.Procer.
+func (p *Participant) Pause() { runtime.Gosched() }
+
+// Flip implements rt.Procer: a biased local coin flip followed by a yield,
+// preserving the "flip, then lose control" shape of the model.
+func (p *Participant) Flip(prob float64) int {
+	v := 0
+	if p.rng.Float64() < prob {
+		v = 1
+	}
+	runtime.Gosched()
+	return v
+}
+
+// Publish implements rt.Procer.
+func (p *Participant) Publish(state any) {
+	p.mu.Lock()
+	p.published = state
+	p.mu.Unlock()
+}
+
+// Published returns the last published state.
+func (p *Participant) Published() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.published
+}
