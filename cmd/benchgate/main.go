@@ -1,0 +1,133 @@
+// Command benchgate compares a freshly generated BENCH_*.json against a
+// checked-in baseline and fails (exit 1) on regressions beyond a threshold
+// in the gated metrics — the CI bench job's regression gate.
+//
+// Both files hold the repository's benchmark-metric schema: a JSON array of
+// {"name": ..., "value": ...} objects (see docs/BENCH.md). Every metric
+// present in both files is printed benchstat-style with its delta; only
+// metrics matching -gate are enforced. Direction is inferred from the
+// name: metrics matching -higher (throughput-like, "...-per-sec") regress
+// when they fall, everything else (latency-like, "...-sec", "allocs")
+// regresses when it rises.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_net.baseline.json -current BENCH_net.json \
+//	          [-gate 'election-sec$'] [-higher '-per-sec$'] [-threshold 0.30]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// metric is one row of a BENCH_*.json file.
+type metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// row is one comparison line.
+type row struct {
+	name     string
+	old, new float64
+	delta    float64 // fractional change, sign-adjusted so positive = worse
+	gated    bool
+	failed   bool
+}
+
+// compare builds the comparison table and flags gated regressions beyond
+// threshold. Metrics present in only one file are ignored (new benchmarks
+// appear, old ones retire); the gate only ever tightens on shared names.
+func compare(baseline, current map[string]float64, gate, higher *regexp.Regexp, threshold float64) []row {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		if _, ok := current[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		old, new := baseline[name], current[name]
+		r := row{name: name, old: old, new: new, gated: gate.MatchString(name)}
+		switch {
+		case old == 0:
+			r.delta = 0 // degenerate baseline: report, never gate
+		case higher.MatchString(name):
+			r.delta = (old - new) / old // drop in throughput = positive = worse
+		default:
+			r.delta = (new - old) / old // rise in latency/allocs = positive = worse
+		}
+		r.failed = r.gated && old != 0 && r.delta > threshold
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "checked-in baseline BENCH_*.json")
+	currentPath := flag.String("current", "", "freshly generated BENCH_*.json")
+	gatePat := flag.String("gate", `election-sec$`, "regexp selecting the metrics the gate enforces")
+	higherPat := flag.String("higher", `-per-sec$`, "regexp selecting higher-is-better metrics")
+	threshold := flag.Float64("threshold", 0.30, "fractional regression beyond which a gated metric fails")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	rows := compare(baseline, current, regexp.MustCompile(*gatePat), regexp.MustCompile(*higherPat), *threshold)
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no shared metrics between baseline and current")
+		os.Exit(2)
+	}
+	failures := 0
+	fmt.Printf("%-44s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	for _, r := range rows {
+		mark := " "
+		if r.gated {
+			mark = "*"
+			if r.failed {
+				mark = "!"
+				failures++
+			}
+		}
+		fmt.Printf("%-44s %14.6g %14.6g %+8.1f%% %s\n", r.name, r.old, r.new, 100*r.delta, mark)
+	}
+	fmt.Printf("\n(* gated; ! regression beyond %.0f%%; positive delta = worse)\n", 100**threshold)
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gated metric(s) regressed beyond %.0f%%\n", failures, 100**threshold)
+		os.Exit(1)
+	}
+}
+
+// load reads one BENCH_*.json metric file.
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ms []metric
+	if err := json.Unmarshal(raw, &ms); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+var (
+	gate   = regexp.MustCompile(`election-sec$`)
+	higher = regexp.MustCompile(`-per-sec$`)
+)
+
+// find returns the row for name, failing the test when absent.
+func find(t *testing.T, rows []row, name string) row {
+	t.Helper()
+	for _, r := range rows {
+		if r.name == name {
+			return r
+		}
+	}
+	t.Fatalf("no comparison row for %q", name)
+	return row{}
+}
+
+// TestGateFailsOnLatencyRegression: a gated lower-is-better metric beyond
+// the threshold fails; one inside the threshold passes.
+func TestGateFailsOnLatencyRegression(t *testing.T) {
+	baseline := map[string]float64{
+		"t13/tcp/n=32/election-sec": 0.040,
+		"t13/tcp/n=8/election-sec":  0.004,
+	}
+	current := map[string]float64{
+		"t13/tcp/n=32/election-sec": 0.060, // +50%: fail
+		"t13/tcp/n=8/election-sec":  0.005, // +25%: within 30%
+	}
+	rows := compare(baseline, current, gate, higher, 0.30)
+	if r := find(t, rows, "t13/tcp/n=32/election-sec"); !r.failed || !r.gated {
+		t.Errorf("+50%% latency regression not flagged: %+v", r)
+	}
+	if r := find(t, rows, "t13/tcp/n=8/election-sec"); r.failed {
+		t.Errorf("+25%% change failed a 30%% gate: %+v", r)
+	}
+}
+
+// TestGateDirectionForThroughput: higher-is-better metrics regress when
+// they fall, not when they rise — and are only enforced when gated.
+func TestGateDirectionForThroughput(t *testing.T) {
+	baseline := map[string]float64{"t14/workers=4/elections-per-sec": 100}
+	current := map[string]float64{"t14/workers=4/elections-per-sec": 60}
+	rows := compare(baseline, current, gate, higher, 0.30)
+	r := find(t, rows, "t14/workers=4/elections-per-sec")
+	if r.delta < 0.39 || r.delta > 0.41 {
+		t.Errorf("throughput drop delta = %v, want +0.40", r.delta)
+	}
+	if r.failed {
+		t.Errorf("ungated throughput metric enforced: %+v", r)
+	}
+	// Gate it explicitly: now the same drop fails.
+	rows = compare(baseline, current, regexp.MustCompile(`elections-per-sec$`), higher, 0.30)
+	if r := find(t, rows, "t14/workers=4/elections-per-sec"); !r.failed {
+		t.Errorf("gated throughput drop of 40%% passed: %+v", r)
+	}
+}
+
+// TestImprovementsAndNewMetricsPass: improvements never fail, metrics
+// missing from either side are skipped, and a zero baseline never gates.
+func TestImprovementsAndNewMetricsPass(t *testing.T) {
+	baseline := map[string]float64{
+		"t13/tcp/n=32/election-sec": 0.080,
+		"t13/retired/election-sec":  1.0,
+		"t13/zero/election-sec":     0.0,
+	}
+	current := map[string]float64{
+		"t13/tcp/n=32/election-sec":     0.035, // 2.3x better
+		"t13/brand-new/election-sec":    9.9,   // no baseline: skipped
+		"t13/zero/election-sec":         5.0,   // degenerate baseline: never gated
+		"t13/tcp/n=32/wire-bytes":       1,     // not shared
+		"t14/workers=1/elections-per-s": 1,
+	}
+	rows := compare(baseline, current, gate, higher, 0.30)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (shared metrics only): %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.failed {
+			t.Errorf("row failed unexpectedly: %+v", r)
+		}
+	}
+	if r := find(t, rows, "t13/tcp/n=32/election-sec"); r.delta > -0.5 {
+		t.Errorf("2.3x improvement reported delta %v, want strongly negative", r.delta)
+	}
+}

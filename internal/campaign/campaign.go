@@ -75,6 +75,11 @@ type Config struct {
 	// Campaigns with active fault scenarios run one cluster per election
 	// instead: crashing a shared server would leak faults across runs.
 	Transport live.Transport
+	// NoBatch (TCP transport only) disables the client pools' frame
+	// coalescing for the whole campaign — shared cluster and per-run
+	// clusters alike — the unbatched baseline the benchmarks compare
+	// against.
+	NoBatch bool
 
 	// cluster is the campaign-owned shared server set of a TCP campaign.
 	cluster *electd.Cluster
@@ -194,6 +199,9 @@ func (cfg *Config) normalize() error {
 	default:
 		return fmt.Errorf("campaign: unknown transport %q", cfg.Transport)
 	}
+	if cfg.NoBatch && cfg.Transport != live.TransportTCP {
+		return fmt.Errorf("campaign: NoBatch tunes the TCP transport's client pools; transport %q has no frames to batch", cfg.Transport)
+	}
 	return nil
 }
 
@@ -228,6 +236,12 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 		lcfg := live.Config{
 			N: cfg.N, K: cfg.K, Seed: seed, Algorithm: cfg.Algorithm, Scenario: sc,
 			Transport: cfg.Transport,
+		}
+		if cfg.cluster == nil {
+			// Owned clusters (per-run, under fault scenarios) inherit the
+			// campaign's batching choice; a shared cluster was already
+			// dialed with it.
+			lcfg.NoBatch = cfg.NoBatch
 		}
 		if cfg.cluster != nil {
 			lcfg.Cluster = cfg.cluster
@@ -314,7 +328,10 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 			}
 		}
 		if shared {
-			cluster, err := electd.NewCluster(transport.NewTCP(), cfg.N)
+			nw := transport.NewTCP()
+			nw.NoCoalesce = cfg.NoBatch
+			cluster, err := electd.NewClusterOpts(nw, cfg.N,
+				electd.PoolOptions{NoCoalesce: cfg.NoBatch})
 			if err != nil {
 				return MatrixReport{}, fmt.Errorf("campaign: start electd cluster: %w", err)
 			}

@@ -182,6 +182,79 @@ func TestRunMatrix(t *testing.T) {
 	}
 }
 
+// TestRunMatrixTCPSharedCluster: a fault-free scenario matrix over the TCP
+// transport multiplexes every cell onto one shared electd server set —
+// scenarios × seeds riding one quorum system over real sockets, batched by
+// default — and still elects a unique winner in every run. Run under -race
+// in CI.
+func TestRunMatrixTCPSharedCluster(t *testing.T) {
+	scenarios := []fault.Scenario{
+		fault.Baseline(),
+		{Name: "also-fault-free"},
+	}
+	m, err := RunMatrix(Config{
+		Runs: 6, Workers: 4, N: 5, BaseSeed: 21, Transport: live.TransportTCP,
+	}, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 12 {
+		t.Fatalf("matrix ran %d elections, want 12", m.Runs)
+	}
+	for _, row := range m.Scenarios {
+		if row.Elected != row.Runs || row.Crashed != 0 {
+			t.Errorf("%q: fault-free TCP row reports faults: %+v", row.Scenario.Name, row)
+		}
+		if row.MeanTime <= 0 {
+			t.Errorf("%q: non-positive mean time", row.Scenario.Name)
+		}
+	}
+}
+
+// TestRunMatrixTCPScenarios: an active scenario forces the TCP matrix onto
+// one owned cluster per election (faults must not leak across runs); mixed
+// with a fault-free row, both shapes must hold their validity accounting.
+// Run under -race in CI.
+func TestRunMatrixTCPScenarios(t *testing.T) {
+	scenarios := []fault.Scenario{
+		fault.Baseline(),
+		{Name: "crash-tcp", Crashes: fault.CrashMax, CrashWindow: 300 * time.Microsecond},
+	}
+	m, err := RunMatrix(Config{
+		Runs: 4, Workers: 2, N: 5, BaseSeed: 7, Transport: live.TransportTCP,
+	}, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range m.Scenarios {
+		if row.Elected+row.WinnerCrashed != row.Runs {
+			t.Errorf("%q: elected %d + winner-crashed %d != runs %d",
+				row.Scenario.Name, row.Elected, row.WinnerCrashed, row.Runs)
+		}
+	}
+	if base := m.Scenarios[0]; base.Elected != base.Runs || base.Crashed != 0 {
+		t.Errorf("baseline row reports faults: %+v", base)
+	}
+}
+
+// TestCampaignTCPNoBatch: the unbatched TCP baseline still elects across a
+// shared cluster, and NoBatch is rejected off the TCP transport.
+func TestCampaignTCPNoBatch(t *testing.T) {
+	rep, err := Run(Config{
+		Runs: 6, Workers: 3, N: 5, BaseSeed: 4,
+		Transport: live.TransportTCP, NoBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elected != rep.Runs {
+		t.Errorf("unbatched TCP campaign elected %d of %d", rep.Elected, rep.Runs)
+	}
+	if _, err := Run(Config{Runs: 1, N: 4, NoBatch: true}); err == nil {
+		t.Error("NoBatch accepted on the chan transport")
+	}
+}
+
 // TestRunWithScenario: Config.Scenario routes a single-scenario campaign
 // through Run, and fault-free campaigns report full validity.
 func TestRunWithScenario(t *testing.T) {

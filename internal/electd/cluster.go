@@ -22,8 +22,14 @@ type Cluster struct {
 	elections atomic.Uint64
 }
 
-// NewCluster starts n servers on the network and dials the shared pool.
+// NewCluster starts n servers on the network and dials the shared pool,
+// with the pool's frame coalescing on.
 func NewCluster(nw transport.Network, n int) (*Cluster, error) {
+	return NewClusterOpts(nw, n, PoolOptions{})
+}
+
+// NewClusterOpts is NewCluster with explicit pool options.
+func NewClusterOpts(nw transport.Network, n int, opts PoolOptions) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("electd: cluster size %d must be at least 1", n)
 	}
@@ -40,7 +46,7 @@ func NewCluster(nw transport.Network, n int) (*Cluster, error) {
 		cl.listeners = append(cl.listeners, ln)
 		addrs[i] = ln.Addr()
 	}
-	pool, err := DialPool(nw, addrs)
+	pool, err := DialPoolOpts(nw, addrs, opts)
 	if err != nil {
 		cl.Close()
 		return nil, err

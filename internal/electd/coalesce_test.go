@@ -1,0 +1,124 @@
+package electd
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// gateConn is a transport.Conn stub whose SendEncoded blocks until
+// released, capturing every frame — the tool for forcing deterministic
+// coalescing: while the first flush is stuck in the transport, everything
+// else enqueued must pile into the next batch.
+type gateConn struct {
+	gate   chan struct{}
+	mu     sync.Mutex
+	frames [][]byte
+}
+
+func (g *gateConn) Send(m *wire.Msg) error {
+	frame, err := wire.Append(nil, m)
+	if err != nil {
+		return err
+	}
+	return g.SendEncoded(frame)
+}
+
+func (g *gateConn) SendEncoded(frame []byte) error {
+	<-g.gate
+	g.mu.Lock()
+	g.frames = append(g.frames, append([]byte(nil), frame...))
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *gateConn) Close() error { return nil }
+
+// encodeAck returns one encoded ack frame with the given call id.
+func encodeAck(t *testing.T, call uint64) []byte {
+	t.Helper()
+	frame, err := wire.Append(nil, &wire.Msg{Kind: wire.KindAck, Call: call})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestCoalescerBatchesUnderLoad: messages enqueued while a flush is in
+// flight ride one multi-op frame; a lone message travels as its own plain
+// frame. This is the group-commit contract, pinned deterministically.
+func TestCoalescerBatchesUnderLoad(t *testing.T) {
+	g := &gateConn{gate: make(chan struct{})}
+	co := &coalescer{conn: g}
+
+	first := make(chan struct{})
+	go func() {
+		co.enqueue(encodeAck(t, 1)) // becomes the flusher, blocks in SendEncoded
+		close(first)
+	}()
+	// Wait until the flusher has actually taken the batch (flushing set and
+	// buffer drained), then pile on.
+	for {
+		co.mu.Lock()
+		started := co.flushing && co.count == 0
+		co.mu.Unlock()
+		if started {
+			break
+		}
+		runtime.Gosched()
+	}
+	for call := uint64(2); call <= 5; call++ {
+		co.enqueue(encodeAck(t, call)) // flusher active: enqueue and leave
+	}
+	close(g.gate)
+	<-first
+	// The flusher loops until the batch is empty; wait for it to finish.
+	for {
+		co.mu.Lock()
+		done := !co.flushing
+		co.mu.Unlock()
+		if done {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	g.mu.Lock()
+	frames := g.frames
+	g.mu.Unlock()
+	if len(frames) != 2 {
+		t.Fatalf("sent %d frames, want 2 (plain + batch)", len(frames))
+	}
+	one, err := wire.DecodeFrames(nil, mustBody(t, frames[0]))
+	if err != nil || len(one) != 1 || one[0].Call != 1 {
+		t.Fatalf("first frame: %v %+v", err, one)
+	}
+	batch, err := wire.DecodeFrames(nil, mustBody(t, frames[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 4 {
+		t.Fatalf("second frame carries %d messages, want the 4 that accumulated", len(batch))
+	}
+	for i, m := range batch {
+		if m.Call != uint64(i+2) {
+			t.Fatalf("batch order broken: slot %d has call %d", i, m.Call)
+		}
+	}
+	if msgs, fr := co.msgs.Load(), co.frames.Load(); msgs != 5 || fr != 2 {
+		t.Fatalf("stats: %d msgs in %d frames, want 5 in 2", msgs, fr)
+	}
+}
+
+// mustBody strips a frame's length prefix.
+func mustBody(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	size := frame[0] // test frames are tiny; single-byte prefix
+	body := frame[1:]
+	if int(size) != len(body) {
+		t.Fatalf("frame prefix %d != body %d", size, len(body))
+	}
+	return body
+}

@@ -59,6 +59,16 @@ type store struct {
 
 type regArray struct {
 	cells map[rt.ProcID]cell
+	// snap and enc cache the owner-ordered snapshot — decoded and as the
+	// encoded reply tail (wire.AppendEntries) — between mutations: collects
+	// dominate the quorum traffic (every reader of an array pays one per
+	// communicate call), so amortizing the map walk, the sort and the
+	// encoding across the collects between two winning merges takes the
+	// server's per-collect cost to O(1) plus a memcpy. Neither cache is
+	// mutated in place — a winning merge just drops them — so handing them
+	// to concurrent replies is safe.
+	snap []rt.Entry
+	enc  []byte
 }
 
 type cell struct {
@@ -105,10 +115,20 @@ func (s *Server) Crash() { s.crashed.Store(true) }
 // Crashed reports whether the replica has been crashed.
 func (s *Server) Crashed() bool { return s.crashed.Load() }
 
+// emptyTail is the encoded tail of a view over an empty or absent register
+// array: an entry count of zero.
+var emptyTail = []byte{0}
+
 // Handle is the transport.Handler of the replica: merge propagates, answer
 // collects, drop everything else. Replies return over the inbound
-// connection.
+// connection — which coalesces them into one batch frame when the requests
+// arrived as one (see transport.Handler) — and are assembled directly from
+// header fields plus the cached encoded snapshot, so the server never
+// builds or walks a reply message. Handle takes ownership of m: the server
+// is a request's terminal consumer (merging copies the entries' values),
+// so the message returns to the wire package's pool on the way out.
 func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
+	defer wire.PutMsg(m)
 	if s.crashed.Load() {
 		return // a crashed server loses requests, no acknowledgment
 	}
@@ -120,21 +140,31 @@ func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
 		}
 		s.mu.Unlock()
 		s.served.Add(1)
-		c.Send(&wire.Msg{ //nolint:errcheck // a dead link is message loss
-			Kind: wire.KindAck, Election: m.Election, Call: m.Call, From: s.id,
-		})
+		s.reply(c, wire.KindAck, m, nil)
 	case wire.KindCollect:
 		s.mu.Lock()
-		entries := s.snapshot(m.Election, m.Reg)
+		tail := s.snapshotTail(m.Election, m.Reg)
 		s.mu.Unlock()
 		s.served.Add(1)
-		c.Send(&wire.Msg{ //nolint:errcheck
-			Kind: wire.KindView, Election: m.Election, Call: m.Call, From: s.id,
-			Reg: m.Reg, Entries: entries,
-		})
+		s.reply(c, wire.KindView, m, tail)
 	default:
 		// Replies arriving at a server are protocol noise; ignore.
 	}
+}
+
+// reply sends one assembled reply frame for request m. Send errors are
+// message loss, as on any dead link.
+func (s *Server) reply(c transport.Conn, kind wire.Kind, m *wire.Msg, tail []byte) {
+	reg := ""
+	if kind == wire.KindView {
+		reg = m.Reg
+	}
+	frame, err := wire.AppendReplyFrame(wire.GetBuf(), kind, m.Election, m.Call, s.id, reg, tail)
+	if err != nil {
+		wire.PutBuf(frame)
+		return // oversized reply: loss
+	}
+	c.SendEncoded(frame) //nolint:errcheck
 }
 
 // merge applies an entry under writer versioning (higher sequence numbers
@@ -152,25 +182,41 @@ func (s *Server) merge(election uint64, e rt.Entry) {
 	}
 	if e.Seq > arr.cells[e.Owner].seq {
 		arr.cells[e.Owner] = cell{seq: e.Seq, val: e.Val}
+		arr.snap, arr.enc = nil, nil // losing merges leave the caches valid
 	}
 }
 
-// snapshot returns the non-⊥ cells of one register array in owner order
-// (the canonical order both backends' stores use). Callers hold s.mu; the
-// returned slice is fresh and the values shared immutables.
-func (s *Server) snapshot(election uint64, reg string) []rt.Entry {
+// snapshotTail returns the encoded view tail (entry count + entries, in
+// owner order — the canonical order both backends' stores use) of one
+// register array, rebuilding the caches only when a merge has won since
+// they were built. Callers hold s.mu; the returned bytes are immutable by
+// convention.
+func (s *Server) snapshotTail(election uint64, reg string) []byte {
 	st := s.elections[election]
 	if st == nil {
-		return nil
+		return emptyTail
 	}
 	arr := st.regs[reg]
-	if arr == nil {
-		return nil
+	if arr == nil || len(arr.cells) == 0 {
+		return emptyTail
 	}
-	out := make([]rt.Entry, 0, len(arr.cells))
-	for owner, c := range arr.cells {
-		out = append(out, rt.Entry{Reg: reg, Owner: owner, Seq: c.seq, Val: c.val})
+	if arr.enc == nil {
+		if arr.snap == nil {
+			out := make([]rt.Entry, 0, len(arr.cells))
+			for owner, c := range arr.cells {
+				out = append(out, rt.Entry{Reg: reg, Owner: owner, Seq: c.seq, Val: c.val})
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+			arr.snap = out
+		}
+		enc, err := wire.AppendEntries(nil, reg, arr.snap)
+		if err != nil {
+			// Values outside the codec's domain cannot be stored here (they
+			// arrived through the codec); treat the impossible as an empty
+			// view rather than corrupting the stream.
+			return emptyTail
+		}
+		arr.enc = enc
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
-	return out
+	return arr.enc
 }

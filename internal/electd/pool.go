@@ -16,33 +16,63 @@ import (
 // one pooled transport connection per server, shared by every participant
 // and election instance in the process, with a call table routing replies
 // back to the communicate call that is waiting for them.
+//
+// The pool is the coalescing point of the quorum hot path: each server
+// connection has a group-commit coalescer that merges the concurrent
+// messages of every sharing participant into batched multi-op frames, and
+// each request frame is encoded once, not once per server. Pending-call
+// slots and their reply channels are recycled, so a steady-state election
+// allocates only its payload entries.
 type Pool struct {
 	n     int
 	conns []transport.Conn
+	outs  []*coalescer // per-server; nil when undialed or coalescing is off
 
 	mu    sync.Mutex
 	calls map[uint64]*pending
 	next  atomic.Uint64
+	pend  sync.Pool // recycled pending slots with quorum-capacity channels
 
 	// inflight tracks delayed (fault-injected) sends still riding timers,
 	// so Close can wait for stragglers instead of racing them.
 	inflight sync.WaitGroup
 }
 
-// pending is one outstanding communicate call awaiting quorum replies.
-type pending struct {
-	ch  chan *wire.Msg
-	cli *Client
+// PoolOptions tunes a Pool at dial time.
+type PoolOptions struct {
+	// NoCoalesce disables per-server frame batching: every message travels
+	// as its own frame and is encoded per connection, the pre-batching wire
+	// behavior. It exists for the benchmarks' unbatched baseline and for
+	// debugging frame-level traces; production paths leave it off.
+	NoCoalesce bool
 }
 
-// DialPool connects to every server address over the given network. The
-// address slice is indexed by server id; its length is the quorum system
-// size n. Unreachable servers are tolerated up to the model's fault budget
-// ⌈n/2⌉−1 — a dead replica at dial time is the same fault as one that
-// crashes later, and quorum calls route around it; only when a majority
-// cannot be reached does DialPool fail.
+// pending is one outstanding communicate call awaiting quorum replies.
+type pending struct {
+	ch     chan *wire.Msg
+	cli    *Client
+	routed int // replies routed so far, guarded by the pool mutex
+}
+
+// DialPool connects to every server address over the given network, with
+// frame coalescing on. The address slice is indexed by server id; its
+// length is the quorum system size n. Unreachable servers are tolerated up
+// to the model's fault budget ⌈n/2⌉−1 — a dead replica at dial time is the
+// same fault as one that crashes later, and quorum calls route around it;
+// only when a majority cannot be reached does DialPool fail, closing every
+// connection it had already established.
 func DialPool(nw transport.Network, addrs []string) (*Pool, error) {
-	pl := &Pool{n: len(addrs), calls: make(map[uint64]*pending)}
+	return DialPoolOpts(nw, addrs, PoolOptions{})
+}
+
+// DialPoolOpts is DialPool with explicit options.
+func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool, error) {
+	pl := &Pool{
+		n:     len(addrs),
+		outs:  make([]*coalescer, len(addrs)),
+		calls: make(map[uint64]*pending),
+	}
+	pl.pend.New = func() any { return &pending{ch: make(chan *wire.Msg, pl.n)} }
 	var down []string
 	for i, addr := range addrs {
 		c, err := nw.Dial(addr, pl.handle)
@@ -52,9 +82,22 @@ func DialPool(nw transport.Network, addrs []string) (*Pool, error) {
 			continue
 		}
 		pl.conns = append(pl.conns, c)
+		if !opts.NoCoalesce {
+			pl.outs[i] = &coalescer{conn: c}
+		}
+		if fc, ok := c.(transport.FilteredConn); ok {
+			// Drop straggler replies — answers to calls that already
+			// reached quorum — before they are decoded: at n servers per
+			// broadcast, almost half of all view replies are stragglers,
+			// and their decode (entries, statuses, allocations) is the
+			// single largest avoidable cost on the client's read loops.
+			fc.SetFilter(pl.keepReply)
+		}
 	}
 	if len(down) > (len(addrs)-1)/2 {
-		pl.Close()
+		// Startup failure must not leak the minority that did answer:
+		// every already-dialed connection is closed before reporting.
+		pl.closeConns()
 		return nil, fmt.Errorf("electd: %d of %d servers unreachable — a majority quorum is impossible (%s)",
 			len(down), len(addrs), strings.Join(down, "; "))
 	}
@@ -64,26 +107,75 @@ func DialPool(nw transport.Network, addrs []string) (*Pool, error) {
 // N returns the quorum system size.
 func (pl *Pool) N() int { return pl.n }
 
+// CoalesceStats reports the pool's batching effectiveness: msgs is the
+// number of messages that went through the coalescers, frames the number
+// of wire frames they were sent in. frames < msgs means multi-op batching
+// happened; a NoCoalesce pool reports zeros.
+func (pl *Pool) CoalesceStats() (msgs, frames int64) {
+	for _, co := range pl.outs {
+		if co != nil {
+			msgs += co.msgs.Load()
+			frames += co.frames.Load()
+		}
+	}
+	return msgs, frames
+}
+
+// keepReply is the pool's pre-decode filter (transport.FrameFilter): a
+// reply is a straggler — nobody will ever read it — once its call is no
+// longer pending or a full quorum has already been routed, and stragglers
+// are dropped before their decode. With streaming dispatch the routed
+// count is current up to the previous reply of the same inbound batch, so
+// at n replies per broadcast almost half of all view decodes (entries,
+// statuses, their allocations) simply never happen. Anything that is not a
+// well-formed reply header passes through to the full decoder, which is
+// the arbiter of validity. The filter is advisory and racy by design: a
+// call completing between this check and the router's is dropped there
+// instead, and the reverse race cannot happen (calls are registered before
+// any request is sent).
+func (pl *Pool) keepReply(body []byte) bool {
+	k, call, ok := wire.PeekReply(body)
+	if !ok || (k != wire.KindAck && k != wire.KindView) {
+		return true
+	}
+	pl.mu.Lock()
+	p := pl.calls[call]
+	keep := p != nil && p.routed < pl.n/2+1
+	pl.mu.Unlock()
+	return keep
+}
+
 // handle is the pool's reply router: it runs on each connection's read loop
 // and must never block, so pending channels are buffered for every possible
-// reply (n servers answer a call at most once each). Replies to completed
-// calls are dropped — those are the stragglers beyond the quorum, the same
+// reply (n servers answer a call at most once each) and the send is
+// non-blocking even while the call-table lock is held — which is what makes
+// recycling a completed call's slot safe: once the call is deleted under
+// the lock, no router touches its channel. Replies to completed calls are
+// dropped — those are the stragglers beyond the quorum, the same
 // abandoned-buffer asymmetry the in-process backend has.
 func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
 	if m.Kind != wire.KindAck && m.Kind != wire.KindView {
 		return
 	}
 	pl.mu.Lock()
-	p := pl.calls[m.Call]
-	pl.mu.Unlock()
-	if p == nil {
-		return
+	if p := pl.calls[m.Call]; p != nil {
+		p.routed++
+		p.cli.msgs.Add(1)
+		p.cli.bytes.Add(int64(m.WireSize()))
+		select {
+		case p.ch <- m:
+		default: // over-full only if a server misbehaves; drop
+		}
 	}
-	p.cli.msgs.Add(1)
-	p.cli.bytes.Add(int64(m.WireSize()))
-	select {
-	case p.ch <- m:
-	default: // over-full only if a server misbehaves; drop
+	pl.mu.Unlock()
+}
+
+// closeConns severs every established server connection.
+func (pl *Pool) closeConns() {
+	for _, c := range pl.conns {
+		if c != nil {
+			c.Close()
+		}
 	}
 }
 
@@ -91,11 +183,7 @@ func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
 // to make progress after Close; callers shut participants down first.
 func (pl *Pool) Close() error {
 	pl.inflight.Wait()
-	for _, c := range pl.conns {
-		if c != nil {
-			c.Close()
-		}
-	}
+	pl.closeConns()
 	return nil
 }
 
@@ -121,6 +209,14 @@ type Client struct {
 	seqs     map[string]uint64 // per-register write versions of the own cell
 	calls    int
 
+	// Single-goroutine scratch, reused across communicate calls: the
+	// request message (safe because every send path has finished with it
+	// before rpc returns — except delayed sends, which get fresh messages),
+	// its one-entry payload, and the quorum-reply collection slice.
+	req     wire.Msg
+	entry   [1]rt.Entry
+	replies []*wire.Msg
+
 	msgs  atomic.Int64 // frames sent + replies received (the router bumps these)
 	bytes atomic.Int64
 }
@@ -142,68 +238,127 @@ func (c *Client) Messages() int64 { return c.msgs.Load() }
 // Bytes reports the participant's total wire traffic in bytes.
 func (c *Client) Bytes() int64 { return c.bytes.Load() }
 
+// msg returns the request message for one communicate call: the client's
+// reusable scratch normally, a fresh message when delayed sends may retain
+// it beyond this call.
+func (c *Client) msg() *wire.Msg {
+	if c.delay != nil {
+		return &wire.Msg{}
+	}
+	c.req = wire.Msg{}
+	return &c.req
+}
+
 // Propagate implements rt.Comm: bump the own cell of reg and push it to a
 // quorum of servers. One communicate call.
 func (c *Client) Propagate(reg string, val rt.Value) {
 	c.seqs[reg]++
-	e := rt.Entry{Reg: reg, Owner: c.p.ID(), Seq: c.seqs[reg], Val: val}
-	c.rpc(&wire.Msg{
-		Kind: wire.KindPropagate, Election: c.election, From: c.p.ID(),
-		Reg: reg, Entries: []rt.Entry{e},
-	})
+	m := c.msg()
+	m.Kind, m.Election, m.From, m.Reg = wire.KindPropagate, c.election, c.p.ID(), reg
+	if c.delay != nil {
+		m.Entries = []rt.Entry{{Reg: reg, Owner: c.p.ID(), Seq: c.seqs[reg], Val: val}}
+	} else {
+		c.entry[0] = rt.Entry{Reg: reg, Owner: c.p.ID(), Seq: c.seqs[reg], Val: val}
+		m.Entries = c.entry[:]
+	}
+	c.rpc(m, false)
 }
 
 // Collect implements rt.Comm: gather the register-array views of a quorum
 // of servers. One communicate call.
 func (c *Client) Collect(reg string) []rt.View {
-	replies := c.rpc(&wire.Msg{
-		Kind: wire.KindCollect, Election: c.election, From: c.p.ID(), Reg: reg,
-	})
+	m := c.msg()
+	m.Kind, m.Election, m.From, m.Reg = wire.KindCollect, c.election, c.p.ID(), reg
+	replies := c.rpc(m, true)
 	views := make([]rt.View, len(replies))
-	for i, m := range replies {
-		views[i] = rt.View{From: m.From, Entries: m.Entries}
+	for i, r := range replies {
+		views[i] = rt.View{From: r.From, Entries: r.Entries}
+		wire.PutMsg(r) // the view keeps the entries; the wrapper recycles
 	}
 	return views
 }
 
-// rpc broadcasts m to every server and blocks until a quorum has answered.
-// Sends to crashed or unreachable servers are message loss; the quorum wait
-// rides on the ⌊n/2⌋+1 live majority the model guarantees.
-func (c *Client) rpc(m *wire.Msg) []*wire.Msg {
+// rpc broadcasts m to every server and blocks until a quorum has answered,
+// returning the replies when keep is set (collects) and discarding them
+// otherwise (propagate acks carry no payload). Sends to crashed or
+// unreachable servers are message loss; the quorum wait rides on the
+// ⌊n/2⌋+1 live majority the model guarantees.
+func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	pl := c.pool
 	call := pl.next.Add(1)
 	m.Call = call
-	p := &pending{ch: make(chan *wire.Msg, pl.n), cli: c}
+	p := pl.pend.Get().(*pending)
+	p.cli = c
 	pl.mu.Lock()
 	pl.calls[call] = p
 	pl.mu.Unlock()
 
 	// Bit-complexity accounting counts frame bodies, like the sim kernel's
-	// PayloadBytes; the length prefix is transport framing, not payload.
+	// PayloadBytes; the length prefix — and a batch frame's header — is
+	// transport framing, not payload.
 	size := int64(m.WireSize())
+	var frame []byte // encoded once, lazily; every server gets the same bytes
+	sent := int64(0)
 	for j := 0; j < pl.n; j++ {
 		if pl.conns[j] == nil {
 			continue // server was unreachable at dial time: nothing to send
 		}
-		c.msgs.Add(1)
-		c.bytes.Add(size)
+		sent++
 		if c.delay != nil {
 			if d := c.delay(j); d > 0 {
 				transport.SendDelayed(pl.conns[j], m, d, &pl.inflight)
 				continue
 			}
 		}
-		pl.conns[j].Send(m) //nolint:errcheck // loss, per the model
+		if co := pl.outs[j]; co != nil {
+			if frame == nil {
+				var err error
+				if frame, err = wire.Append(wire.GetBuf(), m); err != nil {
+					// Unencodable payloads cannot reach any server: loss on
+					// every link, exactly as the per-conn Send path reports.
+					wire.PutBuf(frame)
+					frame = nil
+					break
+				}
+			}
+			co.enqueue(frame)
+		} else {
+			pl.conns[j].Send(m) //nolint:errcheck // loss, per the model
+		}
 	}
+	if frame != nil {
+		wire.PutBuf(frame)
+	}
+	c.msgs.Add(sent)
+	c.bytes.Add(sent * size)
 
 	need := c.QuorumSize()
-	out := make([]*wire.Msg, need)
+	c.replies = c.replies[:0]
 	for i := 0; i < need; i++ {
-		out[i] = <-p.ch
+		c.replies = append(c.replies, <-p.ch)
 	}
 	pl.mu.Lock()
 	delete(pl.calls, call)
 	pl.mu.Unlock()
+	// After the delete, no router holds the slot: drain the stragglers that
+	// beat the deletion and recycle everything.
+	for {
+		select {
+		case m := <-p.ch:
+			wire.PutMsg(m)
+			continue
+		default:
+		}
+		break
+	}
+	p.cli, p.routed = nil, 0
+	pl.pend.Put(p)
 	c.calls++
-	return out
+	if !keep {
+		for _, r := range c.replies {
+			wire.PutMsg(r)
+		}
+		return nil
+	}
+	return c.replies
 }

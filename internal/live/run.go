@@ -73,6 +73,11 @@ type Config struct {
 	// ElectionID namespaces this run's register state on a shared Cluster.
 	// Ignored (an owned cluster hosts exactly one election) otherwise.
 	ElectionID uint64
+	// NoBatch (TransportTCP with an owned cluster only) disables the
+	// client pool's frame coalescing: every quorum message travels as its
+	// own wire frame, the pre-batching behavior the benchmarks compare
+	// against. On a shared Cluster the pool's own options govern.
+	NoBatch bool
 }
 
 // DefaultTimeout bounds a live run when Config.Timeout is zero. The
@@ -157,7 +162,13 @@ func (cfg *Config) normalize() error {
 		if cfg.ElectionID != 0 {
 			return fmt.Errorf("live: election IDs exist only on the TCP transport")
 		}
+		if cfg.NoBatch {
+			return fmt.Errorf("live: NoBatch tunes the TCP transport's client pool; the %q transport has no frames to batch", cfg.Transport)
+		}
 	} else if cfg.Cluster != nil {
+		if cfg.NoBatch {
+			return fmt.Errorf("live: NoBatch cannot apply to a shared cluster (its pool is already dialed); configure the cluster instead")
+		}
 		if cfg.Cluster.N() != cfg.N {
 			return fmt.Errorf("live: shared cluster has %d servers, run wants n=%d", cfg.Cluster.N(), cfg.N)
 		}
@@ -346,7 +357,10 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 		cluster = cfg.Cluster
 		election := cfg.ElectionID
 		if cluster == nil {
-			cluster, err = electd.NewCluster(transport.NewTCP(), cfg.N)
+			nw := transport.NewTCP()
+			nw.NoCoalesce = cfg.NoBatch
+			cluster, err = electd.NewClusterOpts(nw, cfg.N,
+				electd.PoolOptions{NoCoalesce: cfg.NoBatch})
 			if err != nil {
 				return Result{}, fmt.Errorf("live: start electd cluster: %w", err)
 			}

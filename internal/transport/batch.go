@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// maxCoalesce bounds one write-loop drain: how many queued frames a single
+// wakeup may pick up and coalesce. It caps the latency any one frame can
+// accumulate behind its runmates and keeps a drain from starving the flush.
+const maxCoalesce = 256
+
+// maxRunBytes bounds the byte size of one coalesced batch, comfortably
+// under wire.MaxFrame: a run that would exceed it is split across batches.
+const maxRunBytes = 1 << 20
+
+// coalesceFrames writes a drained run of encoded frames onto w, wrapping
+// every maximal run of batchable frames (two or more, up to maxRunBytes)
+// into one batch frame — the frame-level analogue of the byte-level
+// coalescing bufio already gives the write loop. Frames that are already
+// batches (no nesting) or malformed pass through untouched, in order; the
+// per-connection FIFO is preserved either way. Every frame buffer is
+// recycled. The caller flushes w afterwards.
+func coalesceFrames(w io.Writer, frames [][]byte) error {
+	var hdr []byte
+	for i := 0; i < len(frames); {
+		j, size := i, 0
+		for j < len(frames) && size+len(frames[j]) <= maxRunBytes && wire.BatchableFrame(frames[j]) {
+			size += len(frames[j])
+			j++
+		}
+		if j-i >= 2 {
+			var err error
+			if hdr, err = wire.AppendBatchHeader(hdr[:0], j-i, size); err != nil {
+				return err // unreachable under the run caps; defensive
+			}
+			if _, err := w.Write(hdr); err != nil {
+				return err
+			}
+			for ; i < j; i++ {
+				_, err := w.Write(frames[i])
+				wire.PutBuf(frames[i])
+				frames[i] = nil
+				if err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// A lone batchable frame, or an unbatchable one: as-is.
+		_, err := w.Write(frames[i])
+		wire.PutBuf(frames[i])
+		frames[i] = nil
+		i++
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePlain writes a drained run of encoded frames onto w as-is — the
+// NoCoalesce write path: per-frame framing untouched, byte-level merging
+// left to the buffered writer. Every frame buffer is recycled.
+func writePlain(w io.Writer, frames [][]byte) error {
+	for i, f := range frames {
+		_, err := w.Write(f)
+		wire.PutBuf(f)
+		frames[i] = nil
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatchGroup streams the messages of a group of frame bodies to h in
+// order: each message is filtered (keep may veto its decode — stragglers
+// beyond a quorum die here, and because dispatch is streaming, the filter
+// sees routing state current up to the previous message), decoded, and
+// handed to h before the next one is touched. For anything beyond a single
+// plain frame, the Conn the handler sees is a replyCoalescer: every reply
+// h sends while the group is dispatched accumulates into one outbound
+// batch frame, flushed when the last message returns. That keeps the
+// request/reply symmetry of the coalesced hot path — a batched quorum
+// broadcast comes back as a batched quorum of replies — without the server
+// layer knowing batches exist. The first corrupt body aborts the dispatch
+// (already-dispatched messages stand, as on any mid-stream severance).
+func dispatchGroup(c Conn, h Handler, keep FrameFilter, bodies ...[]byte) error {
+	if len(bodies) == 1 && len(bodies[0]) > 0 && wire.Kind(bodies[0][0]) != wire.KindBatch {
+		if keep != nil && !keep(bodies[0]) {
+			return nil
+		}
+		m, err := wire.Decode(bodies[0])
+		if err != nil {
+			return err
+		}
+		h(c, m)
+		return nil
+	}
+	rc := replyCoalescer{conn: c}
+	var err error
+	for _, body := range bodies {
+		if err = wire.ForEachFrame(body, func(sub []byte) error {
+			if keep != nil && !keep(sub) {
+				return nil
+			}
+			m, err := wire.Decode(sub)
+			if err != nil {
+				return err
+			}
+			h(&rc, m)
+			return nil
+		}); err != nil {
+			break
+		}
+	}
+	rc.flush()
+	return err
+}
+
+// replyCoalescer is the Conn a handler replies through while one inbound
+// batch is dispatched: Sends append pre-encoded sub-frames to one buffer,
+// and flush forwards them as a single frame — plain for one reply, batch
+// for several. After the flush, sends fall through to the underlying
+// connection (for the rare handler that replies asynchronously).
+type replyCoalescer struct {
+	conn Conn
+
+	mu      sync.Mutex
+	buf     []byte // concatenated length-prefixed frames, from wire.GetBuf
+	count   int
+	flushed bool
+}
+
+// Send implements Conn: encode now (the caller may reuse m immediately),
+// deliver at flush. Encoding errors surface here; delivery errors are
+// message loss at flush, as on any closed connection.
+func (rc *replyCoalescer) Send(m *wire.Msg) error {
+	rc.mu.Lock()
+	if rc.flushed {
+		rc.mu.Unlock()
+		return rc.conn.Send(m)
+	}
+	if rc.buf == nil {
+		rc.buf = wire.GetBuf()
+	}
+	buf, err := wire.Append(rc.buf, m)
+	if err == nil {
+		rc.buf = buf
+		rc.count++
+	}
+	rc.mu.Unlock()
+	return err
+}
+
+// SendEncoded implements Conn.
+func (rc *replyCoalescer) SendEncoded(frame []byte) error {
+	rc.mu.Lock()
+	if rc.flushed {
+		rc.mu.Unlock()
+		return rc.conn.SendEncoded(frame)
+	}
+	if rc.buf == nil {
+		rc.buf = wire.GetBuf()
+	}
+	rc.buf = append(rc.buf, frame...)
+	rc.count++
+	rc.mu.Unlock()
+	wire.PutBuf(frame)
+	return nil
+}
+
+// Close implements Conn, severing the underlying connection (a handler
+// closes on protocol violations; pending replies to the violator can drop).
+func (rc *replyCoalescer) Close() error { return rc.conn.Close() }
+
+// flush forwards the accumulated replies as one frame and switches the
+// coalescer to pass-through.
+func (rc *replyCoalescer) flush() {
+	rc.mu.Lock()
+	buf, count := rc.buf, rc.count
+	rc.buf, rc.flushed = nil, true
+	rc.mu.Unlock()
+	switch {
+	case count == 0:
+		if buf != nil {
+			wire.PutBuf(buf)
+		}
+	case count == 1:
+		// A single length-prefixed frame is already the wire form.
+		rc.conn.SendEncoded(buf) //nolint:errcheck // loss, per the model
+	default:
+		batch := wire.GetBuf()
+		batch, err := wire.AppendBatchFrame(batch, count, buf)
+		if err != nil {
+			// A reply batch too big for one frame (pathological at
+			// MaxFrame scale): fall back to sending the accumulated
+			// frames one by one — dropping them all would turn the
+			// model's transient loss into a deterministic quorum hang.
+			wire.PutBuf(batch)
+			for rest := buf; len(rest) > 0; {
+				size, n := binary.Uvarint(rest)
+				end := n + int(size)
+				one := append(wire.GetBuf(), rest[:end]...)
+				rc.conn.SendEncoded(one) //nolint:errcheck
+				rest = rest[end:]
+			}
+			wire.PutBuf(buf)
+			return
+		}
+		wire.PutBuf(buf)
+		rc.conn.SendEncoded(batch) //nolint:errcheck
+	}
+}

@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -124,6 +126,7 @@ const loopQueueDepth = 256
 // peer's Send are decoded and dispatched to this half's handler by pump.
 type loopConn struct {
 	handler   Handler
+	filter    atomic.Value // FrameFilter, installed via SetFilter
 	peer      *loopConn
 	q         chan []byte
 	done      chan struct{}
@@ -134,38 +137,88 @@ func newLoopConn(h Handler) *loopConn {
 	return &loopConn{handler: h, q: make(chan []byte, loopQueueDepth), done: make(chan struct{})}
 }
 
-// Send implements Conn: encode the frame and enqueue it at the peer.
+// SetFilter implements FilteredConn.
+func (c *loopConn) SetFilter(f FrameFilter) { c.filter.Store(f) }
+
+// loadFilter returns the installed FrameFilter, nil when none.
+func (c *loopConn) loadFilter() FrameFilter {
+	if f, ok := c.filter.Load().(FrameFilter); ok {
+		return f
+	}
+	return nil
+}
+
+// Send implements Conn: encode the frame into a pooled buffer and enqueue
+// it at the peer.
 func (c *loopConn) Send(m *wire.Msg) error {
-	frame, err := wire.Encode(m)
+	frame, err := wire.Append(wire.GetBuf(), m)
 	if err != nil {
+		wire.PutBuf(frame)
 		return err
 	}
+	return c.SendEncoded(frame)
+}
+
+// SendEncoded implements Conn, taking ownership of frame.
+func (c *loopConn) SendEncoded(frame []byte) error {
 	p := c.peer
 	select {
 	case <-c.done:
+		wire.PutBuf(frame)
 		return ErrClosed
 	case <-p.done:
+		wire.PutBuf(frame)
 		return ErrClosed
 	case p.q <- frame:
 		return nil
 	}
 }
 
-// pump is the read loop: decode queued frames and hand them to the handler.
+// pump is the read loop: each wakeup drains every frame already queued and
+// dispatches their messages as one group — batch frames message by message,
+// consecutive frames back to back — with the replies issued during the
+// dispatch coalesced into one frame, exactly the behavior the TCP path
+// gets from write-loop coalescing plus batch decode. Frame buffers are
+// recycled as they are decoded.
 func (c *loopConn) pump() {
+	frames := make([][]byte, 0, 16)
+	bodies := make([][]byte, 0, 16)
 	for {
 		select {
 		case <-c.done:
 			return
 		case frame := <-c.q:
-			m, err := decodeFrame(frame)
+			frames = append(frames[:0], frame)
+		drain:
+			for len(frames) < maxCoalesce {
+				select {
+				case frame = <-c.q:
+					frames = append(frames, frame)
+				default:
+					break drain
+				}
+			}
+			bodies = bodies[:0]
+			var err error
+			for _, f := range frames {
+				var body []byte
+				if body, err = frameBody(f); err != nil {
+					break
+				}
+				bodies = append(bodies, body)
+			}
+			if err == nil {
+				err = dispatchGroup(c, c.handler, c.loadFilter(), bodies...)
+			}
+			for _, f := range frames {
+				wire.PutBuf(f)
+			}
 			if err != nil {
 				// A corrupt frame on a real socket kills the connection;
 				// mirror that.
 				c.Close()
 				return
 			}
-			c.handler(c, m)
 		}
 	}
 }
@@ -182,29 +235,13 @@ func (c *loopConn) Close() error {
 	return nil
 }
 
-// decodeFrame strips the length prefix and decodes the body.
-func decodeFrame(frame []byte) (*wire.Msg, error) {
-	r := frameReader{b: frame}
-	return wire.ReadMsg(&r)
-}
-
-// frameReader adapts a byte slice to wire.ReadMsg's reader contract.
-type frameReader struct{ b []byte }
-
-func (r *frameReader) ReadByte() (byte, error) {
-	if len(r.b) == 0 {
-		return 0, fmt.Errorf("transport: truncated frame")
+// frameBody strips a frame's length prefix, validating it against the
+// actual body — the loopback queues carry whole frames, so a mismatch is a
+// framing bug, not a short read.
+func frameBody(frame []byte) ([]byte, error) {
+	size, n := binary.Uvarint(frame)
+	if n <= 0 || size != uint64(len(frame)-n) {
+		return nil, fmt.Errorf("transport: malformed frame prefix (%d bytes declared, %d present)", size, len(frame)-n)
 	}
-	b := r.b[0]
-	r.b = r.b[1:]
-	return b, nil
-}
-
-func (r *frameReader) Read(p []byte) (int, error) {
-	if len(r.b) == 0 {
-		return 0, fmt.Errorf("transport: truncated frame")
-	}
-	n := copy(p, r.b)
-	r.b = r.b[n:]
-	return n, nil
+	return frame[n:], nil
 }

@@ -19,6 +19,11 @@ type TCP struct {
 	// "127.0.0.1" — loopback TCP: real sockets, kernel scheduling and
 	// backpressure, no external reachability.
 	Host string
+	// NoCoalesce disables the write loops' frame batching on every
+	// connection this network creates: each frame is written and flushed
+	// on its own, the pre-batching wire behavior. It exists for the
+	// benchmarks' unbatched baseline; production paths leave it off.
+	NoCoalesce bool
 }
 
 // NewTCP returns the loopback-TCP network.
@@ -30,18 +35,21 @@ func (t *TCP) Listen(h Handler) (Listener, error) {
 	if host == "" {
 		host = "127.0.0.1"
 	}
-	return ListenTCP(net.JoinHostPort(host, "0"), h)
+	return listenTCP(net.JoinHostPort(host, "0"), h, t.NoCoalesce)
 }
 
 // Dial implements Network.
-func (t *TCP) Dial(addr string, h Handler) (Conn, error) { return DialTCP(addr, h) }
+func (t *TCP) Dial(addr string, h Handler) (Conn, error) {
+	return dialTCP(addr, h, t.NoCoalesce)
+}
 
 // TCPListener is a server-side TCP endpoint: an accept loop spawning one
 // read loop per inbound connection.
 type TCPListener struct {
-	ln      net.Listener
-	handler Handler
-	crashed atomic.Bool
+	ln         net.Listener
+	handler    Handler
+	noCoalesce bool // fixed at listen time
+	crashed    atomic.Bool
 
 	mu     sync.Mutex
 	closed bool
@@ -50,13 +58,17 @@ type TCPListener struct {
 }
 
 // ListenTCP binds addr (host:port; port 0 for ephemeral) and serves inbound
-// frames to h.
+// frames to h, with write-side frame coalescing on.
 func ListenTCP(addr string, h Handler) (*TCPListener, error) {
+	return listenTCP(addr, h, false)
+}
+
+func listenTCP(addr string, h Handler, noCoalesce bool) (*TCPListener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	l := &TCPListener{ln: ln, handler: h, conns: make(map[*tcpConn]struct{})}
+	l := &TCPListener{ln: ln, handler: h, noCoalesce: noCoalesce, conns: make(map[*tcpConn]struct{})}
 	l.wg.Add(1)
 	go l.accept()
 	return l, nil
@@ -84,6 +96,7 @@ func (l *TCPListener) accept() {
 				l.handler(tc, m)
 			}
 		})
+		conn.noCoalesce = l.noCoalesce
 		l.mu.Lock()
 		if l.closed {
 			l.mu.Unlock()
@@ -135,14 +148,19 @@ func (l *TCPListener) Close() error {
 	return err
 }
 
-// DialTCP connects to a TCP listener; h receives the frames the server
-// sends back on this connection.
+// DialTCP connects to a TCP listener, with write-side frame coalescing
+// on; h receives the frames the server sends back on this connection.
 func DialTCP(addr string, h Handler) (Conn, error) {
+	return dialTCP(addr, h, false)
+}
+
+func dialTCP(addr string, h Handler, noCoalesce bool) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	conn := newTCPConn(c, h)
+	conn.noCoalesce = noCoalesce
 	conn.start()
 	return conn, nil
 }
@@ -151,17 +169,37 @@ func DialTCP(addr string, h Handler) (Conn, error) {
 // backpressures Send, mirroring socket buffers.
 const tcpQueueDepth = 256
 
+// tcpBufSize sizes the per-connection bufio reader and writer. Large
+// enough that a full quorum broadcast's worth of coalesced frames — or a
+// register-array snapshot at benchmark sizes — crosses the socket in one
+// syscall.
+const tcpBufSize = 32 << 10
+
+// Stream buffers are recycled across connections: a cluster of n nodes
+// opens O(n) connections per side, and at tcpBufSize per direction the
+// bufio buffers would otherwise dominate a short-lived cluster's
+// allocations (and their zeroing its CPU).
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, tcpBufSize) }}
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, tcpBufSize) }}
+)
+
 // tcpConn frames wire messages onto one TCP stream: Send enqueues encoded
 // frames to a dedicated write loop (so one slow peer never stalls a
 // broadcast mid-loop), and a read loop decodes inbound frames into the
-// handler.
+// handler. Frame buffers come from the wire package's pool on Send and
+// return to it after the socket write, and the read loop reuses one body
+// buffer, so the steady-state stream allocates only what the decoded
+// messages themselves need.
 type tcpConn struct {
-	c         net.Conn
-	handler   Handler
-	out       chan []byte
-	done      chan struct{}
-	closeOnce sync.Once
-	onClose   func() // set before start; read-only afterwards
+	c          net.Conn
+	handler    Handler
+	filter     atomic.Value // FrameFilter, installed via SetFilter
+	noCoalesce bool         // set before start; read-only afterwards
+	out        chan []byte
+	done       chan struct{}
+	closeOnce  sync.Once
+	onClose    func() // set before start; read-only afterwards
 }
 
 // newTCPConn wraps an established socket; the read/write loops launch on
@@ -175,52 +213,103 @@ func (t *tcpConn) start() {
 	go t.readLoop()
 }
 
+// SetFilter implements FilteredConn.
+func (t *tcpConn) SetFilter(f FrameFilter) { t.filter.Store(f) }
+
+// loadFilter returns the installed FrameFilter, nil when none.
+func (t *tcpConn) loadFilter() FrameFilter {
+	if f, ok := t.filter.Load().(FrameFilter); ok {
+		return f
+	}
+	return nil
+}
+
 // Send implements Conn.
 func (t *tcpConn) Send(m *wire.Msg) error {
-	frame, err := wire.Encode(m)
+	frame, err := wire.Append(wire.GetBuf(), m)
 	if err != nil {
+		wire.PutBuf(frame)
 		return err
 	}
+	return t.SendEncoded(frame)
+}
+
+// SendEncoded implements Conn, taking ownership of frame.
+func (t *tcpConn) SendEncoded(frame []byte) error {
 	select {
 	case <-t.done:
+		wire.PutBuf(frame)
 		return ErrClosed
 	case t.out <- frame:
 		return nil
 	}
 }
 
-// writeLoop drains the outbound queue onto the socket, flushing whenever
-// the queue momentarily empties (batching consecutive frames into one
-// syscall).
+// writeLoop drains the outbound queue onto the socket: each wakeup picks
+// up every frame already queued, coalesces runs of them into batch frames
+// (the queue accumulates exactly while the previous write is in flight, so
+// the busier the socket, the bigger the batches), writes them through the
+// buffered writer, and flushes once — no frame waits for a timer, and no
+// frame is ever left unflushed on an idle queue.
 func (t *tcpConn) writeLoop() {
-	w := bufio.NewWriter(t.c)
+	w := writerPool.Get().(*bufio.Writer)
+	w.Reset(t.c)
+	defer func() {
+		w.Reset(nil) // drop the conn reference; buffered bytes are dead anyway
+		writerPool.Put(w)
+	}()
+	frames := make([][]byte, 0, 64)
 	for {
 		select {
 		case <-t.done:
 			return
 		case frame := <-t.out:
-			if _, err := w.Write(frame); err != nil {
+			frames = append(frames[:0], frame)
+		drain:
+			for len(frames) < maxCoalesce {
+				select {
+				case frame = <-t.out:
+					frames = append(frames, frame)
+				default:
+					break drain
+				}
+			}
+			var err error
+			if t.noCoalesce {
+				// Unbatched baseline: frames keep their own framing; bufio
+				// still merges the bytes into one write, as it always did.
+				err = writePlain(w, frames)
+			} else {
+				err = coalesceFrames(w, frames)
+			}
+			if err == nil {
+				err = w.Flush()
+			}
+			if err != nil {
 				t.Close()
 				return
-			}
-			if len(t.out) == 0 {
-				if err := w.Flush(); err != nil {
-					t.Close()
-					return
-				}
 			}
 		}
 	}
 }
 
-// readLoop decodes inbound frames and dispatches them. Any stream error —
-// peer close, crash, corruption — severs the connection: message loss, the
-// model's one failure mode for links.
+// readLoop decodes inbound frames — dispatching a batch frame's messages
+// back to back with their replies coalesced — reusing one body buffer and
+// one message slice across frames. Any stream error — peer close, crash,
+// corruption — severs the connection: message loss, the model's one
+// failure mode for links.
 func (t *tcpConn) readLoop() {
-	r := bufio.NewReader(t.c)
+	r := readerPool.Get().(*bufio.Reader)
+	r.Reset(t.c)
+	defer func() {
+		r.Reset(nil)
+		readerPool.Put(r)
+	}()
+	body := wire.GetBuf()
+	defer func() { wire.PutBuf(body) }()
 	for {
-		m, err := wire.ReadMsg(r)
-		if err != nil {
+		var err error
+		if body, err = wire.ReadFrame(r, body); err != nil {
 			t.Close()
 			return
 		}
@@ -229,7 +318,10 @@ func (t *tcpConn) readLoop() {
 			return
 		default:
 		}
-		t.handler(t, m)
+		if err = dispatchGroup(t, t.handler, t.loadFilter(), body); err != nil {
+			t.Close()
+			return
+		}
 	}
 }
 

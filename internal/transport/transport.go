@@ -33,17 +33,44 @@ var ErrClosed = errors.New("transport: connection closed")
 
 // Conn is one bidirectional message stream. Send enqueues a frame for
 // asynchronous delivery: it never waits for the peer to process the message
-// (backpressure applies only when the write queue is full). Implementations
-// must be safe for concurrent Send.
+// (backpressure applies only when the write queue is full). The message is
+// encoded before Send returns and never retained, so callers may reuse m —
+// and everything it references — immediately. Implementations must be safe
+// for concurrent Send and SendEncoded.
+//
+// SendEncoded is the allocation-lean fast path: it enqueues an
+// already-encoded frame (plain or batch, built with wire.Append or
+// wire.AppendBatchFrame, ideally in a buffer from wire.GetBuf) and takes
+// ownership of the slice — the transport recycles it through wire.PutBuf
+// once the bytes are on the wire, so the caller must not touch it again.
 type Conn interface {
 	Send(m *wire.Msg) error
+	SendEncoded(frame []byte) error
 	Close() error
 }
 
 // Handler consumes inbound messages. On the listen side it runs on the
 // connection's read loop — replies are sent via c; a handler that blocks
-// forever stalls only its own connection.
+// forever stalls only its own connection. The messages of one inbound
+// batch frame are dispatched back to back in batch order, and replies the
+// handler sends during that dispatch are coalesced into one outbound batch
+// frame. The Conn handed to a handler is only guaranteed valid for the
+// duration of the call; do not retain it for replies from other goroutines.
 type Handler func(c Conn, m *wire.Msg)
+
+// FrameFilter vetoes the decoding of one inbound message body (see
+// wire.DecodeFramesFiltered): return false to drop it before it is decoded
+// — the reply router's escape from paying full decode for the stragglers
+// beyond a quorum. It runs on the connection's read loop; the body aliases
+// the read buffer and must not be retained.
+type FrameFilter func(body []byte) bool
+
+// FilteredConn is implemented by connections that accept a pre-decode
+// FrameFilter after dialing. Both built-in networks' connections do;
+// wrappers and test doubles need not.
+type FilteredConn interface {
+	SetFilter(f FrameFilter)
+}
 
 // Listener is a server-side endpoint accepting connections.
 type Listener interface {

@@ -1,7 +1,10 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -233,6 +236,184 @@ func TestConcurrentSenders(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestBatchRoundTripThroughTransport: a batch frame sent with SendEncoded
+// is dispatched to the server handler message by message, in order, and the
+// replies issued during the dispatch come back coalesced — one inbound
+// frame, one outbound frame, n messages each way. Every Network must agree.
+func TestBatchRoundTripThroughTransport(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			nw := mk()
+			const calls = 6
+			order := make(chan uint64, calls)
+			ln, err := nw.Listen(func(c Conn, m *wire.Msg) {
+				order <- m.Call
+				c.Send(&wire.Msg{Kind: wire.KindAck, Election: m.Election, Call: m.Call, From: 9}) //nolint:errcheck
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			got := make(chan *wire.Msg, calls)
+			conn, err := nw.Dial(ln.Addr(), func(_ Conn, m *wire.Msg) { got <- m })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+
+			frames := wire.GetBuf()
+			for call := uint64(1); call <= calls; call++ {
+				if frames, err = wire.Append(frames, &wire.Msg{
+					Kind: wire.KindPropagate, Election: 2, Call: call, From: 1, Reg: "r",
+					Entries: []rt.Entry{{Reg: "r", Owner: 1, Seq: call, Val: int(call)}},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch, err := wire.AppendBatchFrame(wire.GetBuf(), calls, frames)
+			wire.PutBuf(frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := conn.SendEncoded(batch); err != nil {
+				t.Fatal(err)
+			}
+
+			for want := uint64(1); want <= calls; want++ {
+				select {
+				case call := <-order:
+					if call != want {
+						t.Fatalf("batch dispatched out of order: got call %d, want %d", call, want)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatalf("sub-message %d never dispatched", want)
+				}
+			}
+			seen := map[uint64]bool{}
+			for i := 0; i < calls; i++ {
+				select {
+				case m := <-got:
+					if m.Kind != wire.KindAck || m.From != 9 {
+						t.Fatalf("bad reply %+v", m)
+					}
+					seen[m.Call] = true
+				case <-time.After(5 * time.Second):
+					t.Fatalf("reply %d never arrived", i)
+				}
+			}
+			if len(seen) != calls {
+				t.Fatalf("%d distinct replies, want %d", len(seen), calls)
+			}
+		})
+	}
+}
+
+// TestCorruptFrameSeversConnection: a frame that fails to decode — here a
+// declared batch with garbage inside — kills the connection rather than
+// being skipped, on every network.
+func TestCorruptFrameSeversConnection(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			nw := mk()
+			served := make(chan struct{}, 4)
+			ln, err := nw.Listen(func(_ Conn, m *wire.Msg) { served <- struct{}{} })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			conn, err := nw.Dial(ln.Addr(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+
+			// body: batch kind, count 2, then garbage instead of sub-frames.
+			corrupt := append(wire.GetBuf(), 4, byte(wire.KindBatch), 2, 0xFF, 0xFF)
+			if err := conn.SendEncoded(corrupt); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if err := conn.Send(&wire.Msg{Kind: wire.KindAck}); err != nil {
+					break // severed, as required
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("connection survived a corrupt frame")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			select {
+			case <-served:
+				t.Fatal("corrupt frame reached the handler")
+			default:
+			}
+		})
+	}
+}
+
+// TestCoalesceFrames: the write loops' frame-run coalescer wraps runs of
+// plain frames into batch frames without reordering or altering a single
+// message, passes pre-batched frames through unbatched (no nesting), and
+// actually reduces the frame count — pinned deterministically against an
+// in-memory stream.
+func TestCoalesceFrames(t *testing.T) {
+	mkFrame := func(call uint64) []byte {
+		frame, err := wire.Append(wire.GetBuf(), &wire.Msg{Kind: wire.KindAck, Call: call})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+	preBatched, err := wire.EncodeBatch([]*wire.Msg{
+		{Kind: wire.KindAck, Call: 100},
+		{Kind: wire.KindAck, Call: 101},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First drain: a run of 3, a pre-batched frame, then a lone plain frame.
+	// Second drain: a run of 2.
+	var stream bytes.Buffer
+	if err := coalesceFrames(&stream, [][]byte{
+		mkFrame(1), mkFrame(2), mkFrame(3),
+		append(wire.GetBuf(), preBatched...),
+		mkFrame(4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coalesceFrames(&stream, [][]byte{mkFrame(5), mkFrame(6)}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bufio.NewReader(&stream)
+	var wireFrames int
+	var calls []uint64
+	var body []byte
+	for {
+		if body, err = wire.ReadFrame(r, body); err != nil {
+			break
+		}
+		wireFrames++
+		ms, err := wire.DecodeFrames(nil, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			calls = append(calls, m.Call)
+		}
+	}
+	want := []uint64{1, 2, 3, 100, 101, 4, 5, 6}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("messages reordered or lost: got %v, want %v", calls, want)
+	}
+	// frames on the wire: batch{1,2,3}, pre-batched{100,101}, plain{4},
+	// batch{5,6} — the run of 3 and the run of 2 each collapsed.
+	if wireFrames != 4 {
+		t.Fatalf("%d frames on the wire, want 4 (runs collapsed into batches)", wireFrames)
 	}
 }
 

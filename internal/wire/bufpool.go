@@ -1,0 +1,49 @@
+package wire
+
+import "sync"
+
+// The frame-buffer pool: encode scratch shared by every layer of the
+// network path. A frame buffer's ownership travels with the bytes — the
+// electd pool encodes into a buffer it got here, hands it to a transport
+// connection's write queue, and the write loop puts it back after the
+// socket write — so the pool must be one package-level instance rather
+// than per-layer pools that would drain into each other.
+var bufPool = sync.Pool{
+	New: func() any { return make([]byte, 0, 512) },
+}
+
+// maxPooledBuf keeps one-off giants (a snapshot of a huge register array)
+// from pinning memory in the pool; anything larger is left to the GC.
+const maxPooledBuf = 1 << 20
+
+// GetBuf returns an empty frame buffer with whatever capacity the pool has
+// on hand. Append to it; return it with PutBuf once the bytes are dead.
+func GetBuf() []byte {
+	return bufPool.Get().([]byte)[:0]
+}
+
+// PutBuf recycles a frame buffer. The caller must not touch the slice (or
+// any alias of its array) afterwards.
+func PutBuf(b []byte) {
+	if cap(b) > 0 && cap(b) <= maxPooledBuf {
+		bufPool.Put(b[:0]) //nolint:staticcheck // slice headers are cheap next to the frames they save
+	}
+}
+
+// msgPool recycles decoded messages: Decode draws from it, and terminal
+// consumers hand messages back with PutMsg.
+var msgPool = sync.Pool{New: func() any { return new(Msg) }}
+
+// GetMsg returns a zeroed message from the message pool.
+func GetMsg() *Msg {
+	return msgPool.Get().(*Msg)
+}
+
+// PutMsg recycles a message. The caller must be its terminal consumer:
+// nothing may reference the message afterwards. Slices the message pointed
+// to (a view's entries, say) stay valid — recycling drops the references,
+// it never reuses their arrays.
+func PutMsg(m *Msg) {
+	*m = Msg{}
+	msgPool.Put(m)
+}

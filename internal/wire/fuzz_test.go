@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 
@@ -38,32 +39,67 @@ func seedCorpus() [][]byte {
 		}
 		out = append(out, frame[PrefixSize(m.WireSize()):])
 	}
+	// Batch bodies: the multi-op frames the coalescing hot path produces.
+	for _, batch := range [][]*Msg{msgs[:2], msgs} {
+		frame, err := EncodeBatch(batch)
+		if err != nil {
+			panic(err)
+		}
+		_, n := binary.Uvarint(frame)
+		out = append(out, frame[n:])
+	}
 	return out
 }
 
-// FuzzDecode: no frame body, however corrupt, may panic the decoder or
-// decode into a message that does not re-encode to the identical bytes —
-// decode∘encode is the identity on the decoder's accepted set.
+// FuzzDecode: no frame body, however corrupt, may panic the decoders
+// (single-message Decode and the batch-aware DecodeFrames) or decode into
+// messages that do not re-encode to the identical bytes — decode∘encode is
+// the identity on both decoders' accepted sets, and the two decoders agree
+// wherever their domains overlap.
 func FuzzDecode(f *testing.F) {
 	for _, body := range seedCorpus() {
 		f.Add(body)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(KindAck)})
+	f.Add([]byte{byte(KindBatch), 2, 5, byte(KindAck), 0, 0, 0, 0, 5, byte(KindAck), 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, body []byte) {
-		m, err := Decode(body)
-		if err != nil {
-			return // rejected is fine; panicking is the bug being hunted
+		m, mErr := Decode(body)
+		ms, msErr := DecodeFrames(nil, body)
+		if mErr == nil {
+			// Plain bodies: both decoders must accept and agree.
+			if msErr != nil {
+				t.Fatalf("Decode accepted what DecodeFrames rejected: %v", msErr)
+			}
+			if len(ms) != 1 || !reflect.DeepEqual(m, ms[0]) {
+				t.Fatalf("decoders disagree on a plain body:\n Decode       %+v\n DecodeFrames %+v", m, ms)
+			}
+			frame, err := Encode(m)
+			if err != nil {
+				t.Fatalf("decoded message fails to re-encode: %v (%+v)", err, m)
+			}
+			if got := frame[PrefixSize(len(body)):]; !bytes.Equal(got, body) {
+				t.Fatalf("decode∘encode not identity:\n in  %x\n out %x", body, got)
+			}
+			if m.WireSize() != len(body) {
+				t.Fatalf("WireSize %d != accepted body length %d", m.WireSize(), len(body))
+			}
+			return
 		}
-		frame, err := Encode(m)
+		if msErr != nil {
+			return // both rejected is fine; panicking is the bug being hunted
+		}
+		// Batch bodies: re-encoding the sub-messages must reproduce the
+		// accepted bytes exactly (EncodeBatch emits the canonical form).
+		if len(ms) < 2 {
+			t.Fatalf("DecodeFrames accepted a non-batch body Decode rejected (%v) as %d messages", mErr, len(ms))
+		}
+		frame, err := EncodeBatch(ms)
 		if err != nil {
-			t.Fatalf("decoded message fails to re-encode: %v (%+v)", err, m)
+			t.Fatalf("decoded batch fails to re-encode: %v", err)
 		}
 		if got := frame[PrefixSize(len(body)):]; !bytes.Equal(got, body) {
-			t.Fatalf("decode∘encode not identity:\n in  %x\n out %x", body, got)
-		}
-		if m.WireSize() != len(body) {
-			t.Fatalf("WireSize %d != accepted body length %d", m.WireSize(), len(body))
+			t.Fatalf("batch decode∘encode not identity:\n in  %x\n out %x", body, got)
 		}
 	})
 }
@@ -89,6 +125,10 @@ func FuzzRoundTripPropagate(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decode: %v", err)
 		}
+		if got.WireSize() != m.WireSize() {
+			t.Fatalf("decoded WireSize %d != computed %d", got.WireSize(), m.WireSize())
+		}
+		got.size = 0 // the decoder's size memo; hand-built messages lack it
 		if !reflect.DeepEqual(m, got) {
 			t.Fatalf("round trip mismatch:\n sent %+v\n got  %+v", m, got)
 		}

@@ -40,6 +40,14 @@ const (
 	KindAck
 	// KindView carries a register-array snapshot back to a collector.
 	KindView
+	// KindBatch coalesces two or more messages into one frame: the hot
+	// path's multi-op form. The body is a count followed by the standard
+	// length-prefixed encoding of each sub-message, so a batch is the
+	// concatenation of ordinary frames behind one header and senders can
+	// assemble it from pre-encoded frames without re-encoding. Batches do
+	// not nest, and a single message is always sent as a plain frame (the
+	// canonical form the decoder enforces).
+	KindBatch
 )
 
 func (k Kind) String() string {
@@ -52,6 +60,8 @@ func (k Kind) String() string {
 		return "ack"
 	case KindView:
 		return "view"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -94,11 +104,24 @@ type Msg struct {
 	From     rt.ProcID
 	Reg      string
 	Entries  []rt.Entry // KindPropagate payload / KindView snapshot
+
+	// size memoizes the encoded body size for decoded messages: the
+	// decoder accepts exactly canonical encodings, so the accepted body
+	// length IS the wire size (an invariant the fuzzers pin), and the
+	// reply routers' byte accounting needn't re-walk the entries. Zero
+	// means "not decoded": WireSize computes. Mutating a decoded message
+	// invalidates it; no path in the repository does.
+	size int
 }
 
 // WireSize returns the exact encoded size of the frame body (the length
-// prefix adds PrefixSize of it on the wire).
+// prefix adds PrefixSize of it on the wire). For messages produced by the
+// decoder it is the accepted body length, answered without re-walking the
+// entries.
 func (m *Msg) WireSize() int {
+	if m.size != 0 {
+		return m.size
+	}
 	n := 1 + // kind
 		rt.UvarintSize(m.Election) +
 		rt.UvarintSize(m.Call) +
@@ -170,6 +193,140 @@ func Encode(m *Msg) ([]byte, error) {
 	return Append(make([]byte, 0, PrefixSize(m.WireSize())+m.WireSize()), m)
 }
 
+// MaxBatch bounds the sub-message count of one batch frame. The coalescing
+// senders batch at most one message per concurrent caller, so anything near
+// this bound is corrupt.
+const MaxBatch = 1 << 16
+
+// AppendBatchFrame wraps count pre-encoded frames — the concatenation of
+// count wire.Append outputs, each carrying its own length prefix — into one
+// batch frame appended to dst. This is the coalescing senders' fast path:
+// sub-frames are encoded once, at enqueue time, and batching adds only the
+// header. count must be at least 2 (a single message travels as the plain
+// frame it already is — the canonical form DecodeFrames enforces).
+func AppendBatchFrame(dst []byte, count int, frames []byte) ([]byte, error) {
+	dst, err := AppendBatchHeader(dst, count, len(frames))
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, frames...), nil
+}
+
+// AppendBatchHeader appends the framing that turns count concatenated
+// pre-encoded frames, size bytes in all, into one batch frame: the outer
+// length prefix, the batch kind byte and the sub-frame count. The caller
+// appends (or streams) the sub-frames themselves right after — the form
+// write loops use to coalesce queued frames without copying them through
+// an intermediate buffer.
+func AppendBatchHeader(dst []byte, count, size int) ([]byte, error) {
+	if count < 2 {
+		return dst, fmt.Errorf("wire: batch of %d sub-frames (minimum 2; send singles plain)", count)
+	}
+	if count > MaxBatch {
+		return dst, fmt.Errorf("wire: batch of %d sub-frames exceeds MaxBatch", count)
+	}
+	body := 1 + rt.UvarintSize(uint64(count)) + size
+	if body > MaxFrame {
+		return dst, fmt.Errorf("wire: batch body %d exceeds MaxFrame", body)
+	}
+	dst = binary.AppendUvarint(dst, uint64(body))
+	dst = append(dst, byte(KindBatch))
+	return binary.AppendUvarint(dst, uint64(count)), nil
+}
+
+// BatchableFrame reports whether an encoded frame may ride inside a batch:
+// a well-formed plain frame, not itself a batch (batches do not nest).
+// Malformed frames are not batchable either — they travel alone and sever
+// the connection at the receiver, as corruption should.
+func BatchableFrame(frame []byte) bool {
+	size, n := binary.Uvarint(frame)
+	return n > 0 && size >= 1 && size == uint64(len(frame)-n) && Kind(frame[n]) != KindBatch
+}
+
+// EncodeBatch returns msgs as one freshly allocated frame: a plain frame
+// for a single message, a batch frame for two or more.
+func EncodeBatch(msgs []*Msg) ([]byte, error) {
+	switch len(msgs) {
+	case 0:
+		return nil, fmt.Errorf("wire: empty batch")
+	case 1:
+		return Encode(msgs[0])
+	}
+	var frames []byte
+	for _, m := range msgs {
+		var err error
+		if frames, err = Append(frames, m); err != nil {
+			return nil, err
+		}
+	}
+	return AppendBatchFrame(nil, len(msgs), frames)
+}
+
+// DecodeFrames parses one frame body — plain or batch — and appends the
+// decoded messages to dst: exactly one for a plain frame, the sub-messages
+// in order for a batch. Like Decode it is canonical: batches of fewer than
+// two sub-messages, nested batches, non-minimal sub-frame prefixes and
+// trailing bytes are all rejected, so re-encoding the result (Append per
+// message, AppendBatchFrame around them) reproduces the accepted bytes.
+func DecodeFrames(dst []*Msg, body []byte) ([]*Msg, error) {
+	err := ForEachFrame(body, func(sub []byte) error {
+		m, err := Decode(sub)
+		if err != nil {
+			return err
+		}
+		dst = append(dst, m)
+		return nil
+	})
+	return dst, err
+}
+
+// ForEachFrame walks one frame body's message bodies in order — the body
+// itself for a plain frame, each sub-frame's body for a batch — calling fn
+// on each and stopping at its first error. It is the streaming form of
+// DecodeFrames: read loops decode-and-dispatch one message at a time, so a
+// pre-decode filter consulted inside fn sees routing state that is current
+// up to the previous message of the same batch. Frame boundaries are
+// validated here (count bounds, sub-frame prefixes, trailing bytes); the
+// message bodies only by whatever decoding fn chooses to do. The bodies
+// passed to fn alias the input.
+func ForEachFrame(body []byte, fn func(body []byte) error) error {
+	if len(body) == 0 {
+		return io.ErrUnexpectedEOF
+	}
+	if Kind(body[0]) != KindBatch {
+		return fn(body)
+	}
+	d := decoder{b: body[1:]}
+	count, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if count < 2 {
+		return fmt.Errorf("wire: batch of %d sub-frames (minimum 2; singles travel plain)", count)
+	}
+	if count > MaxBatch {
+		return fmt.Errorf("wire: batch of %d sub-frames exceeds MaxBatch", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		size, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if size > uint64(len(d.b)) {
+			return fmt.Errorf("wire: sub-frame of %d bytes exceeds remaining %d", size, len(d.b))
+		}
+		sub := d.b[:size]
+		d.b = d.b[size:]
+		if err := fn(sub); err != nil {
+			return err
+		}
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after batch", len(d.b))
+	}
+	return nil
+}
+
 func appendString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
@@ -219,14 +376,23 @@ type decoder struct {
 }
 
 func (d *decoder) uvarint() (uint64, error) {
+	if len(d.b) > 0 && d.b[0] < 0x80 {
+		// Single-byte values — almost every id, sequence number, count and
+		// length on the hot path — skip the generic decoder.
+		v := uint64(d.b[0])
+		d.b = d.b[1:]
+		return v, nil
+	}
 	v, n := binary.Uvarint(d.b)
 	if n <= 0 {
 		return 0, fmt.Errorf("wire: truncated or overlong uvarint")
 	}
-	if n != rt.UvarintSize(v) {
-		// Reject non-minimal encodings: the codec is canonical, so that
+	if n > 1 && d.b[n-1] == 0 {
+		// Reject non-minimal encodings (a zero terminator byte means the
+		// value fit in fewer groups): the codec is canonical, so that
 		// decode∘encode is the identity and WireSize always equals the
-		// accepted body length.
+		// accepted body length. Checking the terminator is equivalent to
+		// comparing n against UvarintSize(v), without recomputing it.
 		return 0, fmt.Errorf("wire: non-canonical uvarint (%d bytes for %d)", n, v)
 	}
 	d.b = d.b[n:]
@@ -335,73 +501,98 @@ func (d *decoder) value() (rt.Value, error) {
 	}
 }
 
-// Decode parses one frame body (without its length prefix).
+// Decode parses one frame body (without its length prefix). The returned
+// message comes from the message pool: a terminal consumer — one after
+// which nothing references the message — may hand it back with PutMsg,
+// making the steady-state hot path allocate only the entry payloads;
+// consumers that cannot tell simply let the GC have it.
 func Decode(body []byte) (*Msg, error) {
+	m := GetMsg()
+	if err := m.decode(body); err != nil {
+		PutMsg(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Msg) decode(body []byte) error {
 	d := decoder{b: body}
 	kind, err := d.byte()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m := &Msg{Kind: Kind(kind)}
+	m.Kind = Kind(kind)
 	switch m.Kind {
 	case KindPropagate, KindCollect, KindAck, KindView:
+	case KindBatch:
+		// Batches are containers, not messages: they never nest, and
+		// DecodeFrames is the entry point that understands them.
+		return fmt.Errorf("wire: batch frame in single-message context")
 	default:
-		return nil, fmt.Errorf("wire: unknown frame kind %d", kind)
+		return fmt.Errorf("wire: unknown frame kind %d", kind)
 	}
 	if m.Election, err = d.uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Call, err = d.uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	from, err := d.procID()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.From = from
 	if m.Reg, err = d.string(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Kind == KindPropagate || m.Kind == KindView {
 		count, err := d.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if count > uint64(len(d.b)) { // every entry takes ≥3 bytes
-			return nil, fmt.Errorf("wire: entry count %d exceeds remaining %d bytes", count, len(d.b))
+			return fmt.Errorf("wire: entry count %d exceeds remaining %d bytes", count, len(d.b))
 		}
 		if count > 0 {
 			m.Entries = make([]rt.Entry, count)
 			for i := range m.Entries {
 				owner, err := d.procID()
 				if err != nil {
-					return nil, err
+					return err
 				}
 				seq, err := d.uvarint()
 				if err != nil {
-					return nil, err
+					return err
 				}
 				val, err := d.value()
 				if err != nil {
-					return nil, err
+					return err
 				}
 				m.Entries[i] = rt.Entry{Reg: m.Reg, Owner: owner, Seq: seq, Val: val}
 			}
 		}
 	}
 	if len(d.b) != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes after frame body", len(d.b))
+		return fmt.Errorf("wire: %d trailing bytes after frame body", len(d.b))
 	}
-	return m, nil
+	m.size = len(body)
+	return nil
 }
 
-// ReadMsg reads and decodes one length-prefixed frame from r (typically a
-// *bufio.Reader wrapping a socket). It returns io.EOF cleanly when the
-// stream ends on a frame boundary.
-func ReadMsg(r interface {
+// FrameReader is the stream a frame is read from — typically a
+// *bufio.Reader wrapping a socket.
+type FrameReader interface {
 	io.ByteReader
 	io.Reader
-}) (*Msg, error) {
+}
+
+// ReadFrame reads one length-prefixed frame body from r into buf, growing
+// it only when the capacity does not suffice, and returns the body. Read
+// loops pass the same buffer every call for an allocation-free steady
+// state: Decode and DecodeFrames copy everything they return, so the
+// buffer is reusable as soon as decoding is done. It returns io.EOF
+// cleanly when the stream ends on a frame boundary.
+func ReadFrame(r FrameReader, buf []byte) ([]byte, error) {
 	size, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
@@ -409,14 +600,103 @@ func ReadMsg(r interface {
 	if size > MaxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", size)
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if uint64(cap(buf)) < size {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, err
 	}
+	return buf, nil
+}
+
+// ReadMsg reads and decodes one length-prefixed frame from r. It returns
+// io.EOF cleanly when the stream ends on a frame boundary. Hot read loops
+// use ReadFrame with a reused buffer instead.
+func ReadMsg(r FrameReader) (*Msg, error) {
+	body, err := ReadFrame(r, nil)
+	if err != nil {
+		return nil, err
+	}
 	return Decode(body)
+}
+
+// AppendEntries encodes a register-array tail — the entry count followed
+// by the entries — onto dst: exactly the bytes that follow the header of a
+// propagate or view body. Servers cache this encoding per register array
+// and splice it into reply frames with AppendReplyFrame, so a snapshot is
+// walked once per mutation instead of once per reply. The same validation
+// as Append applies.
+func AppendEntries(dst []byte, reg string, entries []rt.Entry) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		if e.Reg != reg {
+			return dst, fmt.Errorf("wire: entry register %q differs from array register %q", e.Reg, reg)
+		}
+		if e.Owner < 0 {
+			return dst, fmt.Errorf("wire: negative entry owner %d", e.Owner)
+		}
+		dst = binary.AppendUvarint(dst, uint64(e.Owner))
+		dst = binary.AppendUvarint(dst, e.Seq)
+		var err error
+		if dst, err = appendValue(dst, e.Val); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// AppendReplyFrame assembles one reply frame — ack or view — directly from
+// header fields and a pre-encoded tail (AppendEntries output for a view,
+// nil for an ack), bypassing Msg construction and entry re-encoding: the
+// server hot path. The result is byte-identical to Append of the
+// equivalent message.
+func AppendReplyFrame(dst []byte, kind Kind, election, call uint64, from rt.ProcID, reg string, tail []byte) ([]byte, error) {
+	if from < 0 {
+		return dst, fmt.Errorf("wire: negative sender id %d", from)
+	}
+	body := 1 +
+		rt.UvarintSize(election) +
+		rt.UvarintSize(call) +
+		rt.UvarintSize(uint64(from)) +
+		rt.UvarintSize(uint64(len(reg))) + len(reg) +
+		len(tail)
+	if body > MaxFrame {
+		return dst, fmt.Errorf("wire: frame body %d exceeds MaxFrame", body)
+	}
+	dst = binary.AppendUvarint(dst, uint64(body))
+	dst = append(dst, byte(kind))
+	dst = binary.AppendUvarint(dst, election)
+	dst = binary.AppendUvarint(dst, call)
+	dst = binary.AppendUvarint(dst, uint64(from))
+	dst = appendString(dst, reg)
+	return append(dst, tail...), nil
+}
+
+// PeekReply extracts the kind and call id from an encoded message body
+// without decoding it — what a reply router's pre-decode filter needs to
+// decide whether anyone is still waiting. ok is false when the header does
+// not parse; canonicality is not checked here (the full decoder validates
+// whatever the filter keeps).
+func PeekReply(body []byte) (k Kind, call uint64, ok bool) {
+	if len(body) == 0 {
+		return 0, 0, false
+	}
+	k = Kind(body[0])
+	rest := body[1:]
+	_, n := binary.Uvarint(rest) // election
+	if n <= 0 {
+		return k, 0, false
+	}
+	call, n = binary.Uvarint(rest[n:])
+	if n <= 0 {
+		return k, 0, false
+	}
+	return k, call, true
 }
 
 // SortEntries orders entries by owner, the canonical snapshot order shared

@@ -77,13 +77,15 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-// normalize maps nil and empty entry slices together: the wire cannot
-// distinguish them, and no caller does either.
+// normalize maps nil and empty entry slices together (the wire cannot
+// distinguish them, and no caller does either) and drops the decoder's
+// size memo, which hand-built messages lack by construction.
 func normalize(m *Msg) *Msg {
 	out := *m
 	if len(out.Entries) == 0 {
 		out.Entries = nil
 	}
+	out.size = 0
 	return &out
 }
 
@@ -220,6 +222,132 @@ func TestReadMsgStream(t *testing.T) {
 	if _, err := ReadMsg(r); err == nil {
 		t.Fatal("stream should end after the last frame")
 	}
+}
+
+// TestBatchRoundTrip: EncodeBatch ∘ DecodeFrames is the identity on every
+// sub-message, for batches of every size including the single-message plain
+// form.
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := sampleMsgs(t)
+	for count := 1; count <= len(msgs); count++ {
+		frame, err := EncodeBatch(msgs[:count])
+		if err != nil {
+			t.Fatalf("count %d: encode: %v", count, err)
+		}
+		body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), nil)
+		if err != nil {
+			t.Fatalf("count %d: read: %v", count, err)
+		}
+		got, err := DecodeFrames(nil, body)
+		if err != nil {
+			t.Fatalf("count %d: decode: %v", count, err)
+		}
+		if len(got) != count {
+			t.Fatalf("count %d: decoded %d messages", count, len(got))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(normalize(msgs[i]), normalize(got[i])) {
+				t.Fatalf("count %d: message %d mismatch:\n sent %+v\n got  %+v", count, i, msgs[i], got[i])
+			}
+		}
+	}
+}
+
+// TestBatchFromPreEncodedFrames: AppendBatchFrame over concatenated Append
+// outputs — the coalescing senders' zero-re-encode path — produces the same
+// bytes as EncodeBatch.
+func TestBatchFromPreEncodedFrames(t *testing.T) {
+	msgs := sampleMsgs(t)[:3]
+	var frames []byte
+	var err error
+	for _, m := range msgs {
+		if frames, err = Append(frames, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fast, err := AppendBatchFrame(nil, len(msgs), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := EncodeBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("pre-encoded batch differs from EncodeBatch:\n fast %x\n slow %x", fast, slow)
+	}
+}
+
+// TestBatchRejects: degenerate and hostile batches fail loudly — empty
+// batches, singleton batch frames (singles travel plain), nested batches,
+// truncated sub-frames and trailing bytes.
+func TestBatchRejects(t *testing.T) {
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Fatal("EncodeBatch accepted an empty batch")
+	}
+	if _, err := AppendBatchFrame(nil, 1, []byte{1, byte(KindAck)}); err == nil {
+		t.Fatal("AppendBatchFrame accepted a singleton batch")
+	}
+	ack, err := Encode(&Msg{Kind: KindAck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := AppendBatchFrame(nil, 2, append(append([]byte{}, ack...), ack...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchBody := batch[1:] // single-byte prefix at this size
+	if _, err := Decode(batchBody); err == nil {
+		t.Fatal("Decode accepted a batch frame in single-message context")
+	}
+	cases := map[string][]byte{
+		"count 0":           {byte(KindBatch), 0},
+		"count 1":           append([]byte{byte(KindBatch), 1}, ack...),
+		"truncated sub":     {byte(KindBatch), 2, 5, byte(KindAck)},
+		"trailing bytes":    append(append([]byte{}, batchBody...), 0),
+		"nested batch":      append(append([]byte{byte(KindBatch), 2}, batch...), ack...),
+		"undeclared frames": batchBody[:len(batchBody)-len(ack)],
+	}
+	for name, body := range cases {
+		if _, err := DecodeFrames(nil, body); err == nil {
+			t.Fatalf("%s: DecodeFrames accepted a malformed batch %x", name, body)
+		}
+	}
+}
+
+// TestReadFrameReusesBuffer: a large-enough buffer passed to ReadFrame is
+// returned with the body in place, no allocation — the read loops' steady
+// state.
+func TestReadFrameReusesBuffer(t *testing.T) {
+	frame, err := Encode(&Msg{Kind: KindCollect, Election: 3, Call: 4, From: 5, Reg: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 256)
+	body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &buf[:1][0] != &body[:1][0] {
+		t.Fatal("ReadFrame reallocated despite sufficient capacity")
+	}
+	if m, err := Decode(body); err != nil || m.Reg != "r" {
+		t.Fatalf("decode from reused buffer: %v %+v", err, m)
+	}
+}
+
+// TestBufPool: buffers survive a get/put cycle empty, and oversized buffers
+// are dropped rather than pinned.
+func TestBufPool(t *testing.T) {
+	b := GetBuf()
+	if len(b) != 0 {
+		t.Fatalf("GetBuf returned %d live bytes", len(b))
+	}
+	PutBuf(append(b, 1, 2, 3))
+	if b2 := GetBuf(); len(b2) != 0 {
+		t.Fatalf("pooled buffer came back with %d live bytes", len(b2))
+	}
+	PutBuf(make([]byte, maxPooledBuf+1)) // must not panic; silently dropped
 }
 
 // TestCompactness: the headline frames stay small — the codec's reason to
