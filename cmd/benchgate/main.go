@@ -5,15 +5,17 @@
 // Both files hold the repository's benchmark-metric schema: a JSON array of
 // {"name": ..., "value": ...} objects (see docs/BENCH.md). Every metric
 // present in both files is printed benchstat-style with its delta; only
-// metrics matching -gate are enforced. Direction is inferred from the
-// name: metrics matching -higher (throughput-like, "...-per-sec") regress
-// when they fall, everything else (latency-like, "...-sec", "allocs")
-// regresses when it rises.
+// metrics matching -gate are enforced — by default the latency metrics
+// (`election-sec`) and the allocation counts (`allocs`), so both a slow
+// hot path and a pooling regression fail CI. Direction is inferred from
+// the name: metrics matching -higher (throughput-like, "...-per-sec")
+// regress when they fall, everything else (latency-like, "...-sec",
+// "allocs") regresses when it rises.
 //
 // Usage:
 //
 //	benchgate -baseline BENCH_net.baseline.json -current BENCH_net.json \
-//	          [-gate 'election-sec$'] [-higher '-per-sec$'] [-threshold 0.30]
+//	          [-gate '(?:election-sec|allocs)$'] [-higher '-per-sec$'] [-threshold 0.30]
 package main
 
 import (
@@ -72,7 +74,7 @@ func compare(baseline, current map[string]float64, gate, higher *regexp.Regexp, 
 func main() {
 	baselinePath := flag.String("baseline", "", "checked-in baseline BENCH_*.json")
 	currentPath := flag.String("current", "", "freshly generated BENCH_*.json")
-	gatePat := flag.String("gate", `election-sec$`, "regexp selecting the metrics the gate enforces")
+	gatePat := flag.String("gate", `(?:election-sec|allocs)$`, "regexp selecting the metrics the gate enforces")
 	higherPat := flag.String("higher", `-per-sec$`, "regexp selecting higher-is-better metrics")
 	threshold := flag.Float64("threshold", 0.30, "fractional regression beyond which a gated metric fails")
 	flag.Parse()

@@ -6,7 +6,8 @@ import (
 )
 
 var (
-	gate   = regexp.MustCompile(`election-sec$`)
+	// gate mirrors the binary's default -gate pattern; keep the two in sync.
+	gate   = regexp.MustCompile(`(?:election-sec|allocs)$`)
 	higher = regexp.MustCompile(`-per-sec$`)
 )
 
@@ -39,6 +40,36 @@ func TestGateFailsOnLatencyRegression(t *testing.T) {
 	}
 	if r := find(t, rows, "t13/tcp/n=8/election-sec"); r.failed {
 		t.Errorf("+25%% change failed a 30%% gate: %+v", r)
+	}
+}
+
+// TestGateFailsOnAllocsRegression: allocation counts are gated by default —
+// lower is better, a rise beyond the threshold fails, a drop (the pooling
+// win) and a within-threshold rise pass.
+func TestGateFailsOnAllocsRegression(t *testing.T) {
+	baseline := map[string]float64{
+		"t13/tcp/n=32/allocs":     100000,
+		"t13/tcp/n=8/allocs":      7000,
+		"t15/chan/conc=16/allocs": 20000,
+	}
+	current := map[string]float64{
+		"t13/tcp/n=32/allocs":     140000, // +40%: fail
+		"t13/tcp/n=8/allocs":      8000,   // +14%: within 30%
+		"t15/chan/conc=16/allocs": 9000,   // pooling win: pass
+	}
+	rows := compare(baseline, current, gate, higher, 0.30)
+	if r := find(t, rows, "t13/tcp/n=32/allocs"); !r.failed || !r.gated {
+		t.Errorf("+40%% allocs regression not flagged: %+v", r)
+	}
+	if r := find(t, rows, "t13/tcp/n=8/allocs"); r.failed {
+		t.Errorf("+14%% allocs change failed a 30%% gate: %+v", r)
+	}
+	r := find(t, rows, "t15/chan/conc=16/allocs")
+	if r.failed {
+		t.Errorf("allocation improvement failed the gate: %+v", r)
+	}
+	if r.delta > -0.5 {
+		t.Errorf("55%% allocs drop reported delta %v, want strongly negative", r.delta)
 	}
 }
 

@@ -9,7 +9,7 @@
 // that can dial the servers.
 //
 // Servers retain each election instance's register state until told to
-// drop it (electd.Server.DropElection); the protocol itself has no
+// drop it (electd.Server.RemoveElection); the protocol itself has no
 // completion signal, since no participant can know whether others still
 // need the registers. Long-lived deployments should recycle the server
 // processes, or embed electd.Server and evict finished instances.

@@ -83,6 +83,9 @@ type Config struct {
 
 	// cluster is the campaign-owned shared server set of a TCP campaign.
 	cluster *electd.Cluster
+	// spool recycles whole live Systems across the campaign's runs: workers
+	// check systems out instead of paying NewSystem/Shutdown per election.
+	spool *live.SystemPool
 }
 
 // Latency summarises a campaign's per-election wall-clock latencies.
@@ -235,7 +238,7 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 	case BackendLive:
 		lcfg := live.Config{
 			N: cfg.N, K: cfg.K, Seed: seed, Algorithm: cfg.Algorithm, Scenario: sc,
-			Transport: cfg.Transport,
+			Transport: cfg.Transport, Pool: cfg.spool,
 		}
 		if cfg.cluster == nil {
 			// Owned clusters (per-run, under fault scenarios) inherit the
@@ -249,7 +252,7 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 			// The instance is over once Elect returns (every participant
 			// joined); evict its register state so a long campaign doesn't
 			// accumulate one store per election on the shared servers.
-			defer cfg.cluster.DropElection(lcfg.ElectionID)
+			defer cfg.cluster.RemoveElection(lcfg.ElectionID)
 		}
 		res, err := live.Elect(lcfg)
 		if err != nil {
@@ -314,6 +317,16 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 		if err := cfg.checkScenario(sc); err != nil {
 			return MatrixReport{}, err
 		}
+	}
+	if cfg.Backend == BackendLive {
+		// One system pool for the whole matrix: workers check processor
+		// sets (goroutine mailboxes, PRNGs, register maps) out per run and
+		// park them again instead of building and tearing down a System per
+		// election. Crash-scenario runs ride the same pool — checkout fully
+		// resets a recycled system, and crashed slots are only dropped
+		// flags, their serve goroutines never exit.
+		cfg.spool = live.NewSystemPool(cfg.N, cfg.Transport != live.TransportTCP)
+		defer cfg.spool.Close()
 	}
 	if cfg.Backend == BackendLive && cfg.Transport == live.TransportTCP {
 		// One shared server set for the whole matrix: every run multiplexes

@@ -10,7 +10,12 @@
 // scales with GOMAXPROCS until the hardware saturates. Both backends fan
 // out: the sim backend runs many single-threaded kernels in parallel; the
 // live backend's elections are internally concurrent as well, so its
-// sweet spot is fewer workers at larger n.
+// sweet spot is fewer workers at larger n. Live campaigns do not build a
+// goroutine system per run: workers check processor sets out of a shared
+// live.SystemPool (reset in place, mailbox goroutines parked between
+// runs), and TCP campaigns multiplex every election onto one shared,
+// shard-locked electd cluster — so the marginal election costs its
+// protocol work, not its setup.
 //
 // # Scenario matrices
 //

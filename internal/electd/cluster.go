@@ -83,12 +83,14 @@ func (cl *Cluster) NewComm(p rt.Procer, election uint64, delay func(server int) 
 	return cl.pool.NewComm(p, election, delay)
 }
 
-// DropElection evicts one finished election instance's register state from
-// every server, bounding a long-lived shared cluster's memory. Only call
-// it once every participant of the instance has returned.
-func (cl *Cluster) DropElection(election uint64) {
+// RemoveElection evicts one finished election instance's register state
+// from every server, bounding a long-lived shared cluster's memory. Only
+// call it once every participant of the instance has returned. Removal
+// touches only the instance's shard on each server, so teardown churn
+// never blocks unrelated elections.
+func (cl *Cluster) RemoveElection(election uint64) {
 	for _, srv := range cl.servers {
-		srv.DropElection(election)
+		srv.RemoveElection(election)
 	}
 }
 

@@ -17,7 +17,11 @@
 // per ID (the paper's "protocols for different rounds are completely
 // disjoint" taken one level up). That is what lets internal/campaign fan
 // hundreds of elections over a single set of listening servers instead of
-// building a cluster per run.
+// building a cluster per run. Because instances are disjoint, both halves
+// of the service shard by election: the server's state and the client
+// pool's routing tables split into fixed lock-striped shards, so two
+// concurrent elections never serialize on the same mutex — an engineering
+// layer beneath the quorum semantics, which are untouched.
 //
 // Composition: Server is the passive replica (give its Handle to a
 // transport Listener); Pool is a client-process connection pool over the n
@@ -38,18 +42,48 @@ import (
 	"repro/internal/wire"
 )
 
-// Server is one register replica: it merges propagated entries and answers
-// collects with snapshots, never initiating traffic. All state is guarded
-// by one mutex — contention is per-server, and a server does O(1) map work
-// per message.
-type Server struct {
-	id rt.ProcID
+// serverShards is the number of lock stripes an election server splits its
+// state into — a fixed power of two so shard selection is a multiply and a
+// shift. 16 stripes keep the per-shard collision probability low for any
+// realistic number of concurrently multiplexed elections while costing
+// sixteen small maps' worth of idle memory per server.
+const (
+	serverShardBits = 4
+	serverShards    = 1 << serverShardBits
+)
 
+// electionShard maps an election ID to its shard index via Fibonacci
+// hashing: sequential IDs (the common case — Cluster.NextElectionID is a
+// counter) land round-robin, and adversarial or sparse ID patterns still
+// spread, because the golden-ratio multiply mixes all input bits into the
+// top ones.
+func electionShard(election uint64) uint64 {
+	return (election * 0x9E3779B97F4A7C15) >> (64 - serverShardBits)
+}
+
+// shard is one lock stripe of a Server: the election instances whose IDs
+// hash here, their own mutex, and the stripe's share of the served counter.
+// The trailing pad keeps neighbouring stripes' hot fields off one cache
+// line, so two cores serving disjoint elections do not false-share.
+type shard struct {
 	mu        sync.Mutex
 	elections map[uint64]*store
+	served    atomic.Int64
+
+	_ [40]byte // pad to a cache line; see struct comment
+}
+
+// Server is one register replica: it merges propagated entries and answers
+// collects with snapshots, never initiating traffic. State is striped
+// across serverShards independent shards keyed by election ID — elections
+// are disjoint by construction, so requests of different elections touch
+// different locks and a server does O(1) map work per message with
+// contention only among the participants of one instance.
+type Server struct {
+	id     rt.ProcID
+	shards [serverShards]shard
 
 	crashed atomic.Bool
-	served  atomic.Int64
 }
 
 // store is one election instance's register state on one server.
@@ -78,39 +112,65 @@ type cell struct {
 
 // NewServer creates replica id (the identity stamped on its views).
 func NewServer(id rt.ProcID) *Server {
-	return &Server{id: id, elections: make(map[uint64]*store)}
+	s := &Server{id: id}
+	for i := range s.shards {
+		s.shards[i].elections = make(map[uint64]*store)
+	}
+	return s
 }
 
 // ID returns the replica's identity.
 func (s *Server) ID() rt.ProcID { return s.id }
 
-// Served reports how many requests the server has answered.
-func (s *Server) Served() int64 { return s.served.Load() }
-
-// Elections reports how many election instances the server currently
-// hosts state for.
-func (s *Server) Elections() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.elections)
+// Served reports how many requests the server has answered, summed across
+// its shards.
+func (s *Server) Served() int64 {
+	var total int64
+	for i := range s.shards {
+		total += s.shards[i].served.Load()
+	}
+	return total
 }
 
-// DropElection evicts one election instance's register state. Register
+// Elections reports how many election instances the server currently
+// hosts state for, summed across its shards.
+func (s *Server) Elections() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += len(sh.elections)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// RemoveElection evicts one election instance's register state. Register
 // state is otherwise retained for the server's lifetime — there is no
 // in-protocol completion signal (a participant cannot know whether others
 // still need the registers) — so long-running hosts must garbage-collect
-// finished instances themselves: the campaign engine drops each election
+// finished instances themselves: the campaign engine removes each election
 // once its run completes, and embedders of a standalone daemon should do
-// the equivalent when they know an instance is over.
-func (s *Server) DropElection(election uint64) {
-	s.mu.Lock()
-	delete(s.elections, election)
-	s.mu.Unlock()
+// the equivalent when they know an instance is over. Removal locks only the
+// instance's shard, so teardown churn never stalls unrelated elections.
+func (s *Server) RemoveElection(election uint64) {
+	sh := &s.shards[electionShard(election)]
+	sh.mu.Lock()
+	delete(sh.elections, election)
+	sh.mu.Unlock()
 }
 
 // Crash fails the replica: every subsequent request is dropped unanswered.
 // The transport's Listener.Crash handles the connection-level half.
 func (s *Server) Crash() { s.crashed.Store(true) }
+
+// Restart revives a crashed replica: it resumes answering with whatever
+// register state it held when it crashed — the crash-recovery model of a
+// replica whose durable state survived. Connections severed by the
+// transport half of a crash stay severed; Restart only flips the replica's
+// own drop-everything switch (useful for churn tests and for embedders
+// whose transport reconnects on its own).
+func (s *Server) Restart() { s.crashed.Store(false) }
 
 // Crashed reports whether the replica has been crashed.
 func (s *Server) Crashed() bool { return s.crashed.Load() }
@@ -134,18 +194,20 @@ func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
 	}
 	switch m.Kind {
 	case wire.KindPropagate:
-		s.mu.Lock()
+		sh := &s.shards[electionShard(m.Election)]
+		sh.mu.Lock()
 		for _, e := range m.Entries {
-			s.merge(m.Election, e)
+			sh.merge(m.Election, e)
 		}
-		s.mu.Unlock()
-		s.served.Add(1)
+		sh.mu.Unlock()
+		sh.served.Add(1)
 		s.reply(c, wire.KindAck, m, nil)
 	case wire.KindCollect:
-		s.mu.Lock()
-		tail := s.snapshotTail(m.Election, m.Reg)
-		s.mu.Unlock()
-		s.served.Add(1)
+		sh := &s.shards[electionShard(m.Election)]
+		sh.mu.Lock()
+		tail := sh.snapshotTail(m.Election, m.Reg)
+		sh.mu.Unlock()
+		sh.served.Add(1)
 		s.reply(c, wire.KindView, m, tail)
 	default:
 		// Replies arriving at a server are protocol noise; ignore.
@@ -168,12 +230,12 @@ func (s *Server) reply(c transport.Conn, kind wire.Kind, m *wire.Msg, tail []byt
 }
 
 // merge applies an entry under writer versioning (higher sequence numbers
-// win). Callers hold s.mu.
-func (s *Server) merge(election uint64, e rt.Entry) {
-	st := s.elections[election]
+// win). Callers hold sh.mu.
+func (sh *shard) merge(election uint64, e rt.Entry) {
+	st := sh.elections[election]
 	if st == nil {
 		st = &store{regs: make(map[string]*regArray)}
-		s.elections[election] = st
+		sh.elections[election] = st
 	}
 	arr := st.regs[e.Reg]
 	if arr == nil {
@@ -189,10 +251,10 @@ func (s *Server) merge(election uint64, e rt.Entry) {
 // snapshotTail returns the encoded view tail (entry count + entries, in
 // owner order — the canonical order both backends' stores use) of one
 // register array, rebuilding the caches only when a merge has won since
-// they were built. Callers hold s.mu; the returned bytes are immutable by
+// they were built. Callers hold sh.mu; the returned bytes are immutable by
 // convention.
-func (s *Server) snapshotTail(election uint64, reg string) []byte {
-	st := s.elections[election]
+func (sh *shard) snapshotTail(election uint64, reg string) []byte {
+	st := sh.elections[election]
 	if st == nil {
 		return emptyTail
 	}

@@ -104,11 +104,11 @@ func TestMultiplexedElections(t *testing.T) {
 	// Finished instances must be evictable: retention is caller-driven
 	// (the campaign engine drops each election as its run completes).
 	for e := uint64(1); e <= elections; e++ {
-		cl.DropElection(e)
+		cl.RemoveElection(e)
 	}
 	for i := 0; i < n; i++ {
 		if got := cl.Server(rt.ProcID(i)).Elections(); got != 0 {
-			t.Fatalf("server %d still hosts %d elections after DropElection", i, got)
+			t.Fatalf("server %d still hosts %d elections after RemoveElection", i, got)
 		}
 	}
 }

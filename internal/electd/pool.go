@@ -12,26 +12,59 @@ import (
 	"repro/internal/wire"
 )
 
+// callShards is the number of lock stripes the pool's pending-call table
+// splits into — a power of two so routing a reply is one mask. Call IDs
+// come from a single counter, so consecutive calls (the concurrent ones,
+// under load) land on consecutive stripes and two elections in flight at
+// once practically never serialize on a call-table lock.
+const callShards = 16
+
+// coalShards is the number of independent group-commit coalescers per
+// server connection. Elections are pinned to a coalescer by election-ID
+// hash: participants of one election still batch together (their messages
+// are the ones that naturally travel as one wave), while unrelated
+// elections enqueue on different locks and flush in parallel.
+const (
+	coalShardBits = 3
+	coalShards    = 1 << coalShardBits
+)
+
+// coalShardOf maps an election ID to its coalescer stripe, with the same
+// Fibonacci hash as the server side (see electionShard).
+func coalShardOf(election uint64) int {
+	return int((election * 0x9E3779B97F4A7C15) >> (64 - coalShardBits))
+}
+
+// callShard is one stripe of the pending-call table, padded so stripes'
+// locks sit on distinct cache lines.
+type callShard struct {
+	mu    sync.Mutex
+	calls map[uint64]*pending
+
+	_ [48]byte // pad the 16 mutex+map bytes to a full 64-byte cache line
+}
+
 // Pool is a client process's connection pool over the n election servers:
 // one pooled transport connection per server, shared by every participant
 // and election instance in the process, with a call table routing replies
 // back to the communicate call that is waiting for them.
 //
-// The pool is the coalescing point of the quorum hot path: each server
-// connection has a group-commit coalescer that merges the concurrent
-// messages of every sharing participant into batched multi-op frames, and
-// each request frame is encoded once, not once per server. Pending-call
-// slots and their reply channels are recycled, so a steady-state election
-// allocates only its payload entries.
+// The pool is the coalescing and routing point of the quorum hot path, and
+// both roles are sharded so concurrent elections scale with cores instead
+// of convoying on one mutex: the pending-call table is striped by call ID,
+// and each server connection carries coalShards group-commit coalescers
+// striped by election ID — two elections never touch the same lock on
+// either path. Each request frame is encoded once, not once per server,
+// and pending-call slots and their reply channels are recycled, so a
+// steady-state election allocates only its payload entries.
 type Pool struct {
 	n     int
 	conns []transport.Conn
-	outs  []*coalescer // per-server; nil when undialed or coalescing is off
+	outs  [][]*coalescer // [server][coalShards]; nil row when undialed or coalescing off
 
-	mu    sync.Mutex
-	calls map[uint64]*pending
-	next  atomic.Uint64
-	pend  sync.Pool // recycled pending slots with quorum-capacity channels
+	shards [callShards]callShard
+	next   atomic.Uint64
+	pend   sync.Pool // recycled pending slots with quorum-capacity channels
 
 	// inflight tracks delayed (fault-injected) sends still riding timers,
 	// so Close can wait for stragglers instead of racing them.
@@ -51,7 +84,14 @@ type PoolOptions struct {
 type pending struct {
 	ch     chan *wire.Msg
 	cli    *Client
-	routed int // replies routed so far, guarded by the pool mutex
+	routed int // replies routed so far, guarded by the call's shard mutex
+}
+
+// callShardOf routes a call ID to its stripe. Plain masking is the right
+// hash here: IDs are consecutive, so concurrent calls occupy distinct
+// stripes by construction.
+func (pl *Pool) callShardOf(call uint64) *callShard {
+	return &pl.shards[call&(callShards-1)]
 }
 
 // DialPool connects to every server address over the given network, with
@@ -68,9 +108,11 @@ func DialPool(nw transport.Network, addrs []string) (*Pool, error) {
 // DialPoolOpts is DialPool with explicit options.
 func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool, error) {
 	pl := &Pool{
-		n:     len(addrs),
-		outs:  make([]*coalescer, len(addrs)),
-		calls: make(map[uint64]*pending),
+		n:    len(addrs),
+		outs: make([][]*coalescer, len(addrs)),
+	}
+	for i := range pl.shards {
+		pl.shards[i].calls = make(map[uint64]*pending)
 	}
 	pl.pend.New = func() any { return &pending{ch: make(chan *wire.Msg, pl.n)} }
 	var down []string
@@ -83,7 +125,11 @@ func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool
 		}
 		pl.conns = append(pl.conns, c)
 		if !opts.NoCoalesce {
-			pl.outs[i] = &coalescer{conn: c}
+			cos := make([]*coalescer, coalShards)
+			for s := range cos {
+				cos[s] = &coalescer{conn: c}
+			}
+			pl.outs[i] = cos
 		}
 		if fc, ok := c.(transport.FilteredConn); ok {
 			// Drop straggler replies — answers to calls that already
@@ -112,8 +158,8 @@ func (pl *Pool) N() int { return pl.n }
 // of wire frames they were sent in. frames < msgs means multi-op batching
 // happened; a NoCoalesce pool reports zeros.
 func (pl *Pool) CoalesceStats() (msgs, frames int64) {
-	for _, co := range pl.outs {
-		if co != nil {
+	for _, cos := range pl.outs {
+		for _, co := range cos {
 			msgs += co.msgs.Load()
 			frames += co.frames.Load()
 		}
@@ -138,27 +184,29 @@ func (pl *Pool) keepReply(body []byte) bool {
 	if !ok || (k != wire.KindAck && k != wire.KindView) {
 		return true
 	}
-	pl.mu.Lock()
-	p := pl.calls[call]
+	sh := pl.callShardOf(call)
+	sh.mu.Lock()
+	p := sh.calls[call]
 	keep := p != nil && p.routed < pl.n/2+1
-	pl.mu.Unlock()
+	sh.mu.Unlock()
 	return keep
 }
 
 // handle is the pool's reply router: it runs on each connection's read loop
 // and must never block, so pending channels are buffered for every possible
 // reply (n servers answer a call at most once each) and the send is
-// non-blocking even while the call-table lock is held — which is what makes
-// recycling a completed call's slot safe: once the call is deleted under
-// the lock, no router touches its channel. Replies to completed calls are
-// dropped — those are the stragglers beyond the quorum, the same
+// non-blocking even while the call's shard lock is held — which is what
+// makes recycling a completed call's slot safe: once the call is deleted
+// under the shard lock, no router touches its channel. Replies to completed
+// calls are dropped — those are the stragglers beyond the quorum, the same
 // abandoned-buffer asymmetry the in-process backend has.
 func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
 	if m.Kind != wire.KindAck && m.Kind != wire.KindView {
 		return
 	}
-	pl.mu.Lock()
-	if p := pl.calls[m.Call]; p != nil {
+	sh := pl.callShardOf(m.Call)
+	sh.mu.Lock()
+	if p := sh.calls[m.Call]; p != nil {
 		p.routed++
 		p.cli.msgs.Add(1)
 		p.cli.bytes.Add(int64(m.WireSize()))
@@ -167,7 +215,7 @@ func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
 		default: // over-full only if a server misbehaves; drop
 		}
 	}
-	pl.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // closeConns severs every established server connection.
@@ -193,7 +241,13 @@ func (pl *Pool) Close() error {
 // sampler may use a goroutine-owned PRNG. The handle must only be used
 // from p's algorithm goroutine.
 func (pl *Pool) NewComm(p rt.Procer, election uint64, delay func(server int) time.Duration) *Client {
-	return &Client{pool: pl, p: p, election: election, delay: delay, seqs: make(map[string]uint64)}
+	return &Client{
+		pool: pl, p: p, election: election, delay: delay,
+		// The election's coalescer stripe: all participants of one election
+		// batch together; different elections flush on different locks.
+		cshard: coalShardOf(election),
+		seqs:   make(map[string]uint64),
+	}
 }
 
 // Client is one participant's rt.Comm in one election instance: every
@@ -205,6 +259,7 @@ type Client struct {
 	pool     *Pool
 	p        rt.Procer
 	election uint64
+	cshard   int // coalescer stripe of this election, fixed at NewComm
 	delay    func(int) time.Duration
 	seqs     map[string]uint64 // per-register write versions of the own cell
 	calls    int
@@ -212,10 +267,13 @@ type Client struct {
 	// Single-goroutine scratch, reused across communicate calls: the
 	// request message (safe because every send path has finished with it
 	// before rpc returns — except delayed sends, which get fresh messages),
-	// its one-entry payload, and the quorum-reply collection slice.
+	// its one-entry payload, the quorum-reply collection slice, and the
+	// views Collect hands back (valid until the participant's next
+	// communicate call, per the rt.Comm contract).
 	req     wire.Msg
 	entry   [1]rt.Entry
 	replies []*wire.Msg
+	views   []rt.View
 
 	msgs  atomic.Int64 // frames sent + replies received (the router bumps these)
 	bytes atomic.Int64
@@ -265,17 +323,19 @@ func (c *Client) Propagate(reg string, val rt.Value) {
 }
 
 // Collect implements rt.Comm: gather the register-array views of a quorum
-// of servers. One communicate call.
+// of servers. One communicate call. The returned slice is scratch reused
+// by the client: it is valid until this participant's next communicate
+// call (its entries are shared immutables and stay valid).
 func (c *Client) Collect(reg string) []rt.View {
 	m := c.msg()
 	m.Kind, m.Election, m.From, m.Reg = wire.KindCollect, c.election, c.p.ID(), reg
 	replies := c.rpc(m, true)
-	views := make([]rt.View, len(replies))
-	for i, r := range replies {
-		views[i] = rt.View{From: r.From, Entries: r.Entries}
+	c.views = c.views[:0]
+	for _, r := range replies {
+		c.views = append(c.views, rt.View{From: r.From, Entries: r.Entries})
 		wire.PutMsg(r) // the view keeps the entries; the wrapper recycles
 	}
-	return views
+	return c.views
 }
 
 // rpc broadcasts m to every server and blocks until a quorum has answered,
@@ -289,9 +349,10 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	m.Call = call
 	p := pl.pend.Get().(*pending)
 	p.cli = c
-	pl.mu.Lock()
-	pl.calls[call] = p
-	pl.mu.Unlock()
+	sh := pl.callShardOf(call)
+	sh.mu.Lock()
+	sh.calls[call] = p
+	sh.mu.Unlock()
 
 	// Bit-complexity accounting counts frame bodies, like the sim kernel's
 	// PayloadBytes; the length prefix — and a batch frame's header — is
@@ -310,7 +371,7 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 				continue
 			}
 		}
-		if co := pl.outs[j]; co != nil {
+		if cos := pl.outs[j]; cos != nil {
 			if frame == nil {
 				var err error
 				if frame, err = wire.Append(wire.GetBuf(), m); err != nil {
@@ -321,7 +382,7 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 					break
 				}
 			}
-			co.enqueue(frame)
+			cos[c.cshard].enqueue(frame)
 		} else {
 			pl.conns[j].Send(m) //nolint:errcheck // loss, per the model
 		}
@@ -337,9 +398,9 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	for i := 0; i < need; i++ {
 		c.replies = append(c.replies, <-p.ch)
 	}
-	pl.mu.Lock()
-	delete(pl.calls, call)
-	pl.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.calls, call)
+	sh.mu.Unlock()
 	// After the delete, no router holds the slot: drain the stragglers that
 	// beat the deletion and recycle everything.
 	for {

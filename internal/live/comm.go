@@ -15,6 +15,14 @@ import (
 // Methods must be called from the processor's algorithm goroutine.
 type Comm struct {
 	p *Proc
+
+	// Single-goroutine arena, reused across communicate calls: the reply
+	// collection scratch and the views Collect hands back. Collect's return
+	// value is valid until the processor's next communicate call, per the
+	// rt.Comm contract — the entries inside stay valid, they are shared
+	// immutable snapshots.
+	out   []reply
+	views []rt.View
 }
 
 // NewComm builds the communicate handle for an algorithm running on p.
@@ -34,25 +42,32 @@ func (c *Comm) Propagate(reg string, val rt.Value) {
 	arr := p.array(reg)
 	self := int(p.id)
 	arr.cells[self] = cell{seq: arr.cells[self].seq + 1, val: val}
+	arr.version++
 	e := rt.Entry{Reg: reg, Owner: p.id, Seq: arr.cells[self].seq, Val: val}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	// The one-entry payload is allocated per call on purpose: requests
+	// travel to the server goroutines by reference, and a straggler server
+	// may read the entries long after this call returned — reusing the
+	// backing array across calls would race with that read.
 	c.communicate(request{kind: propagateReq, reg: reg, entries: []rt.Entry{e}})
 }
 
 // Collect implements rt.Comm: gather the register-array views of a quorum,
 // the caller's own store included, and return them. One communicate call.
+// The returned slice is scratch reused by this handle: it is valid until
+// the processor's next communicate call.
 func (c *Comm) Collect(reg string) []rt.View {
 	p := c.p
 	p.mu.Lock()
 	own := rt.View{From: p.id, Entries: p.snapshotLocked(reg)}
 	p.mu.Unlock()
-	views := make([]rt.View, 0, c.QuorumSize())
-	views = append(views, own)
+	c.views = c.views[:0]
+	c.views = append(c.views, own)
 	for _, r := range c.communicate(request{kind: collectReq, reg: reg}) {
-		views = append(views, r.view)
+		c.views = append(c.views, r.view)
 	}
-	return views
+	return c.views
 }
 
 // communicate broadcasts req to every peer and waits for quorum−1 replies
@@ -60,7 +75,8 @@ func (c *Comm) Collect(reg string) []rt.View {
 // channel is buffered for all n−1 eventual repliers: the quorum wait reads
 // only the first quorum−1, and stragglers land in the abandoned buffer
 // without ever blocking a server — that asymmetry is what gives live runs
-// their stale-view, adversary-like interleavings.
+// their stale-view, adversary-like interleavings. The returned reply slice
+// is scratch, valid until the next communicate call.
 //
 // Under a scenario plan each outgoing message may carry an injected delay
 // (link latency, slow-processor tax, reordering); the delivery then rides a
@@ -100,6 +116,9 @@ func (c *Comm) communicate(req request) []reply {
 		inbox := p.sys.procs[j].inbox
 		p.sys.messages.Add(1)
 		p.sys.bytes.Add(reqSize)
+		// Booked as outstanding before the hand-off (delayed or not), so
+		// quiescence waits never miss a request that is still in flight.
+		p.sys.reqs.Add(1)
 		if d := pl.SendDelay(p.frng, int(p.id), j); d > 0 {
 			// Delayed delivery. The inflight group lets Shutdown wait for
 			// stragglers before closing the mailboxes.
@@ -113,7 +132,10 @@ func (c *Comm) communicate(req request) []reply {
 		}
 		inbox <- req
 	}
-	out := make([]reply, need)
+	if cap(c.out) < need {
+		c.out = make([]reply, need)
+	}
+	out := c.out[:need]
 	for i := range out {
 		out[i] = <-ch
 	}

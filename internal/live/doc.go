@@ -47,4 +47,14 @@
 // election whose every survivor lost is reported with Winner == -1 — the
 // linearized winner died holding the election, exactly the outcome Theorem
 // A.5 permits.
+//
+// # System recycling
+//
+// High-throughput callers (the campaign engine) recycle whole systems
+// through SystemPool instead of paying NewSystem/Shutdown per run: server
+// goroutines park on their empty mailboxes between runs, and checkout
+// resets PRNG streams, register arrays, counters and crash flags in place
+// — indistinguishable from a fresh construction, including for runs with
+// crash plans (a crashed slot here is only a dropped flag; its serve loop
+// never exited). Config.Pool opts a run in.
 package live

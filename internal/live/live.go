@@ -52,9 +52,17 @@ type cell struct {
 	val rt.Value
 }
 
-// regArray is one named register array with a cell per processor.
+// regArray is one named register array with a cell per processor, plus a
+// version-tagged snapshot cache mirroring the sim backend's store: collect
+// replies during a quiescent spell share one immutable entry slice (and its
+// precomputed wire size) instead of re-copying the array per reply, which
+// dominates the server goroutines' work and allocations at large n.
 type regArray struct {
-	cells []cell
+	cells    []cell
+	version  uint64 // bumped on every effective write
+	snapVer  uint64 // version the cached snapshot was built at
+	snap     []rt.Entry
+	snapSize int // cached total WireSize of snap
 }
 
 // crashSignal unwinds a crashed processor's algorithm goroutine: the
@@ -73,6 +81,7 @@ type System struct {
 	serving  bool
 	servers  sync.WaitGroup
 	inflight sync.WaitGroup // delayed message deliveries still sleeping
+	reqs     sync.WaitGroup // mailbox requests handed off but not yet served
 	messages atomic.Int64
 	bytes    atomic.Int64 // wire-codec bytes of all quorum traffic
 }
@@ -349,36 +358,57 @@ func (p *Proc) merge(e rt.Entry) {
 	arr := p.array(e.Reg)
 	if e.Seq > arr.cells[e.Owner].seq {
 		arr.cells[e.Owner] = cell{seq: e.Seq, val: e.Val}
+		arr.version++
 	}
 }
 
-// snapshotLocked copies the non-⊥ cells of reg into a fresh entry slice, in
-// owner order. Callers must hold p.mu; the returned slice is private to the
-// caller and its values are shared immutables.
+// snapshotLocked returns the non-⊥ cells of reg as entries in owner order,
+// rebuilding the cached slice only when a merge has won since it was built.
+// Callers must hold p.mu; the returned slice is shared with every other
+// reader of the same version and must be treated as immutable (a winning
+// merge replaces it rather than mutating it, so handing it to concurrent
+// repliers is safe).
 func (p *Proc) snapshotLocked(reg string) []rt.Entry {
+	entries, _ := p.snapshotSizedLocked(reg)
+	return entries
+}
+
+// snapshotSizedLocked is snapshotLocked plus the snapshot's total entry
+// WireSize, cached alongside it so per-reply byte accounting never re-walks
+// the entries. Callers must hold p.mu.
+func (p *Proc) snapshotSizedLocked(reg string) ([]rt.Entry, int) {
 	arr := p.regs[reg]
 	if arr == nil {
-		return nil
+		return nil, 0
 	}
-	var out []rt.Entry
-	for owner, c := range arr.cells {
-		if c.seq > 0 {
-			out = append(out, rt.Entry{Reg: reg, Owner: rt.ProcID(owner), Seq: c.seq, Val: c.val})
+	if arr.snapVer != arr.version {
+		arr.snap, arr.snapSize = nil, 0
+		for owner, c := range arr.cells {
+			if c.seq > 0 {
+				e := rt.Entry{Reg: reg, Owner: rt.ProcID(owner), Seq: c.seq, Val: c.val}
+				arr.snap = append(arr.snap, e)
+				arr.snapSize += e.WireSize()
+			}
 		}
+		arr.snapVer = arr.version
 	}
-	return out
+	return arr.snap, arr.snapSize
 }
 
 // serve is the server goroutine: the reactive half of the processor. It
 // drains the mailbox until Shutdown closes it, merging propagations and
-// answering collects. Replies go to per-call buffered channels sized for
+// answering collects; between runs of a pooled system it simply parks on
+// the empty mailbox. Replies go to per-call buffered channels sized for
 // all n−1 repliers, so the server never blocks and the system cannot
 // deadlock. A crashed processor's server keeps draining — senders must
-// never block on a dead peer — but drops every request unanswered.
+// never block on a dead peer — but drops every request unanswered. Every
+// drained request is marked served on sys.reqs, crashed or not, so
+// quiescence (Reset, pool checkout) can wait for the mailboxes to empty.
 func (p *Proc) serve() {
 	defer p.sys.servers.Done()
 	for req := range p.inbox {
 		if p.crashed.Load() {
+			p.sys.reqs.Done()
 			continue // crashed: the message is lost, no acknowledgment
 		}
 		switch req.kind {
@@ -393,11 +423,28 @@ func (p *Proc) serve() {
 			p.sys.bytes.Add(int64((&wire.Msg{Kind: wire.KindAck, Call: req.call, From: p.id}).WireSize()))
 		case collectReq:
 			p.mu.Lock()
-			v := rt.View{From: p.id, Entries: p.snapshotLocked(req.reg)}
+			entries, size := p.snapshotSizedLocked(req.reg)
 			p.mu.Unlock()
-			req.reply <- reply{view: v}
-			p.sys.bytes.Add(int64((&wire.Msg{Kind: wire.KindView, Call: req.call, From: p.id, Reg: req.reg, Entries: v.Entries}).WireSize()))
+			req.reply <- reply{view: rt.View{From: p.id, Entries: entries}}
+			// The reply's wire size from cached parts: the header of its
+			// internal/wire equivalent plus the snapshot's cached entry
+			// bytes — identical arithmetic to wire.Msg.WireSize without
+			// re-walking the entries.
+			p.sys.bytes.Add(int64(viewReplySize(req.call, p.id, req.reg, len(entries), size)))
 		}
 		p.sys.messages.Add(1) // the reply
+		p.sys.reqs.Done()
 	}
+}
+
+// viewReplySize is the exact internal/wire frame-body size of a KindView
+// reply whose entries total entrySize bytes — wire.Msg.WireSize's formula
+// with the entry walk replaced by the snapshot cache's precomputed sum.
+func viewReplySize(call uint64, from rt.ProcID, reg string, entryCount, entrySize int) int {
+	return 1 + // kind
+		rt.UvarintSize(0) + // election (single-instance backend)
+		rt.UvarintSize(call) +
+		rt.UvarintSize(uint64(from)) +
+		rt.UvarintSize(uint64(len(reg))) + len(reg) +
+		rt.UvarintSize(uint64(entryCount)) + entrySize
 }

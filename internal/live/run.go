@@ -78,6 +78,13 @@ type Config struct {
 	// own wire frame, the pre-batching behavior the benchmarks compare
 	// against. On a shared Cluster the pool's own options govern.
 	NoBatch bool
+	// Pool recycles whole Systems across runs instead of building and
+	// tearing one down per run — the campaign engine's high-throughput
+	// path. The pool's size and substrate shape must match the run (N and
+	// Transport); runs with crash scenarios are supported, the checked-out
+	// system is always reset to construction state. Nil builds a fresh
+	// system per run, as before.
+	Pool *SystemPool
 }
 
 // DefaultTimeout bounds a live run when Config.Timeout is zero. The
@@ -174,6 +181,14 @@ func (cfg *Config) normalize() error {
 		}
 		if cfg.Scenario.Active() {
 			return fmt.Errorf("live: scenario %q cannot run on a shared cluster (faults would leak into other elections); omit Cluster", cfg.Scenario.Name)
+		}
+	}
+	if cfg.Pool != nil {
+		if cfg.Pool.N() != cfg.N {
+			return fmt.Errorf("live: system pool holds %d-processor systems, run wants n=%d", cfg.Pool.N(), cfg.N)
+		}
+		if want := cfg.Transport != TransportTCP; cfg.Pool.Serving() != want {
+			return fmt.Errorf("live: system pool serving=%v does not match transport %q", cfg.Pool.Serving(), cfg.Transport)
 		}
 	}
 	return nil
@@ -348,7 +363,12 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sys := newSystem(cfg.N, cfg.Seed, plan, cfg.Transport != TransportTCP)
+	var sys *System
+	if cfg.Pool != nil {
+		sys = cfg.Pool.Get(cfg.Seed, plan)
+	} else {
+		sys = newSystem(cfg.N, cfg.Seed, plan, cfg.Transport != TransportTCP)
+	}
 
 	var cluster *electd.Cluster
 	var clients []*electd.Client
@@ -362,6 +382,9 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 			cluster, err = electd.NewClusterOpts(nw, cfg.N,
 				electd.PoolOptions{NoCoalesce: cfg.NoBatch})
 			if err != nil {
+				if cfg.Pool != nil {
+					cfg.Pool.Put(sys) // nothing ran; the system is clean
+				}
 				return Result{}, fmt.Errorf("live: start electd cluster: %w", err)
 			}
 			defer cluster.Close()
@@ -388,11 +411,23 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	crashed := make([]bool, cfg.K)
 	var wg sync.WaitGroup
 	start := time.Now()
+	// Crash timers race run completion: a timer that fires between the last
+	// decision and its Stop call must not mutate the system — with pooling
+	// it may already be hosting someone else's run. The guard mutex plus
+	// the finished flag make "the run is over" and "the crash lands"
+	// mutually exclusive.
+	var crashMu sync.Mutex
+	finished := false
 	if plan != nil {
 		timers := make([]*time.Timer, 0, len(plan.Crashes))
 		for _, cr := range plan.Crashes {
 			id := rt.ProcID(cr.Proc)
 			timers = append(timers, time.AfterFunc(cr.At, func() {
+				crashMu.Lock()
+				defer crashMu.Unlock()
+				if finished {
+					return // the run outlived this crash; it didn't happen
+				}
 				sys.Crash(id)
 				if cluster != nil {
 					// An owned cluster pairs server i with processor i, so a
@@ -440,7 +475,17 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 			ErrTimeout, cfg.Timeout, cfg.N, cfg.K, cfg.Algorithm, cfg.Transport, cfg.Scenario.Name)
 	}
 	elapsed := time.Since(start)
-	sys.Shutdown()
+	crashMu.Lock()
+	finished = true // late-firing crash timers are now no-ops
+	crashMu.Unlock()
+	if cfg.Pool != nil {
+		// Pooled systems stay alive: wait out in-flight mailbox traffic so
+		// the counters below are final, return the system after the results
+		// have been read from it.
+		sys.quiesce()
+	} else {
+		sys.Shutdown()
+	}
 
 	res := Result{Elapsed: elapsed, Messages: sys.Messages(), Bytes: sys.Bytes()}
 	if clients != nil {
@@ -459,6 +504,9 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 		if c := sys.procs[i].CommCalls(); c > res.Time {
 			res.Time = c
 		}
+	}
+	if cfg.Pool != nil {
+		cfg.Pool.Put(sys)
 	}
 	return res, nil
 }

@@ -126,6 +126,11 @@ func (m collectAck) WireSize() int {
 }
 
 // pendingCall tracks one outstanding communicate call on the caller side.
+// Slots are recycled through the store's one-deep freelist: a processor has
+// at most one call outstanding (communicate blocks), so the slot — and the
+// views backing array Collect hands to the algorithm — is reused on the
+// next call, which is what makes Collect's results valid only until then
+// (the rt.Comm contract).
 type pendingCall struct {
 	acks  int
 	views []View
@@ -143,6 +148,7 @@ type Store struct {
 
 	nextCall int64
 	pending  map[int64]*pendingCall
+	free     *pendingCall // one-deep recycled-slot freelist; see pendingCall
 }
 
 type cell struct {
@@ -334,7 +340,9 @@ func (c *Comm) PropagateEntries(entries []Entry) {
 
 // Collect performs communicate(collect, reg): it gathers the views of at
 // least ⌊n/2⌋+1 processors (the caller's own store included) and returns
-// them. One communicate call.
+// them. One communicate call. The returned slice is recycled scratch: it
+// is valid until this processor's next communicate call (the entries
+// inside are shared immutable snapshots and stay valid).
 func (c *Comm) Collect(reg string) []View {
 	call := c.newCall()
 	pc := c.st.pending[call]
@@ -349,7 +357,7 @@ func (c *Comm) Collect(reg string) []View {
 	}
 	c.await(call)
 	views := pc.views
-	delete(c.st.pending, call)
+	c.endCall(call, pc)
 	return views
 }
 
@@ -371,14 +379,29 @@ func (c *Comm) broadcast(pcall propagateEntriesCall) {
 		c.p.Send(sim.ProcID(i), msg)
 	}
 	c.await(call)
-	delete(c.st.pending, call)
+	c.endCall(call, c.st.pending[call])
 }
 
 func (c *Comm) newCall() int64 {
 	c.st.nextCall++
 	call := c.st.nextCall
-	c.st.pending[call] = &pendingCall{}
+	pc := c.st.free
+	if pc != nil {
+		c.st.free = nil
+		pc.acks = 0
+		pc.views = pc.views[:0]
+	} else {
+		pc = &pendingCall{}
+	}
+	c.st.pending[call] = pc
 	return call
+}
+
+// endCall retires a completed call, recycling its slot (and the views
+// backing array) for the processor's next communicate call.
+func (c *Comm) endCall(call int64, pc *pendingCall) {
+	delete(c.st.pending, call)
+	c.st.free = pc
 }
 
 // await blocks the algorithm until the call has a quorum of acks, counting

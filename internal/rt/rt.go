@@ -144,5 +144,12 @@ type Comm interface {
 	Propagate(reg string, val Value)
 	// Collect performs communicate(collect, reg): gather the register-array
 	// views of a quorum (the caller's own included) and return them.
+	//
+	// The returned slice is arena scratch owned by the Comm: it is valid
+	// only until the caller's next communicate call on the same handle,
+	// when the backend may reuse its backing array. The View entries
+	// themselves are shared immutable snapshots and stay valid. Every
+	// algorithm in this repository consumes views before communicating
+	// again; callers that need them longer must copy the slice.
 	Collect(reg string) []View
 }
