@@ -8,17 +8,21 @@
 // of them failing. Participants are pure clients — they can live anywhere
 // that can dial the servers.
 //
-// Servers retain each election instance's register state until told to
-// drop it (electd.Server.RemoveElection); the protocol itself has no
-// completion signal, since no participant can know whether others still
-// need the registers. Long-lived deployments should recycle the server
-// processes, or embed electd.Server and evict finished instances.
+// A server is a real service, not a fixture: idle election state is
+// TTL-evicted (-ttl; the protocol itself has no completion signal, since no
+// participant can know whether others still need the registers), admission
+// is bounded per shard (-max-live) with explicit busy replies when
+// exceeded, SIGTERM and SIGINT trigger a graceful drain (stop admitting,
+// finish in-flight elections, then exit — non-zero if the -drain-timeout
+// passes with elections still live), and -admin serves the observability
+// endpoints /metrics (JSON, or Prometheus text with ?format=prometheus),
+// /healthz and /drainz. See docs/ELECTD.md for the ops guide.
 //
 // Start a three-server system (each in its own process, or machine):
 //
-//	electd -serve -id 0 -listen 127.0.0.1:7600
-//	electd -serve -id 1 -listen 127.0.0.1:7601
-//	electd -serve -id 2 -listen 127.0.0.1:7602
+//	electd -serve -id 0 -listen 127.0.0.1:7600 -admin 127.0.0.1:7700
+//	electd -serve -id 1 -listen 127.0.0.1:7601 -admin 127.0.0.1:7701
+//	electd -serve -id 2 -listen 127.0.0.1:7602 -admin 127.0.0.1:7702
 //
 // Run elections against it from a separate participant process:
 //
@@ -29,19 +33,29 @@
 // ports, participants dialling them over real sockets):
 //
 //	electd -demo -n 5 -k 5 -elections 10
+//
+// The endurance soak — hundreds of thousands of short elections over one
+// long-running in-process cluster, asserting flat heap, full eviction and
+// metrics consistency (the CI smoke job runs a compressed one):
+//
+//	electd -soak -elections 100000 -metrics-out soak-metrics.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/electd"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/transport"
 )
@@ -51,27 +65,35 @@ func main() {
 		serve     = flag.Bool("serve", false, "run one quorum server (daemon mode)")
 		elect     = flag.Bool("elect", false, "run elections as a client against -servers")
 		demo      = flag.Bool("demo", false, "run servers and participants in one process over loopback TCP")
+		soak      = flag.Bool("soak", false, "run the service-endurance soak in one process")
 		id        = flag.Int("id", 0, "serve: this server's replica id")
 		listen    = flag.String("listen", "127.0.0.1:0", "serve: listen address")
+		admin     = flag.String("admin", "", "serve: admin HTTP address for /metrics, /healthz, /drainz (empty: off)")
+		ttl       = flag.Duration("ttl", 10*time.Minute, "serve: evict election state idle longer than this (0: retain forever)")
+		maxLive   = flag.Int("max-live", 4096, "serve: per-shard live election bound; above it new elections get busy replies (0: unbounded)")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second, "serve: graceful drain deadline on SIGTERM/SIGINT")
 		servers   = flag.String("servers", "", "elect: comma-separated server addresses, in replica-id order")
-		n         = flag.Int("n", 3, "demo: number of quorum servers")
-		k         = flag.Int("k", 4, "elect/demo: participants per election")
-		elections = flag.Int("elections", 1, "elect/demo: number of (concurrent) election instances")
+		n         = flag.Int("n", 3, "demo/soak: number of quorum servers")
+		k         = flag.Int("k", 4, "elect/demo/soak: participants per election")
+		elections = flag.Int("elections", 1, "elect/demo/soak: number of election instances (soak default: 100000)")
 		seed      = flag.Int64("seed", 1, "elect/demo: base PRNG seed")
 		algo      = flag.String("algorithm", "poisonpill", "poisonpill | tournament")
+		metricsOu = flag.String("metrics-out", "", "soak: write the final metrics snapshot JSON here")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
 	case *serve:
-		err = runServe(*id, *listen)
+		err = runServe(*id, *listen, *admin, *ttl, *maxLive, *drainWait)
 	case *elect:
 		err = runElect(strings.Split(*servers, ","), *k, *elections, *seed, *algo)
 	case *demo:
 		err = runDemo(*n, *k, *elections, *seed, *algo)
+	case *soak:
+		err = runSoak(*n, *k, *elections, *metricsOu)
 	default:
-		err = fmt.Errorf("pick a mode: -serve, -elect or -demo")
+		err = fmt.Errorf("pick a mode: -serve, -elect, -demo or -soak")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "electd:", err)
@@ -79,34 +101,142 @@ func main() {
 	}
 }
 
-// runServe hosts one register replica until interrupted.
-func runServe(id int, addr string) error {
+// runServe hosts one register replica until signalled, then drains. The
+// error it returns — drain deadline passed, admin server died, accept loop
+// died — is the process's non-zero exit.
+func runServe(id int, addr, admin string, ttl time.Duration, maxLive int, drainWait time.Duration) error {
 	if id < 0 {
 		return fmt.Errorf("server id %d must be non-negative", id)
 	}
-	srv := electd.NewServer(rt.ProcID(id))
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	transport.RegisterMetrics(reg)
+	srv := electd.NewServerOpts(rt.ProcID(id), electd.ServerOptions{
+		TTL:             ttl,
+		MaxLivePerShard: maxLive,
+		Metrics:         reg,
+	})
+	defer srv.Close()
 	ln, err := transport.ListenTCP(addr, srv.Handle)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("electd: server %d listening on %s\n", id, ln.Addr())
+	fmt.Printf("electd: server %d listening on %s (ttl %v, max-live %d/shard)\n", id, ln.Addr(), ttl, maxLive)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	// The admin endpoint is plumbing around the service, never in the
+	// quorum path: a scrape or a drain request serializes against nothing
+	// the replica's Handle touches.
+	drainReq := make(chan struct{}, 1)
+	adminErr := make(chan error, 1)
+	if admin != "" {
+		hs := &http.Server{Addr: admin, Handler: adminMux(reg, srv, drainReq)}
+		go func() { adminErr <- hs.ListenAndServe() }()
+		defer hs.Close()
+		fmt.Printf("electd: server %d admin endpoint on http://%s/metrics\n", id, admin)
+	}
+
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(30 * time.Second)
 	defer tick.Stop()
 	for {
 		select {
-		case <-stop:
-			fmt.Printf("electd: server %d shutting down (%d requests served, %d elections hosted)\n",
-				id, srv.Served(), srv.Elections())
-			return nil
+		case sig := <-stop:
+			fmt.Printf("electd: server %d caught %v, draining (deadline %v)\n", id, sig, drainWait)
+			return drainAndReport(srv, id, drainWait)
+		case <-drainReq:
+			fmt.Printf("electd: server %d draining on admin request (deadline %v)\n", id, drainWait)
+			return drainAndReport(srv, id, drainWait)
+		case err := <-adminErr:
+			return fmt.Errorf("admin endpoint died: %w", err)
+		case <-ln.Done():
+			if err := ln.Err(); err != nil {
+				return fmt.Errorf("accept loop died: %w", err)
+			}
+			return fmt.Errorf("listener closed unexpectedly")
 		case <-tick.C:
-			fmt.Printf("electd: server %d: %d requests served, %d elections hosted\n",
-				id, srv.Served(), srv.Elections())
+			fmt.Printf("electd: server %d: %d requests served, %d elections live, %d evicted, %d shed\n",
+				id, srv.Served(), srv.Elections(), srv.Evicted(), srv.Shed())
 		}
 	}
+}
+
+// drainAndReport runs the graceful drain and prints the service's final
+// ledger either way; a deadline miss is the caller's non-zero exit.
+func drainAndReport(srv *electd.Server, id int, drainWait time.Duration) error {
+	err := srv.Drain(drainWait)
+	fmt.Printf("electd: server %d shut down (%d requests served, %d elections hosted, %d evicted, %d shed)\n",
+		id, srv.Served(), srv.Started(), srv.Evicted(), srv.Shed())
+	return err
+}
+
+// adminMux assembles the admin endpoint: /metrics (obs snapshot, JSON or
+// Prometheus text), /healthz (503 once draining, for load-balancer
+// removal), /drainz (GET status; POST initiates a graceful drain).
+func adminMux(reg *obs.Registry, srv *electd.Server, drainReq chan<- struct{}) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if srv.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/drainz", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			select {
+			case drainReq <- struct{}{}:
+			default: // a drain is already requested; idempotent
+			}
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintln(w, "draining")
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+				"draining":  srv.Draining(),
+				"elections": srv.Elections(),
+			})
+		default:
+			http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+// runSoak runs the endurance harness (electd.Soak) in one process and
+// turns its report into the exit code; the final metrics snapshot can be
+// written out as the CI artifact.
+func runSoak(n, k, elections int, metricsOut string) error {
+	if elections <= 1 {
+		elections = 100_000
+	}
+	rep, err := electd.Soak(electd.SoakConfig{
+		N: n, K: k, Elections: elections,
+		Log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soak: %d elections (%d shed, %d invalid), served %d, evicted %d, final live %d, heap %.0f → %.0f bytes\n",
+		rep.Elections, rep.Shed, rep.Invalid, rep.Served, rep.Evicted, rep.FinalLive, rep.FirstQMean, rep.LastQMean)
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		werr := rep.Snapshot.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("soak: metrics snapshot written to %s\n", metricsOut)
+	}
+	return rep.Check()
 }
 
 // runElect dials the servers and runs the requested elections concurrently,

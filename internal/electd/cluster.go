@@ -22,6 +22,15 @@ type Cluster struct {
 	elections atomic.Uint64
 }
 
+// ClusterOptions tunes both halves of an in-process cluster: the shared
+// client pool and every server's lifecycle. The same ServerOptions apply
+// to all n replicas (they are one deployment); per-replica policy needs a
+// hand-built cluster.
+type ClusterOptions struct {
+	Pool   PoolOptions
+	Server ServerOptions
+}
+
 // NewCluster starts n servers on the network and dials the shared pool,
 // with the pool's frame coalescing on.
 func NewCluster(nw transport.Network, n int) (*Cluster, error) {
@@ -30,13 +39,19 @@ func NewCluster(nw transport.Network, n int) (*Cluster, error) {
 
 // NewClusterOpts is NewCluster with explicit pool options.
 func NewClusterOpts(nw transport.Network, n int, opts PoolOptions) (*Cluster, error) {
+	return NewClusterWith(nw, n, ClusterOptions{Pool: opts})
+}
+
+// NewClusterWith is NewCluster with the full option set, server lifecycle
+// included.
+func NewClusterWith(nw transport.Network, n int, opts ClusterOptions) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("electd: cluster size %d must be at least 1", n)
 	}
 	cl := &Cluster{n: n}
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
-		srv := NewServer(rt.ProcID(i))
+		srv := NewServerOpts(rt.ProcID(i), opts.Server)
 		ln, err := nw.Listen(srv.Handle)
 		if err != nil {
 			cl.Close()
@@ -46,7 +61,7 @@ func NewClusterOpts(nw transport.Network, n int, opts PoolOptions) (*Cluster, er
 		cl.listeners = append(cl.listeners, ln)
 		addrs[i] = ln.Addr()
 	}
-	pool, err := DialPoolOpts(nw, addrs, opts)
+	pool, err := DialPoolOpts(nw, addrs, opts.Pool)
 	if err != nil {
 		cl.Close()
 		return nil, err
@@ -105,8 +120,38 @@ func (cl *Cluster) Crash(id rt.ProcID) {
 	cl.listeners[id].Crash()
 }
 
-// Close waits out in-flight delayed sends, then tears down the pool and
-// every listener. Call after all participants have returned.
+// BeginDrain puts every server into drain mode: new elections are refused
+// with busy replies, in-flight ones keep being served. See Server.Drain
+// for the full graceful-shutdown sequence.
+func (cl *Cluster) BeginDrain() {
+	for _, srv := range cl.servers {
+		srv.BeginDrain()
+	}
+}
+
+// Drain gracefully quiesces every server: stop admitting, wait for live
+// elections to go idle, evicting them as they do. The timeout covers the
+// whole cluster; the first deadline miss is returned (remaining servers
+// still flip to draining via BeginDrain above them having been drained).
+func (cl *Cluster) Drain(timeout time.Duration) error {
+	cl.BeginDrain()
+	deadline := time.Now().Add(timeout)
+	var first error
+	for _, srv := range cl.servers {
+		remain := time.Until(deadline)
+		if remain < 0 {
+			remain = 0
+		}
+		if err := srv.Drain(remain); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close waits out in-flight delayed sends, then tears down the pool, every
+// listener, and every server's sweeper. Call after all participants have
+// returned.
 func (cl *Cluster) Close() error {
 	var first error
 	if cl.pool != nil {
@@ -116,6 +161,9 @@ func (cl *Cluster) Close() error {
 		if err := ln.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	for _, srv := range cl.servers {
+		srv.Close() //nolint:errcheck // always nil
 	}
 	return first
 }

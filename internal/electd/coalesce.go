@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -28,6 +29,11 @@ type coalescer struct {
 
 	msgs   atomic.Int64 // messages enqueued
 	frames atomic.Int64 // frames actually sent (≤ msgs; the gap is the win)
+
+	// hist, when set (Pool.registerMetrics), records each flush's batch
+	// size — the observable distribution behind the msgs/frames ratio.
+	// Installed before traffic flows; nil on a bare pool.
+	hist *obs.Histogram
 }
 
 // enqueue adds one pre-encoded frame (length prefix included) to the
@@ -67,6 +73,9 @@ func (co *coalescer) flush() {
 		co.mu.Unlock()
 		co.msgs.Add(int64(count))
 		co.frames.Add(1)
+		if co.hist != nil {
+			co.hist.Observe(int64(count))
+		}
 		if count == 1 {
 			// A single length-prefixed frame is already the wire form.
 			co.conn.SendEncoded(buf) //nolint:errcheck

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/rt"
 	"repro/internal/transport"
@@ -79,16 +80,40 @@ type shard struct {
 // are disjoint by construction, so requests of different elections touch
 // different locks and a server does O(1) map work per message with
 // contention only among the participants of one instance.
+//
+// A long-lived server is a real service, not a benchmark fixture, so its
+// election state has a lifecycle (see ServerOptions): idle instances are
+// TTL-evicted by a background sweeper, a per-shard live-instance bound
+// sheds new elections with busy replies when exceeded, and BeginDrain
+// flips the server into a stop-admitting mode for graceful shutdown. All
+// of it defaults to off — a zero-options server behaves exactly like the
+// pre-lifecycle one and retains state until RemoveElection.
 type Server struct {
 	id     rt.ProcID
+	opts   ServerOptions
 	shards [serverShards]shard
 
-	crashed atomic.Bool
+	crashed  atomic.Bool
+	draining atomic.Bool
+
+	// Lifecycle counters, summed into the admin metrics when registered.
+	started atomic.Int64 // election instances created
+	evicted atomic.Int64 // instances the sweeper reclaimed (TTL + LRU)
+	removed atomic.Int64 // instances evicted by explicit RemoveElection
+	shed    atomic.Int64 // propagates refused with a busy reply
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	closeOnce sync.Once
 }
 
-// store is one election instance's register state on one server.
+// store is one election instance's register state on one server. last is
+// the instance's idle clock — the UnixNano of the most recent request that
+// touched it, guarded by the shard mutex — which the sweeper compares
+// against the TTL and the drain idle bar.
 type store struct {
 	regs map[string]*regArray
+	last int64
 }
 
 type regArray struct {
@@ -110,13 +135,10 @@ type cell struct {
 	val rt.Value
 }
 
-// NewServer creates replica id (the identity stamped on its views).
+// NewServer creates replica id (the identity stamped on its views) with
+// the zero lifecycle options: no eviction, no admission bound, no metrics.
 func NewServer(id rt.ProcID) *Server {
-	s := &Server{id: id}
-	for i := range s.shards {
-		s.shards[i].elections = make(map[uint64]*store)
-	}
-	return s
+	return NewServerOpts(id, ServerOptions{})
 }
 
 // ID returns the replica's identity.
@@ -145,18 +167,20 @@ func (s *Server) Elections() int {
 	return total
 }
 
-// RemoveElection evicts one election instance's register state. Register
-// state is otherwise retained for the server's lifetime — there is no
-// in-protocol completion signal (a participant cannot know whether others
-// still need the registers) — so long-running hosts must garbage-collect
-// finished instances themselves: the campaign engine removes each election
-// once its run completes, and embedders of a standalone daemon should do
-// the equivalent when they know an instance is over. Removal locks only the
-// instance's shard, so teardown churn never stalls unrelated elections.
+// RemoveElection evicts one election instance's register state. There is
+// no in-protocol completion signal (a participant cannot know whether
+// others still need the registers), so hosts garbage-collect finished
+// instances either explicitly — the campaign engine removes each election
+// once its run completes — or via the TTL sweeper (ServerOptions.TTL) on
+// standalone daemons. Removal locks only the instance's shard, so teardown
+// churn never stalls unrelated elections.
 func (s *Server) RemoveElection(election uint64) {
 	sh := &s.shards[electionShard(election)]
 	sh.mu.Lock()
-	delete(sh.elections, election)
+	if _, ok := sh.elections[election]; ok {
+		delete(sh.elections, election)
+		s.removed.Add(1)
+	}
 	sh.mu.Unlock()
 }
 
@@ -187,6 +211,14 @@ var emptyTail = []byte{0}
 // builds or walks a reply message. Handle takes ownership of m: the server
 // is a request's terminal consumer (merging copies the entries' values),
 // so the message returns to the wire package's pool on the way out.
+//
+// Admission control lives here: a propagate that would create a new
+// election instance while the server is draining, or while the instance's
+// shard is at its live-election bound, is answered with a busy reply
+// instead — an explicit shed the client surfaces as a BusyError, never
+// silent loss. Requests for instances that already exist always proceed
+// (in-flight elections are allowed to finish), and collects never create
+// state, so they are never shed.
 func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
 	defer wire.PutMsg(m)
 	if s.crashed.Load() {
@@ -194,18 +226,38 @@ func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
 	}
 	switch m.Kind {
 	case wire.KindPropagate:
+		now := time.Now().UnixNano()
 		sh := &s.shards[electionShard(m.Election)]
 		sh.mu.Lock()
+		st := sh.elections[m.Election]
+		if st == nil {
+			if s.draining.Load() || (s.opts.MaxLivePerShard > 0 && len(sh.elections) >= s.opts.MaxLivePerShard) {
+				sh.mu.Unlock()
+				s.shed.Add(1)
+				sh.served.Add(1)
+				s.reply(c, wire.KindBusy, m, nil)
+				return
+			}
+			st = &store{regs: make(map[string]*regArray)}
+			sh.elections[m.Election] = st
+			s.started.Add(1)
+		}
+		st.last = now
 		for _, e := range m.Entries {
-			sh.merge(m.Election, e)
+			st.merge(e)
 		}
 		sh.mu.Unlock()
 		sh.served.Add(1)
 		s.reply(c, wire.KindAck, m, nil)
 	case wire.KindCollect:
+		now := time.Now().UnixNano()
 		sh := &s.shards[electionShard(m.Election)]
 		sh.mu.Lock()
-		tail := sh.snapshotTail(m.Election, m.Reg)
+		tail := emptyTail
+		if st := sh.elections[m.Election]; st != nil {
+			st.last = now // reads keep an instance live, like writes
+			tail = st.snapshotTail(m.Reg)
+		}
 		sh.mu.Unlock()
 		sh.served.Add(1)
 		s.reply(c, wire.KindView, m, tail)
@@ -230,13 +282,8 @@ func (s *Server) reply(c transport.Conn, kind wire.Kind, m *wire.Msg, tail []byt
 }
 
 // merge applies an entry under writer versioning (higher sequence numbers
-// win). Callers hold sh.mu.
-func (sh *shard) merge(election uint64, e rt.Entry) {
-	st := sh.elections[election]
-	if st == nil {
-		st = &store{regs: make(map[string]*regArray)}
-		sh.elections[election] = st
-	}
+// win). Callers hold the store's shard mutex.
+func (st *store) merge(e rt.Entry) {
 	arr := st.regs[e.Reg]
 	if arr == nil {
 		arr = &regArray{cells: make(map[rt.ProcID]cell)}
@@ -251,13 +298,9 @@ func (sh *shard) merge(election uint64, e rt.Entry) {
 // snapshotTail returns the encoded view tail (entry count + entries, in
 // owner order — the canonical order both backends' stores use) of one
 // register array, rebuilding the caches only when a merge has won since
-// they were built. Callers hold sh.mu; the returned bytes are immutable by
-// convention.
-func (sh *shard) snapshotTail(election uint64, reg string) []byte {
-	st := sh.elections[election]
-	if st == nil {
-		return emptyTail
-	}
+// they were built. Callers hold the store's shard mutex; the returned
+// bytes are immutable by convention.
+func (st *store) snapshotTail(reg string) []byte {
 	arr := st.regs[reg]
 	if arr == nil || len(arr.cells) == 0 {
 		return emptyTail

@@ -1,0 +1,77 @@
+package electd
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Metric registration for the election service. Everything here is
+// read-side: the instruments are func-backed views over the atomics and
+// shard maps the service maintains anyway, so a metrics-enabled server or
+// pool runs the exact same hot path as a bare one — the only new work
+// happens at snapshot (scrape) time. The per-replica instruments carry a
+// server="<id>" label so n in-process replicas share one registry without
+// colliding; obs.Snapshot.Total sums across them.
+
+// registerMetrics exposes the server's lifecycle instruments on r.
+func (s *Server) registerMetrics(r *obs.Registry) {
+	l := obs.L("server", strconv.Itoa(int(s.id)))
+	r.NewCounterFunc("electd_requests_served_total", "requests answered (propagates, collects, busy replies)", s.Served, l)
+	r.NewCounterFunc("electd_elections_started_total", "election instances created", s.started.Load, l)
+	r.NewCounterFunc("electd_elections_evicted_total", "instances reclaimed by the sweeper (TTL + LRU + drain)", s.evicted.Load, l)
+	r.NewCounterFunc("electd_elections_removed_total", "instances evicted by explicit RemoveElection", s.removed.Load, l)
+	r.NewCounterFunc("electd_admission_shed_total", "propagates refused with a busy reply", s.shed.Load, l)
+	r.NewGaugeFunc("electd_elections_live", "election instances currently holding state", func() int64 {
+		return int64(s.Elections())
+	}, l)
+	r.NewGaugeFunc("electd_draining", "1 while the server is draining", func() int64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	}, l)
+}
+
+// quorumLatencyBounds buckets quorum round trips in microseconds: 25µs to
+// ~800ms, factor-2 — loopback in-process calls land in the first buckets,
+// a congested TCP quorum in the middle, and stalls in the overflow.
+var quorumLatencyBounds = obs.ExpBuckets(25, 2, 16)
+
+// batchSizeBounds buckets coalescer flushes by messages per frame:
+// 1 (no batching win) up to the transport's maxCoalesce-scale runs.
+var batchSizeBounds = obs.ExpBuckets(1, 2, 9)
+
+// registerMetrics exposes the pool's client-side instruments on r and
+// installs the two hot-path histograms (quorum round-trip latency, batch
+// sizes). Called from DialPoolOpts when PoolOptions.Metrics is set.
+func (pl *Pool) registerMetrics(r *obs.Registry) {
+	r.NewGaugeFunc("electd_pending_calls", "communicate calls awaiting quorum replies", func() int64 {
+		var n int64
+		for i := range pl.shards {
+			sh := &pl.shards[i]
+			sh.mu.Lock()
+			n += int64(len(sh.calls))
+			sh.mu.Unlock()
+		}
+		return n
+	})
+	r.NewCounterFunc("electd_pool_coalesced_msgs_total", "messages sent through the pool's coalescers", func() int64 {
+		msgs, _ := pl.CoalesceStats()
+		return msgs
+	})
+	r.NewCounterFunc("electd_pool_frames_total", "wire frames the pool's coalescers emitted", func() int64 {
+		_, frames := pl.CoalesceStats()
+		return frames
+	})
+	r.NewCounterFunc("electd_busy_shed_total", "quorum calls aborted by a server's busy reply", pl.busy.Load)
+	pl.rpcHist = r.NewHistogram("electd_quorum_roundtrip_usec", "quorum round-trip latency, microseconds", quorumLatencyBounds)
+	pl.batchHist = r.NewHistogram("electd_coalesce_batch_msgs", "messages per coalescer flush", batchSizeBounds)
+	for _, cos := range pl.outs {
+		for _, co := range cos {
+			if co != nil {
+				co.hist = pl.batchHist
+			}
+		}
+	}
+}

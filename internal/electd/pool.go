@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -69,6 +70,14 @@ type Pool struct {
 	// inflight tracks delayed (fault-injected) sends still riding timers,
 	// so Close can wait for stragglers instead of racing them.
 	inflight sync.WaitGroup
+
+	// Observability, installed by registerMetrics when PoolOptions.Metrics
+	// is set; all nil/zero (and unused) on a bare pool. The histograms are
+	// nil-safe, but rpc still checks before observing to keep the bare hot
+	// path free of even the no-op call.
+	busy      atomic.Int64 // quorum calls aborted by a busy reply
+	rpcHist   *obs.Histogram
+	batchHist *obs.Histogram
 }
 
 // PoolOptions tunes a Pool at dial time.
@@ -78,6 +87,11 @@ type PoolOptions struct {
 	// behavior. It exists for the benchmarks' unbatched baseline and for
 	// debugging frame-level traces; production paths leave it off.
 	NoCoalesce bool
+
+	// Metrics, when non-nil, registers the pool's client-side instruments
+	// (pending-call depth, coalescing totals, quorum round-trip latency,
+	// batch-size distribution, busy sheds) on the registry.
+	Metrics *obs.Registry
 }
 
 // pending is one outstanding communicate call awaiting quorum replies.
@@ -147,6 +161,9 @@ func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool
 		return nil, fmt.Errorf("electd: %d of %d servers unreachable — a majority quorum is impossible (%s)",
 			len(down), len(addrs), strings.Join(down, "; "))
 	}
+	if opts.Metrics != nil {
+		pl.registerMetrics(opts.Metrics)
+	}
 	return pl, nil
 }
 
@@ -181,7 +198,7 @@ func (pl *Pool) CoalesceStats() (msgs, frames int64) {
 // any request is sent).
 func (pl *Pool) keepReply(body []byte) bool {
 	k, call, ok := wire.PeekReply(body)
-	if !ok || (k != wire.KindAck && k != wire.KindView) {
+	if !ok || (k != wire.KindAck && k != wire.KindView && k != wire.KindBusy) {
 		return true
 	}
 	sh := pl.callShardOf(call)
@@ -201,7 +218,7 @@ func (pl *Pool) keepReply(body []byte) bool {
 // calls are dropped — those are the stragglers beyond the quorum, the same
 // abandoned-buffer asymmetry the in-process backend has.
 func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
-	if m.Kind != wire.KindAck && m.Kind != wire.KindView {
+	if m.Kind != wire.KindAck && m.Kind != wire.KindView && m.Kind != wire.KindBusy {
 		return
 	}
 	sh := pl.callShardOf(m.Call)
@@ -343,8 +360,19 @@ func (c *Client) Collect(reg string) []rt.View {
 // otherwise (propagate acks carry no payload). Sends to crashed or
 // unreachable servers are message loss; the quorum wait rides on the
 // ⌊n/2⌋+1 live majority the model guarantees.
+//
+// A busy reply arriving within the quorum wait aborts the call: the write
+// is not known to be on a quorum, and rt.Comm has no error path, so after
+// restoring the pool's state rpc unwinds the participant's goroutine with
+// a *BusyError panic — recover it with CatchBusy around the election run.
+// A busy reply arriving after a genuine quorum is a straggler: the quorum
+// property already holds, and the filter or router drops it like any other.
 func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	pl := c.pool
+	var t0 time.Time
+	if pl.rpcHist != nil {
+		t0 = time.Now()
+	}
 	call := pl.next.Add(1)
 	m.Call = call
 	p := pl.pend.Get().(*pending)
@@ -395,8 +423,15 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 
 	need := c.QuorumSize()
 	c.replies = c.replies[:0]
-	for i := 0; i < need; i++ {
-		c.replies = append(c.replies, <-p.ch)
+	shed := false
+	for len(c.replies) < need {
+		r := <-p.ch
+		if r.Kind == wire.KindBusy {
+			shed = true
+			wire.PutMsg(r)
+			break
+		}
+		c.replies = append(c.replies, r)
 	}
 	sh.mu.Lock()
 	delete(sh.calls, call)
@@ -415,6 +450,16 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	p.cli, p.routed = nil, 0
 	pl.pend.Put(p)
 	c.calls++
+	if shed {
+		for _, r := range c.replies {
+			wire.PutMsg(r)
+		}
+		pl.busy.Add(1)
+		panic(&BusyError{Election: c.election})
+	}
+	if pl.rpcHist != nil {
+		pl.rpcHist.Observe(time.Since(t0).Microseconds())
+	}
 	if !keep {
 		for _, r := range c.replies {
 			wire.PutMsg(r)

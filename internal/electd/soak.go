@@ -1,0 +1,325 @@
+package electd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rt"
+	"repro/internal/transport"
+)
+
+// Soak is the service-endurance harness: hundreds of thousands of short
+// elections over ONE long-running cluster with TTL eviction on, proving
+// that a standalone electd deployment neither leaks election state nor
+// drifts its heap — the property a benchmark (fresh cluster per run) can
+// never witness. It is shared by the soak test, the CI smoke job, and
+// `electd -soak`.
+//
+// The run is batched: elections execute in waves of bounded concurrency,
+// and between waves the harness forces a GC and samples the live heap.
+// Post-GC HeapAlloc is the honest signal — it excludes garbage awaiting
+// collection and pool slack, so a monotonic rise means retained state.
+
+// SoakConfig parameterizes one soak run. Zero fields take the defaults
+// noted on each.
+type SoakConfig struct {
+	N         int // servers; default 3
+	K         int // participants per election; default 4
+	Elections int // total elections; default 2000
+	Workers   int // concurrent elections per wave; default 8
+
+	// Server lifecycle under test. TTL defaults to 100ms with a 20ms sweep
+	// — short enough that eviction happens constantly during the run —
+	// and MaxLivePerShard to 512 (a backstop; the soak should never hit it).
+	TTL             time.Duration
+	SweepInterval   time.Duration
+	MaxLivePerShard int
+
+	// HeapSamples is how many post-GC heap samples to take; default 16.
+	// One extra warmup wave runs before sampling starts, so pools and
+	// caches reach steady state off the record.
+	HeapSamples int
+
+	// Network defaults to in-process loopback; pass transport.NewTCP() to
+	// soak real sockets.
+	Network transport.Network
+
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (cfg *SoakConfig) defaults() {
+	if cfg.N <= 0 {
+		cfg.N = 3
+	}
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if cfg.Elections <= 0 {
+		cfg.Elections = 2000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 100 * time.Millisecond
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = 20 * time.Millisecond
+	}
+	if cfg.MaxLivePerShard <= 0 {
+		cfg.MaxLivePerShard = 512
+	}
+	if cfg.HeapSamples <= 0 {
+		cfg.HeapSamples = 16
+	}
+	if cfg.Network == nil {
+		cfg.Network = transport.NewLoopback()
+	}
+}
+
+// SoakReport is one run's evidence: what ran, what the service counted,
+// what the heap did. Check turns it into a verdict.
+type SoakReport struct {
+	Elections int // elections completed (warmup included)
+	Invalid   int // elections without a unique winner — must be 0
+	Shed      int // election attempts aborted by busy replies and retried
+
+	// Server-side accounting, summed across replicas at the end.
+	Served     int64 // requests answered
+	StartedSrv int64 // election instances created
+	Evicted    int64 // instances the sweeper reclaimed
+	FinalLive  int   // instances still live at the end
+
+	// Client-side accounting, summed over every participant.
+	ClientMsgs  int64
+	ClientBytes int64
+
+	// HeapAlloc are the post-GC samples, in run order.
+	HeapAlloc []uint64
+	// FirstQMean and LastQMean are the means of the first and last
+	// quartile of samples — the flatness comparison Check applies.
+	FirstQMean, LastQMean float64
+
+	// Snapshot is the final metrics scrape, for the artifact and the
+	// metrics-vs-own-counts cross-checks.
+	Snapshot obs.Snapshot
+}
+
+// heapSlack is the absolute give Check allows on top of the 10% relative
+// bar: tiny heaps jitter proportionally, and half a megabyte of pool or
+// runtime noise is not a leak at any scale this harness runs.
+const heapSlack = 512 << 10
+
+// Check applies the acceptance invariants and returns the first violation:
+// every election valid, eviction actually running, live state not
+// accumulating, the heap's last quartile within 10% (plus absolute slack)
+// of its first, and the metrics agreeing with the service's own counters.
+func (r *SoakReport) Check() error {
+	if r.Invalid != 0 {
+		return fmt.Errorf("soak: %d of %d elections had no unique winner", r.Invalid, r.Elections)
+	}
+	if r.Evicted == 0 {
+		return fmt.Errorf("soak: TTL sweeper evicted nothing across %d elections — eviction is not running", r.Elections)
+	}
+	if int64(r.FinalLive) >= r.StartedSrv {
+		return fmt.Errorf("soak: %d instances live at the end of %d started — election state accumulates", r.FinalLive, r.StartedSrv)
+	}
+	if r.LastQMean > r.FirstQMean*1.10+heapSlack {
+		return fmt.Errorf("soak: heap grew %.0f → %.0f bytes (first vs last quartile mean, +%.1f%%) — leak",
+			r.FirstQMean, r.LastQMean, 100*(r.LastQMean-r.FirstQMean)/r.FirstQMean)
+	}
+	if got := r.Snapshot.Total("electd_requests_served_total"); got != r.Served {
+		return fmt.Errorf("soak: /metrics served total %d != servers' own count %d", got, r.Served)
+	}
+	if got := r.Snapshot.Total("electd_elections_started_total"); got != r.StartedSrv {
+		return fmt.Errorf("soak: /metrics started total %d != servers' own count %d", got, r.StartedSrv)
+	}
+	if got := r.Snapshot.Total("electd_elections_evicted_total"); got != r.Evicted {
+		return fmt.Errorf("soak: /metrics evicted total %d != servers' own count %d", got, r.Evicted)
+	}
+	if r.ClientMsgs == 0 || r.ClientBytes == 0 {
+		return fmt.Errorf("soak: client traffic accounting went silent (msgs=%d bytes=%d)", r.ClientMsgs, r.ClientBytes)
+	}
+	return nil
+}
+
+// Soak runs one endurance pass and returns its report; err is non-nil only
+// for harness failures (cluster startup), never for invariant violations —
+// those are the report's to tell, via Check.
+func Soak(cfg SoakConfig) (*SoakReport, error) {
+	cfg.defaults()
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
+	transport.RegisterMetrics(reg)
+	cl, err := NewClusterWith(cfg.Network, cfg.N, ClusterOptions{
+		Pool: PoolOptions{Metrics: reg},
+		Server: ServerOptions{
+			TTL:             cfg.TTL,
+			SweepInterval:   cfg.SweepInterval,
+			MaxLivePerShard: cfg.MaxLivePerShard,
+			Metrics:         reg,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	rep := &SoakReport{}
+	var invalid, shed, elections atomic.Int64
+	var clientMsgs, clientBytes atomic.Int64
+
+	// runOne runs a single election to a valid conclusion, retrying (with a
+	// fresh instance ID) attempts that a busy server sheds. Seeds derive
+	// from the run index so reruns are reproducible.
+	runOne := func(run int) {
+		for attempt := 0; ; attempt++ {
+			id := cl.NextElectionID()
+			decisions := make([]core.Decision, cfg.K)
+			busy := make([]bool, cfg.K)
+			var wg sync.WaitGroup
+			for i := 0; i < cfg.K; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					seed := int64(run)*1_000_003 + int64(attempt)*7919 + int64(i) + 1
+					p := NewParticipant(rt.ProcID(i), cfg.K, seed)
+					c := cl.NewComm(p, id, nil)
+					err := CatchBusy(func() {
+						s := core.NewState(p, "leaderelect")
+						decisions[i] = core.LeaderElectWithState(c, "elect", s)
+					})
+					busy[i] = err != nil
+					clientMsgs.Add(c.Messages())
+					clientBytes.Add(c.Bytes())
+				}(i)
+			}
+			wg.Wait()
+			wasShed := false
+			for _, b := range busy {
+				wasShed = wasShed || b
+			}
+			if wasShed {
+				// The attempt was refused admission somewhere; its partial
+				// state is the TTL sweeper's to reclaim. Back off and rerun
+				// the whole election under a fresh ID.
+				shed.Add(1)
+				if attempt < 50 {
+					time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+					continue
+				}
+				invalid.Add(1) // persistent refusal counts against the run
+			} else {
+				winners := 0
+				for _, d := range decisions {
+					if d == core.Win {
+						winners++
+					}
+				}
+				if winners != 1 {
+					invalid.Add(1)
+				}
+			}
+			elections.Add(1)
+			return
+		}
+	}
+
+	// runWave runs count elections at the configured concurrency.
+	runWave := func(first, count int) {
+		idx := make(chan int, count)
+		for i := 0; i < count; i++ {
+			idx <- first + i
+		}
+		close(idx)
+		workers := cfg.Workers
+		if workers > count {
+			workers = count
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for run := range idx {
+					runOne(run)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	wave := cfg.Elections / cfg.HeapSamples
+	if wave < 1 {
+		wave = 1
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	runWave(0, wave) // warmup: steady-state the pools off the record
+	next := wave
+	for s := 0; s < cfg.HeapSamples && next < cfg.Elections+wave; s++ {
+		runWave(next, wave)
+		next += wave
+		rep.HeapAlloc = append(rep.HeapAlloc, heapSample())
+		logf("soak: %d elections, heap %d KiB, %d live instances",
+			elections.Load(), rep.HeapAlloc[len(rep.HeapAlloc)-1]>>10, cl.Server(0).Elections())
+	}
+
+	// Quiescent point: everything client-side has returned. Stop the
+	// sweepers before reading, so the counters cannot move between the
+	// servers' own reads and the metrics snapshot they are checked against.
+	for i := 0; i < cl.N(); i++ {
+		cl.Server(rt.ProcID(i)).Close() //nolint:errcheck // always nil
+	}
+	rep.Elections = int(elections.Load())
+	rep.Invalid = int(invalid.Load())
+	rep.Shed = int(shed.Load())
+	rep.ClientMsgs = clientMsgs.Load()
+	rep.ClientBytes = clientBytes.Load()
+	for i := 0; i < cl.N(); i++ {
+		srv := cl.Server(rt.ProcID(i))
+		rep.Served += srv.Served()
+		rep.StartedSrv += srv.Started()
+		rep.Evicted += srv.Evicted()
+		rep.FinalLive += srv.Elections()
+	}
+	rep.FirstQMean, rep.LastQMean = quartileMeans(rep.HeapAlloc)
+	rep.Snapshot = reg.Snapshot()
+	return rep, nil
+}
+
+// heapSample forces a collection and reads the live heap.
+func heapSample() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// quartileMeans returns the means of the first and last quarter of the
+// samples (at least one sample each).
+func quartileMeans(samples []uint64) (first, last float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	q := len(samples) / 4
+	if q < 1 {
+		q = 1
+	}
+	for _, v := range samples[:q] {
+		first += float64(v)
+	}
+	for _, v := range samples[len(samples)-q:] {
+		last += float64(v)
+	}
+	return first / float64(q), last / float64(q)
+}

@@ -1,0 +1,42 @@
+package electd_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/electd"
+)
+
+// TestSoakServiceEndurance: the compressed in-CI soak — thousands of short
+// elections over one long-running TTL-evicting cluster, asserting the full
+// SoakReport.Check contract: unique winners everywhere, eviction running,
+// no state accumulation, a flat heap, and /metrics totals equal to the
+// service's own counters. ELECTD_SOAK_ELECTIONS scales it up to the real
+// thing (the acceptance run uses 100k+; `electd -soak` is the same harness
+// from the command line).
+func TestSoakServiceEndurance(t *testing.T) {
+	elections := 3000
+	if testing.Short() {
+		elections = 600
+	}
+	if env := os.Getenv("ELECTD_SOAK_ELECTIONS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("ELECTD_SOAK_ELECTIONS=%q: %v", env, err)
+		}
+		elections = v
+	}
+	rep, err := electd.Soak(electd.SoakConfig{
+		Elections: elections,
+		Log:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d elections (%d shed, %d invalid), served %d, evicted %d, final live %d, heap %.0f → %.0f bytes",
+		rep.Elections, rep.Shed, rep.Invalid, rep.Served, rep.Evicted, rep.FinalLive, rep.FirstQMean, rep.LastQMean)
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

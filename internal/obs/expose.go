@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// promLabels renders a label set (plus an optional extra pair, for
+// histogram le labels) in Prometheus exposition form: `{k="v",...}`, empty
+// for no labels.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers once per metric name, counters
+// and gauges as single samples, histograms as cumulative _bucket series
+// plus _sum and _count.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	headed := map[string]bool{}
+	head := func(name, typ, help string) {
+		if headed[name] {
+			return
+		}
+		headed[name] = true
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	}
+	// Help text is not carried in the snapshot (it lives on the registry);
+	// headers still need TYPE lines for scrapers to classify the series.
+	for _, p := range s.Counters {
+		head(p.Name, "counter", "")
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", p.Name, promLabels(p.Labels, "", ""), p.Value); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Gauges {
+		head(p.Name, "gauge", "")
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", p.Name, promLabels(p.Labels, "", ""), p.Value); err != nil {
+			return err
+		}
+	}
+	for i := range s.Histograms {
+		p := &s.Histograms[i]
+		head(p.Name, "histogram", "")
+		cum := int64(0)
+		for j, bound := range p.Bounds {
+			cum += p.Counts[j]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				p.Name, promLabels(p.Labels, "le", fmt.Sprintf("%d", bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += p.Counts[len(p.Bounds)]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %d\n", p.Name, promLabels(p.Labels, "", ""), p.Sum)
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", ""), p.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry over HTTP: JSON by default, Prometheus text
+// with ?format=prometheus (or an Accept header preferring text/plain) —
+// the /metrics endpoint of an admin mux.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		format := req.URL.Query().Get("format")
+		if format == "" && strings.Contains(req.Header.Get("Accept"), "text/plain") {
+			format = "prometheus"
+		}
+		switch format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			s.WriteJSON(w) //nolint:errcheck // a broken scrape socket is the scraper's problem
+		case "prometheus", "prom", "text":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			s.WritePrometheus(w) //nolint:errcheck
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (json, prometheus)", format), http.StatusBadRequest)
+		}
+	})
+}
+
+// RegisterRuntime adds the Go runtime's health gauges to the registry via
+// one collector (a single ReadMemStats per scrape): heap bytes/objects,
+// cumulative allocation, GC runs and live goroutines — the counters the
+// soak harness's flat-heap assertion reads from the outside.
+func RegisterRuntime(r *Registry) {
+	r.RegisterCollector(func(s *Snapshot) {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		s.Gauges = append(s.Gauges,
+			Point{Name: "go_heap_alloc_bytes", Value: int64(m.HeapAlloc)},
+			Point{Name: "go_heap_objects", Value: int64(m.HeapObjects)},
+			Point{Name: "go_goroutines", Value: int64(runtime.NumGoroutine())},
+		)
+		s.Counters = append(s.Counters,
+			Point{Name: "go_alloc_bytes_total", Value: int64(m.TotalAlloc)},
+			Point{Name: "go_gc_runs_total", Value: int64(m.NumGC)},
+		)
+	})
+}

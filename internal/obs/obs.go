@@ -1,0 +1,388 @@
+// Package obs is the observability subsystem: dependency-free metrics for
+// the long-running halves of the repository — atomic counters, gauges and
+// fixed-bucket histograms behind a Registry with a consistent snapshot API,
+// exposable as JSON or Prometheus text over an admin HTTP endpoint.
+//
+// The package exists to make the paper's resource bounds *watchable* on a
+// live cluster: the theorems are statements about messages, bytes and
+// rounds per election, and a daemon multiplexing thousands of elections
+// needs to report those quantities from the outside without perturbing
+// them. Everything here is stdlib-only and allocation-free on the hot path:
+// an instrument update is one or three atomic adds, never a lock, never a
+// map lookup — instruments are resolved to pointers at registration time
+// and updated directly.
+//
+// Instruments are nil-safe: every update method on a nil receiver is a
+// no-op, so instrumented code paths need no "metrics enabled?" branches —
+// an un-wired subsystem simply holds nil instruments.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair qualifying a metric (e.g. server="0").
+// Labels distinguish the per-replica instruments of one process; queries
+// that want the process total sum across them (Snapshot.Total).
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates the registry's instrument records.
+type metricKind uint8
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+// metric is one registered instrument: either direct atomic storage (v),
+// a read-at-snapshot function (fn — for values another subsystem already
+// tracks, like a sharded server's summed counters), or histogram state.
+type metric struct {
+	kind   metricKind
+	name   string
+	help   string
+	labels []Label
+	v      atomic.Int64
+	fn     func() int64
+	hist   *histState
+}
+
+// value reads the instrument's current value (counters and gauges).
+func (m *metric) value() int64 {
+	if m.fn != nil {
+		return m.fn()
+	}
+	return m.v.Load()
+}
+
+// Registry holds a process's instruments and takes consistent-enough
+// snapshots of them (each value is read atomically; the set is read under
+// the registration lock, so a scrape never sees a half-registered
+// instrument).
+type Registry struct {
+	mu         sync.Mutex
+	metrics    []*metric
+	collectors []func(*Snapshot)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+}
+
+// RegisterCollector adds a snapshot-time hook that may append points to the
+// snapshot — the escape hatch for metric families whose values are only
+// cheap to read together (runtime memory stats, for one).
+func (r *Registry) RegisterCollector(fn func(*Snapshot)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Counter is a monotonically increasing instrument.
+type Counter struct{ m *metric }
+
+// NewCounter registers a counter. By convention names end in _total.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	m := &metric{kind: counterKind, name: name, help: help, labels: labels}
+	r.register(m)
+	return &Counter{m: m}
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at
+// snapshot time — for totals another subsystem already tracks. fn must be
+// monotonic and safe to call from any goroutine.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&metric{kind: counterKind, name: name, help: help, labels: labels, fn: fn})
+}
+
+// Add increases the counter by d (non-negative by convention; not checked).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.m.v.Add(d)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.m.value()
+}
+
+// Gauge is an instrument whose value may go up and down.
+type Gauge struct{ m *metric }
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	m := &metric{kind: gaugeKind, name: name, help: help, labels: labels}
+	r.register(m)
+	return &Gauge{m: m}
+}
+
+// NewGaugeFunc registers a gauge read from fn at snapshot time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&metric{kind: gaugeKind, name: name, help: help, labels: labels, fn: fn})
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.m.v.Store(v)
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.m.v.Add(d)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.m.value()
+}
+
+// histState is a histogram's storage: counts[i] counts observations
+// v <= bounds[i] (the first matching bucket); counts[len(bounds)] is the
+// overflow bucket. Observations are int64 in whatever unit the name
+// documents (microseconds for latencies, plain counts for sizes).
+type histState struct {
+	bounds []int64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Histogram is a fixed-bucket distribution instrument.
+type Histogram struct{ m *metric }
+
+// NewHistogram registers a histogram over the given ascending bucket upper
+// bounds (an implicit +Inf bucket is added). The bounds slice is retained.
+func (r *Registry) NewHistogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	h := &histState{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	m := &metric{kind: histogramKind, name: name, help: help, labels: labels, hist: h}
+	r.register(m)
+	return &Histogram{m: m}
+}
+
+// Observe records one value: three atomic adds, no lock. The bucket scan is
+// linear — bound lists are short by design.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	st := h.m.hist
+	i := 0
+	for i < len(st.bounds) && v > st.bounds[i] {
+		i++
+	}
+	st.counts[i].Add(1)
+	st.count.Add(1)
+	st.sum.Add(v)
+}
+
+// ExpBuckets builds count ascending bounds starting at start, each factor
+// times the previous — the standard shape for latency histograms.
+func ExpBuckets(start, factor int64, count int) []int64 {
+	out := make([]int64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Point is one counter or gauge sample in a snapshot.
+type Point struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// HistPoint is one histogram sample in a snapshot: per-bucket (non-
+// cumulative) counts, with Counts[len(Bounds)] the overflow bucket.
+type HistPoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts by
+// linear interpolation within the winning bucket; observations beyond the
+// last bound report that bound (the histogram cannot see past it).
+func (p *HistPoint) Quantile(q float64) int64 {
+	if p.Count == 0 {
+		return 0
+	}
+	rank := q * float64(p.Count)
+	cum := int64(0)
+	for i, c := range p.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(p.Bounds) { // overflow bucket: clamp to the last bound
+			if len(p.Bounds) == 0 {
+				return 0
+			}
+			return p.Bounds[len(p.Bounds)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = p.Bounds[i-1]
+		}
+		hi := p.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return p.Bounds[len(p.Bounds)-1]
+}
+
+// Snapshot is one consistent read of a registry, in registration order.
+type Snapshot struct {
+	At         time.Time   `json:"at"`
+	Counters   []Point     `json:"counters"`
+	Gauges     []Point     `json:"gauges"`
+	Histograms []HistPoint `json:"histograms"`
+}
+
+// Snapshot reads every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	collectors := make([]func(*Snapshot), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	s := Snapshot{At: time.Now()}
+	for _, m := range metrics {
+		switch m.kind {
+		case counterKind:
+			s.Counters = append(s.Counters, Point{Name: m.name, Labels: m.labels, Value: m.value()})
+		case gaugeKind:
+			s.Gauges = append(s.Gauges, Point{Name: m.name, Labels: m.labels, Value: m.value()})
+		case histogramKind:
+			st := m.hist
+			hp := HistPoint{
+				Name: m.name, Labels: m.labels,
+				Bounds: st.bounds,
+				Counts: make([]int64, len(st.counts)),
+				Count:  st.count.Load(),
+				Sum:    st.sum.Load(),
+			}
+			for i := range st.counts {
+				hp.Counts[i] = st.counts[i].Load()
+			}
+			s.Histograms = append(s.Histograms, hp)
+		}
+	}
+	for _, fn := range collectors {
+		fn(&s)
+	}
+	return s
+}
+
+// Total sums every counter and gauge point with the given name across its
+// label sets — the "whole process" view of a per-replica instrument.
+func (s *Snapshot) Total(name string) int64 {
+	var sum int64
+	for _, p := range s.Counters {
+		if p.Name == name {
+			sum += p.Value
+		}
+	}
+	for _, p := range s.Gauges {
+		if p.Name == name {
+			sum += p.Value
+		}
+	}
+	return sum
+}
+
+// Histogram returns the merged histogram points with the given name (bucket
+// counts summed across label sets; bounds must agree, which registration
+// convention guarantees). ok is false when no such histogram exists.
+func (s *Snapshot) Histogram(name string) (HistPoint, bool) {
+	var out HistPoint
+	found := false
+	for i := range s.Histograms {
+		p := &s.Histograms[i]
+		if p.Name != name {
+			continue
+		}
+		if !found {
+			out = HistPoint{Name: p.Name, Bounds: p.Bounds, Counts: append([]int64(nil), p.Counts...),
+				Count: p.Count, Sum: p.Sum}
+			found = true
+			continue
+		}
+		for j := range p.Counts {
+			out.Counts[j] += p.Counts[j]
+		}
+		out.Count += p.Count
+		out.Sum += p.Sum
+	}
+	return out, found
+}
+
+// Names returns the distinct metric names in the snapshot, sorted — handy
+// for tests and debugging dumps.
+func (s *Snapshot) Names() []string {
+	seen := map[string]bool{}
+	for _, p := range s.Counters {
+		seen[p.Name] = true
+	}
+	for _, p := range s.Gauges {
+		seen[p.Name] = true
+	}
+	for _, p := range s.Histograms {
+		seen[p.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

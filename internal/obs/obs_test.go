@@ -1,0 +1,231 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCounterGaugeBasics: direct and func-backed instruments read back what
+// was written, and Total sums across label sets.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := obs.NewRegistry()
+	c0 := r.NewCounter("reqs_total", "requests", obs.L("server", "0"))
+	c1 := r.NewCounter("reqs_total", "requests", obs.L("server", "1"))
+	g := r.NewGauge("live", "live elections")
+	var fnVal int64 = 7
+	r.NewGaugeFunc("depth", "queue depth", func() int64 { return fnVal })
+
+	c0.Add(3)
+	c0.Inc()
+	c1.Add(10)
+	g.Set(5)
+	g.Add(-2)
+
+	if got := c0.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	s := r.Snapshot()
+	if got := s.Total("reqs_total"); got != 14 {
+		t.Fatalf("Total(reqs_total) = %d, want 14", got)
+	}
+	if got := s.Total("depth"); got != 7 {
+		t.Fatalf("Total(depth) = %d, want 7", got)
+	}
+	if got := s.Total("missing"); got != 0 {
+		t.Fatalf("Total(missing) = %d, want 0", got)
+	}
+}
+
+// TestNilInstrumentsAreNoOps: un-wired subsystems hold nil instruments and
+// must be able to update them freely.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *obs.Counter
+	var g *obs.Gauge
+	var h *obs.Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(2)
+	g.Add(3)
+	h.Observe(4)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments returned nonzero values")
+	}
+}
+
+// TestHistogramBucketsAndQuantile: observations land in the right buckets,
+// the overflow bucket catches values beyond the last bound, and quantile
+// estimates interpolate sanely.
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.NewHistogram("lat_usec", "latency", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 10, 50, 99, 500, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hp, ok := s.Histogram("lat_usec")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	wantCounts := []int64{3, 2, 1, 1} // <=10, <=100, <=1000, overflow
+	for i, w := range wantCounts {
+		if hp.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, hp.Counts[i], w, hp.Counts)
+		}
+	}
+	if hp.Count != 7 || hp.Sum != 1+5+10+50+99+500+5000 {
+		t.Fatalf("count=%d sum=%d", hp.Count, hp.Sum)
+	}
+	if q := hp.Quantile(0.5); q <= 0 || q > 100 {
+		t.Fatalf("p50 = %d, want within (0, 100]", q)
+	}
+	// The p99 falls in the overflow bucket and clamps to the last bound.
+	if q := hp.Quantile(0.99); q != 1000 {
+		t.Fatalf("p99 = %d, want clamped 1000", q)
+	}
+}
+
+// TestHistogramMergesAcrossLabels: Snapshot.Histogram sums same-name series.
+func TestHistogramMergesAcrossLabels(t *testing.T) {
+	r := obs.NewRegistry()
+	h0 := r.NewHistogram("batch", "batch sizes", []int64{1, 8}, obs.L("server", "0"))
+	h1 := r.NewHistogram("batch", "batch sizes", []int64{1, 8}, obs.L("server", "1"))
+	h0.Observe(1)
+	h1.Observe(4)
+	h1.Observe(100)
+	s := r.Snapshot()
+	hp, ok := s.Histogram("batch")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if hp.Count != 3 || hp.Counts[0] != 1 || hp.Counts[1] != 1 || hp.Counts[2] != 1 {
+		t.Fatalf("merged counts wrong: %+v", hp)
+	}
+}
+
+// TestConcurrentUpdates: instruments are safe under parallel writers (run
+// with -race) and lose nothing.
+func TestConcurrentUpdates(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.NewCounter("n_total", "")
+	h := r.NewHistogram("v", "", obs.ExpBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(i % 700))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Total("n_total"); got != workers*per {
+		t.Fatalf("counter lost updates: %d of %d", got, workers*per)
+	}
+	if hp, _ := s.Histogram("v"); hp.Count != workers*per {
+		t.Fatalf("histogram lost updates: %d of %d", hp.Count, workers*per)
+	}
+}
+
+// TestExpBuckets: geometric bound construction.
+func TestExpBuckets(t *testing.T) {
+	got := obs.ExpBuckets(50, 4, 5)
+	want := []int64{50, 200, 800, 3200, 12800}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestJSONAndPrometheusExposition: both formats render, JSON round-trips,
+// and the Prometheus text carries TYPE headers, labeled samples and
+// cumulative histogram buckets ending at +Inf.
+func TestJSONAndPrometheusExposition(t *testing.T) {
+	r := obs.NewRegistry()
+	r.NewCounter("served_total", "requests served", obs.L("server", "2")).Add(9)
+	r.NewGauge("live", "live").Set(4)
+	h := r.NewHistogram("lat_usec", "latency", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(5000)
+	s := r.Snapshot()
+
+	var jbuf bytes.Buffer
+	if err := s.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded obs.Snapshot
+	if err := json.Unmarshal(jbuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Total("served_total") != 9 {
+		t.Fatalf("decoded total = %d, want 9", decoded.Total("served_total"))
+	}
+
+	var pbuf bytes.Buffer
+	if err := s.WritePrometheus(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	text := pbuf.String()
+	for _, want := range []string{
+		"# TYPE served_total counter",
+		`served_total{server="2"} 9`,
+		"# TYPE live gauge",
+		"live 4",
+		"# TYPE lat_usec histogram",
+		`lat_usec_bucket{le="10"} 1`,
+		`lat_usec_bucket{le="+Inf"} 2`,
+		"lat_usec_sum 5005",
+		"lat_usec_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHTTPHandler: the admin endpoint serves JSON by default and the
+// Prometheus text form on request; unknown formats are 400s.
+func TestHTTPHandler(t *testing.T) {
+	r := obs.NewRegistry()
+	r.NewCounter("hits_total", "").Inc()
+	obs.RegisterRuntime(r)
+	h := obs.Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("default body not JSON: %v", err)
+	}
+	if s.Total("go_heap_alloc_bytes") == 0 {
+		t.Fatal("runtime collector contributed nothing")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Fatalf("prometheus body missing sample:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=xml", nil))
+	if rec.Code != 400 {
+		t.Fatalf("unknown format served %d, want 400", rec.Code)
+	}
+}

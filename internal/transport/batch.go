@@ -40,6 +40,7 @@ func coalesceFrames(w io.Writer, frames [][]byte) error {
 			if _, err := w.Write(hdr); err != nil {
 				return err
 			}
+			countBatchOut(j-i, len(hdr)+size)
 			for ; i < j; i++ {
 				_, err := w.Write(frames[i])
 				wire.PutBuf(frames[i])
@@ -51,6 +52,7 @@ func coalesceFrames(w io.Writer, frames [][]byte) error {
 			continue
 		}
 		// A lone batchable frame, or an unbatchable one: as-is.
+		countOut(len(frames[i]))
 		_, err := w.Write(frames[i])
 		wire.PutBuf(frames[i])
 		frames[i] = nil
@@ -67,6 +69,7 @@ func coalesceFrames(w io.Writer, frames [][]byte) error {
 // left to the buffered writer. Every frame buffer is recycled.
 func writePlain(w io.Writer, frames [][]byte) error {
 	for i, f := range frames {
+		countOut(len(f))
 		_, err := w.Write(f)
 		wire.PutBuf(f)
 		frames[i] = nil

@@ -170,6 +170,7 @@ func (c *loopConn) SendEncoded(frame []byte) error {
 		wire.PutBuf(frame)
 		return ErrClosed
 	case p.q <- frame:
+		countOut(len(frame))
 		return nil
 	}
 }
@@ -205,6 +206,7 @@ func (c *loopConn) pump() {
 				if body, err = frameBody(f); err != nil {
 					break
 				}
+				countIn(len(body))
 				bodies = append(bodies, body)
 			}
 			if err == nil {

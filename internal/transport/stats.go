@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Process-wide wire-traffic counters, updated by every Network this package
+// implements: the transport-level half of the observability subsystem. One
+// atomic add per frame keeps the hot path honest; the counters are global
+// (not per-connection) because the admin endpoint reports the process, and
+// a per-conn breakdown would cost a registry walk per connection churn.
+//
+// "Frames" are wire frames as the sockets see them: a coalesced batch is
+// one frame out (its sub-messages are counted by MsgsCoalesced), and byte
+// counts include framing — these are transport counters, deliberately
+// distinct from the payload-byte accounting the paper's bit-complexity
+// numbers use (Client.Bytes, Result.Bytes), which this package never
+// touches.
+var stats struct {
+	framesOut  atomic.Int64
+	bytesOut   atomic.Int64
+	framesIn   atomic.Int64
+	bytesIn    atomic.Int64
+	batchesOut atomic.Int64
+	coalesced  atomic.Int64
+}
+
+// Stats is one read of the process's transport counters.
+type Stats struct {
+	// FramesOut and BytesOut count frames (batches count once) and bytes
+	// handed to the write side; FramesIn and BytesIn the inbound mirror.
+	FramesOut, BytesOut, FramesIn, BytesIn int64
+	// BatchesOut counts the write-loop batch frames assembled and
+	// MsgsCoalesced the plain frames wrapped inside them.
+	BatchesOut, MsgsCoalesced int64
+}
+
+// ReadStats returns the current counter values.
+func ReadStats() Stats {
+	return Stats{
+		FramesOut:     stats.framesOut.Load(),
+		BytesOut:      stats.bytesOut.Load(),
+		FramesIn:      stats.framesIn.Load(),
+		BytesIn:       stats.bytesIn.Load(),
+		BatchesOut:    stats.batchesOut.Load(),
+		MsgsCoalesced: stats.coalesced.Load(),
+	}
+}
+
+// RegisterMetrics exposes the transport counters on an obs registry, under
+// the transport_ prefix.
+func RegisterMetrics(r *obs.Registry) {
+	r.NewCounterFunc("transport_frames_out_total", "wire frames written (a batch counts once)", stats.framesOut.Load)
+	r.NewCounterFunc("transport_bytes_out_total", "bytes written, framing included", stats.bytesOut.Load)
+	r.NewCounterFunc("transport_frames_in_total", "wire frames read (a batch counts once)", stats.framesIn.Load)
+	r.NewCounterFunc("transport_bytes_in_total", "frame-body bytes read", stats.bytesIn.Load)
+	r.NewCounterFunc("transport_batches_out_total", "write-loop batch frames assembled", stats.batchesOut.Load)
+	r.NewCounterFunc("transport_msgs_coalesced_total", "plain frames wrapped into outbound batches", stats.coalesced.Load)
+}
+
+// countOut records one outbound wire frame of the given size.
+func countOut(size int) {
+	stats.framesOut.Add(1)
+	stats.bytesOut.Add(int64(size))
+}
+
+// countIn records one inbound wire frame with a body of the given size.
+func countIn(size int) {
+	stats.framesIn.Add(1)
+	stats.bytesIn.Add(int64(size))
+}
+
+// countBatchOut records one assembled outbound batch wrapping n plain
+// frames, size bytes in all (header included).
+func countBatchOut(n, size int) {
+	stats.batchesOut.Add(1)
+	stats.coalesced.Add(int64(n))
+	stats.framesOut.Add(1)
+	stats.bytesOut.Add(int64(size))
+}

@@ -51,10 +51,13 @@ type TCPListener struct {
 	noCoalesce bool // fixed at listen time
 	crashed    atomic.Bool
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[*tcpConn]struct{}
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	closed    bool
+	conns     map[*tcpConn]struct{}
+	wg        sync.WaitGroup
+	acceptErr error // fatal accept failure; guarded by mu, set before done closes
+
+	done chan struct{} // closed when the accept loop exits
 }
 
 // ListenTCP binds addr (host:port; port 0 for ephemeral) and serves inbound
@@ -68,7 +71,7 @@ func listenTCP(addr string, h Handler, noCoalesce bool) (*TCPListener, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &TCPListener{ln: ln, handler: h, noCoalesce: noCoalesce, conns: make(map[*tcpConn]struct{})}
+	l := &TCPListener{ln: ln, handler: h, noCoalesce: noCoalesce, conns: make(map[*tcpConn]struct{}), done: make(chan struct{})}
 	l.wg.Add(1)
 	go l.accept()
 	return l, nil
@@ -77,12 +80,31 @@ func listenTCP(addr string, h Handler, noCoalesce bool) (*TCPListener, error) {
 // Addr implements Listener.
 func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
 
+// Done is closed when the accept loop has exited — after Close or Crash,
+// or on a fatal accept error. A daemon selects on it so a listener that
+// dies under it becomes an exit, not a silent unreachable server.
+func (l *TCPListener) Done() <-chan struct{} { return l.done }
+
+// Err reports why the accept loop exited: nil for a deliberate Close or
+// Crash, the accept error otherwise. Meaningful once Done is closed.
+func (l *TCPListener) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acceptErr
+}
+
 func (l *TCPListener) accept() {
 	defer l.wg.Done()
+	defer close(l.done)
 	for {
 		c, err := l.ln.Accept()
 		if err != nil {
-			return // listener closed or crashed
+			l.mu.Lock()
+			if !l.closed && !l.crashed.Load() {
+				l.acceptErr = err
+			}
+			l.mu.Unlock()
+			return // listener closed, crashed, or failed
 		}
 		if l.crashed.Load() {
 			c.Close()
@@ -313,6 +335,7 @@ func (t *tcpConn) readLoop() {
 			t.Close()
 			return
 		}
+		countIn(len(body))
 		select {
 		case <-t.done:
 			return

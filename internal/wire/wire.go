@@ -48,6 +48,13 @@ const (
 	// not nest, and a single message is always sent as a plain frame (the
 	// canonical form the decoder enforces).
 	KindBatch
+	// KindBusy answers a KindPropagate the server refused to admit: the
+	// election's shard is at its live-instance bound, or the server is
+	// draining. It is shaped like an ack (header only, no entries) and is
+	// an admission-control signal, not part of the quorum protocol — a
+	// client that receives one inside its quorum sheds the election and
+	// retries later (electd.BusyError).
+	KindBusy
 )
 
 func (k Kind) String() string {
@@ -62,6 +69,8 @@ func (k Kind) String() string {
 		return "view"
 	case KindBatch:
 		return "batch"
+	case KindBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -145,7 +154,7 @@ func PrefixSize(body int) int { return rt.UvarintSize(uint64(body)) }
 // whose Reg differs from m.Reg, and on values outside the codec's domain.
 func Append(dst []byte, m *Msg) ([]byte, error) {
 	switch m.Kind {
-	case KindPropagate, KindCollect, KindAck, KindView:
+	case KindPropagate, KindCollect, KindAck, KindView, KindBusy:
 	default:
 		return dst, fmt.Errorf("wire: cannot encode unknown kind %d", m.Kind)
 	}
@@ -523,7 +532,7 @@ func (m *Msg) decode(body []byte) error {
 	}
 	m.Kind = Kind(kind)
 	switch m.Kind {
-	case KindPropagate, KindCollect, KindAck, KindView:
+	case KindPropagate, KindCollect, KindAck, KindView, KindBusy:
 	case KindBatch:
 		// Batches are containers, not messages: they never nest, and
 		// DecodeFrames is the entry point that understands them.

@@ -56,6 +56,8 @@ func sampleMsgs(t *testing.T) []*Msg {
 		{Kind: KindPropagate, Election: 9, Call: 3, From: 2, Reg: "r", Entries: entries},
 		{Kind: KindView, Reg: "r"},
 		{Kind: KindView, Election: 2, Call: 99, From: 64, Reg: "r", Entries: entries},
+		{Kind: KindBusy},
+		{Kind: KindBusy, Election: 33, Call: 1 << 18, From: 4},
 	}
 }
 
