@@ -1,0 +1,294 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/electd"
+	"repro/internal/fault"
+	"repro/internal/live"
+	"repro/internal/transport"
+)
+
+// The chaos runner sweeps fault.ChaosGrid() — partitions, crash-recovery,
+// flaky links and their combination — across seeds and backends, validating
+// every single election rather than aggregating: a run is valid when it has
+// a unique winner among the survivors, or every quorumless abort is a typed
+// fault.NoQuorumError hitting a participant the plan provably starved. A
+// single invalid run fails the whole sweep (exit 1), which is what the CI
+// chaos-grid job keys on. Link-only scenarios additionally run multiplexed
+// on a shared electd cluster next to fault-free sibling elections, counting
+// the blast radius: siblings of a partitioned run must all still elect.
+
+// chaosSiblings is the number of fault-free elections run concurrently with
+// each chaos election on the shared cluster for blast-radius accounting.
+const chaosSiblings = 2
+
+// chaosCell aggregates one (scenario, backend) cell of the grid.
+type chaosCell struct {
+	Scenario string `json:"scenario"`
+	Backend  string `json:"backend"` // chan | tcp | tcp-shared
+	Runs     int    `json:"runs"`
+	// Valid run outcomes: a unique surviving winner, a winnerless run
+	// whose linearized winner crashed, or a fully starved no-quorum run.
+	Elected       int `json:"elected"`
+	WinnerCrashed int `json:"winner_crashed"`
+	NoQuorumRuns  int `json:"no_quorum_runs"`
+	// Participant totals across the cell's runs.
+	Crashed int `json:"crashed_participants"`
+	Starved int `json:"starved_participants"`
+	// Invalid counts runs that violated the validity contract; Violations
+	// carries one line per violation for the report artifact.
+	Invalid    int      `json:"invalid"`
+	Violations []string `json:"violations,omitempty"`
+	P50Micros  int64    `json:"p50_us"`
+	MaxMicros  int64    `json:"max_us"`
+}
+
+// chaosReport is the machine-readable artifact the sweep writes.
+type chaosReport struct {
+	N         int         `json:"n"`
+	K         int         `json:"k"`
+	Seeds     int         `json:"seeds"`
+	BaseSeed  int64       `json:"base_seed"`
+	Algorithm string      `json:"algorithm"`
+	Cells     []chaosCell `json:"cells"`
+	// SiblingRuns and SiblingInvalid account the blast radius: fault-free
+	// elections multiplexed on a shared cluster next to a chaos election,
+	// and how many of them its faults broke (must be zero).
+	SiblingRuns    int   `json:"sibling_runs"`
+	SiblingInvalid int   `json:"sibling_invalid"`
+	Invalid        int   `json:"invalid"`
+	ElapsedMillis  int64 `json:"elapsed_ms"`
+}
+
+// chaosSeed decorrelates the grid's per-run seeds with the splitmix64
+// finalizer, like the campaign engine's seed sharding: cell c, seed index s
+// must not hand neighbouring runs overlapping per-processor PRNG streams.
+func chaosSeed(base int64, cell, s int) int64 {
+	z := uint64(base) + uint64(cell*1_000_003+s)*live.SeedStride
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// validateChaosRun checks one completed election against the chaos validity
+// contract and returns one line per violation. The plan is re-derived from
+// (scenario, n, seed) — Plan is deterministic, so this is exactly the plan
+// the run executed under.
+func validateChaosRun(sc fault.Scenario, n, k int, seed int64, res live.Result) []string {
+	var bad []string
+	plan, err := sc.Plan(n, seed)
+	if err != nil {
+		return []string{fmt.Sprintf("plan(%d, %d): %v", n, seed, err)}
+	}
+	// Every participant must be accounted for exactly once: a decision, a
+	// scenario crash, or a typed no-quorum abort.
+	if got := len(res.Decisions) + len(res.Crashed) + len(res.NoQuorum); got != k {
+		bad = append(bad, fmt.Sprintf("seed %d: %d of %d participants accounted for", seed, got, k))
+	}
+	// A typed no-quorum abort is only valid for a participant the plan
+	// provably starved; an electable participant aborting quorumless means
+	// the injection layer lost a quorum it should have been able to form.
+	for _, id := range res.NoQuorum {
+		if plan == nil || plan.Electable(int(id)) {
+			bad = append(bad, fmt.Sprintf("seed %d: electable participant %d aborted with NoQuorumError", seed, id))
+		}
+	}
+	if !sc.NoQuorumOK && len(res.NoQuorum) > 0 {
+		bad = append(bad, fmt.Sprintf("seed %d: scenario %q promised electability but %d participants starved",
+			seed, sc.Name, len(res.NoQuorum)))
+	}
+	// Winner uniqueness is enforced inside live.Elect (a second Win is a
+	// run error, counted by the caller); a winnerless run is valid only
+	// when the linearized winner is among the crashed or starved.
+	if res.Winner < 0 && len(res.Crashed) == 0 && len(res.NoQuorum) == 0 {
+		bad = append(bad, fmt.Sprintf("seed %d: no winner, no crashes, no starvation", seed))
+	}
+	return bad
+}
+
+// chaosBackends lists the backends scenario sc runs on: both transports
+// always, plus the shared multiplexed cluster when the scenario's faults
+// are link-only (client-side, per election) or absent — the configurations
+// a deployed service would actually multiplex.
+func chaosBackends(sc fault.Scenario) []string {
+	b := []string{"chan", "tcp"}
+	if !sc.Active() || sc.LinkOnly() {
+		b = append(b, "tcp-shared")
+	}
+	return b
+}
+
+// runChaos executes the chaos grid and writes the report artifact. It
+// returns an error (after writing the report) when any run was invalid.
+func runChaos(cfg config, seeds int, out string) error {
+	if campaign.BackendLive != campaign.Backend(cfg.backend) {
+		return fmt.Errorf("-chaos requires the live backend")
+	}
+	k := cfg.k
+	if k == 0 {
+		k = cfg.n
+	}
+	grid := fault.ChaosGrid()
+	rep := chaosReport{N: cfg.n, K: k, Seeds: seeds, BaseSeed: cfg.seed, Algorithm: cfg.algo}
+	start := time.Now()
+	cellIdx := 0
+	for _, sc := range grid {
+		for _, backend := range chaosBackends(sc) {
+			cell, err := runChaosCell(cfg, sc, backend, seeds, cellIdx, &rep)
+			if err != nil {
+				return err
+			}
+			rep.Cells = append(rep.Cells, cell)
+			rep.Invalid += cell.Invalid
+			cellIdx++
+		}
+	}
+	rep.Invalid += rep.SiblingInvalid
+	rep.ElapsedMillis = time.Since(start).Milliseconds()
+
+	printChaos(rep)
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write chaos report: %w", err)
+		}
+		fmt.Printf("report: %s\n", out)
+	}
+	if rep.Invalid > 0 {
+		return fmt.Errorf("chaos grid: %d invalid elections", rep.Invalid)
+	}
+	return nil
+}
+
+// runChaosCell executes one (scenario, backend) cell: seeds elections, each
+// validated individually. On the tcp-shared backend every election is
+// multiplexed onto one cluster and raced against fault-free siblings whose
+// validity is booked into the report's blast-radius counters.
+func runChaosCell(cfg config, sc fault.Scenario, backend string, seeds, cellIdx int, rep *chaosReport) (chaosCell, error) {
+	cell := chaosCell{Scenario: sc.Name, Backend: backend, Runs: seeds}
+	var cluster *electd.Cluster
+	if backend == "tcp-shared" {
+		nw := transport.NewTCP()
+		cl, err := electd.NewCluster(nw, cfg.n)
+		if err != nil {
+			return cell, fmt.Errorf("chaos %s/%s: start shared cluster: %w", sc.Name, backend, err)
+		}
+		defer cl.Close()
+		cluster = cl
+	}
+	var lats []time.Duration
+	for s := 0; s < seeds; s++ {
+		seed := chaosSeed(cfg.seed, cellIdx, s)
+		lcfg := live.Config{
+			N: cfg.n, K: cfg.k, Seed: seed,
+			Algorithm: live.Algorithm(cfg.algo), Scenario: sc,
+		}
+		switch backend {
+		case "chan":
+			lcfg.Transport = live.TransportChan
+		case "tcp":
+			lcfg.Transport = live.TransportTCP
+		case "tcp-shared":
+			lcfg.Transport = live.TransportTCP
+			lcfg.Cluster = cluster
+			lcfg.ElectionID = cluster.NextElectionID()
+		}
+
+		// Blast-radius siblings: fault-free elections multiplexed on the
+		// same cluster, concurrent with the chaos election. Launched first
+		// so they overlap the fault window, joined after.
+		type sibOut struct {
+			res live.Result
+			err error
+		}
+		var sibs chan sibOut
+		if cluster != nil {
+			sibs = make(chan sibOut, chaosSiblings)
+			for j := 0; j < chaosSiblings; j++ {
+				scfg := live.Config{
+					N: cfg.n, K: cfg.k, Seed: chaosSeed(cfg.seed^0x5CA1AB1E, cellIdx, s*chaosSiblings+j),
+					Algorithm: live.Algorithm(cfg.algo), Transport: live.TransportTCP,
+					Cluster: cluster, ElectionID: cluster.NextElectionID(),
+				}
+				go func(scfg live.Config) {
+					res, err := live.Elect(scfg)
+					sibs <- sibOut{res, err}
+				}(scfg)
+			}
+		}
+
+		res, err := live.Elect(lcfg)
+		if cluster != nil {
+			cluster.RemoveElection(lcfg.ElectionID)
+			for j := 0; j < chaosSiblings; j++ {
+				so := <-sibs
+				rep.SiblingRuns++
+				// A sibling is untouched by the chaos election's faults iff
+				// it elects cleanly: any error, missing winner, crash or
+				// starvation is leakage across the multiplexing boundary.
+				if so.err != nil || so.res.Winner < 0 || len(so.res.Crashed) > 0 || len(so.res.NoQuorum) > 0 {
+					rep.SiblingInvalid++
+					cell.Violations = append(cell.Violations,
+						fmt.Sprintf("seed %d: fault-free sibling broken: winner=%d err=%v", seed, so.res.Winner, so.err))
+				}
+			}
+		}
+		if err != nil {
+			// Safety violations (two winners), undecided returns and
+			// timeouts surface as Elect errors: invalid, not fatal — the
+			// sweep completes and reports them all.
+			cell.Invalid++
+			cell.Violations = append(cell.Violations, fmt.Sprintf("seed %d: %v", seed, err))
+			continue
+		}
+		if bad := validateChaosRun(sc, cfg.n, rep.K, seed, res); len(bad) > 0 {
+			cell.Invalid++
+			cell.Violations = append(cell.Violations, bad...)
+		}
+		switch {
+		case res.Winner >= 0:
+			cell.Elected++
+		case len(res.Crashed) > 0:
+			cell.WinnerCrashed++
+		default:
+			cell.NoQuorumRuns++
+		}
+		cell.Crashed += len(res.Crashed)
+		cell.Starved += len(res.NoQuorum)
+		lats = append(lats, res.Elapsed)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		cell.P50Micros = lats[len(lats)/2].Microseconds()
+		cell.MaxMicros = lats[len(lats)-1].Microseconds()
+	}
+	return cell, nil
+}
+
+// printChaos renders the grid, one line per cell.
+func printChaos(rep chaosReport) {
+	fmt.Printf("chaos grid: n=%d k=%d seeds=%d algorithm=%s\n", rep.N, rep.K, rep.Seeds, rep.Algorithm)
+	fmt.Printf("%-18s %-11s %-5s %-8s %-7s %-9s %-8s %-8s %-8s %-8s\n",
+		"scenario", "backend", "runs", "elected", "no-win", "noquorum", "crashed", "starved", "invalid", "p50")
+	for _, c := range rep.Cells {
+		fmt.Printf("%-18s %-11s %-5d %-8d %-7d %-9d %-8d %-8d %-8d %vµs\n",
+			c.Scenario, c.Backend, c.Runs, c.Elected, c.WinnerCrashed, c.NoQuorumRuns,
+			c.Crashed, c.Starved, c.Invalid, c.P50Micros)
+		for _, v := range c.Violations {
+			fmt.Printf("    violation: %s\n", v)
+		}
+	}
+	fmt.Printf("\nblast radius: %d sibling elections on shared clusters, %d broken\n",
+		rep.SiblingRuns, rep.SiblingInvalid)
+	fmt.Printf("invalid: %d of %d elections (%dms)\n",
+		rep.Invalid, len(rep.Cells)*rep.Seeds+rep.SiblingRuns, rep.ElapsedMillis)
+}

@@ -20,6 +20,18 @@
 //	livesim -n 64 -runs 128 -crashes 31 -crash-window 2ms   # custom crash campaign
 //	livesim -n 64 -runs 128 -delay 100us -jitter 400us -tail 1.2
 //
+// Chaos verification grid (live backend only):
+//
+//	livesim -n 8 -chaos                          # fault.ChaosGrid × 6 seeds × backends
+//	livesim -n 8 -chaos -chaos-seeds 12 -chaos-out chaos.json
+//
+// The chaos grid validates every election individually — unique winner among
+// the survivors, or typed no-quorum aborts only on clients the fault plan
+// provably starved — and exits nonzero on any invalid run. Link-only
+// scenarios also run multiplexed on a shared electd cluster next to
+// fault-free sibling elections (blast-radius accounting). -chaos-out writes
+// the machine-readable JSON report CI archives.
+//
 // Algorithms: poisonpill (default), tournament. Backends: live (default),
 // sim. Transports (live backend): chan (default, in-process mailboxes), tcp
 // (electd quorum servers over loopback TCP sockets; the campaign shares one
@@ -55,6 +67,10 @@ func main() {
 
 		scenarios = flag.String("scenarios", "", "comma-separated preset scenarios, or \"all\" (live backend)")
 
+		chaos      = flag.Bool("chaos", false, "run the chaos verification grid (fault.ChaosGrid × seeds × backends) and validate every election")
+		chaosSeeds = flag.Int("chaos-seeds", 6, "seeds per chaos grid cell")
+		chaosOut   = flag.String("chaos-out", "", "write the chaos grid's machine-readable JSON report to this path")
+
 		crashes     = flag.Int("crashes", 0, "custom scenario: processors to crash (≤ ⌈n/2⌉−1, -1 = max)")
 		crashWindow = flag.Duration("crash-window", 0, "custom scenario: crash times are uniform in [0, window)")
 		delay       = flag.Duration("delay", 0, "custom scenario: fixed link-delay floor per message")
@@ -71,11 +87,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "livesim:", err)
 		os.Exit(1)
 	}
-	if err := run(config{
+	cfg := config{
 		n: *n, k: *k, runs: *runs, workers: *workers, seed: *seed,
 		algo: *algo, backend: *backend, transport: *trans, scan: *scan, verbose: *verbose,
 		scenarios: *scenarios, custom: custom,
-	}); err != nil {
+	}
+	if *chaos {
+		if err := runChaos(cfg, *chaosSeeds, *chaosOut); err != nil {
+			fmt.Fprintln(os.Stderr, "livesim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "livesim:", err)
 		os.Exit(1)
 	}

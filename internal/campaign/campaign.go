@@ -72,8 +72,10 @@ type Config struct {
 	// shares one electd cluster — n loopback-TCP servers — and multiplexes
 	// its elections onto it by election ID, so hundreds of runs exercise a
 	// single set of listening servers like traffic on a deployed service.
-	// Campaigns with active fault scenarios run one cluster per election
-	// instead: crashing a shared server would leak faults across runs.
+	// Link-only fault scenarios (partitions, drops, latency) share the
+	// cluster too — their injection is client-side and scoped per election.
+	// Campaigns with crash scenarios run one cluster per election instead:
+	// crashing a shared server would leak faults across runs.
 	Transport live.Transport
 	// NoBatch (TCP transport only) disables the client pools' frame
 	// coalescing for the whole campaign — shared cluster and per-run
@@ -108,12 +110,16 @@ type Report struct {
 	MeanTime float64
 	// MaxRounds is the highest election round reached in any run.
 	MaxRounds int
-	// Elected counts runs that ended with a unique surviving winner and
+	// Elected counts runs that ended with a unique surviving winner,
 	// WinnerCrashed those in which every survivor lost because the
-	// linearized winner crashed first; the two always sum to Runs.
-	// Crashed totals the participants killed across all runs. All three
-	// are scenario-driven: a fault-free campaign reports Elected == Runs.
-	Elected, WinnerCrashed, Crashed int
+	// linearized winner crashed first, and NoQuorum those in which no
+	// participant crashed yet none could assemble majority quorums —
+	// possible only under NoQuorumOK scenarios (never-healing partitions)
+	// where every client aborted with a typed fault.NoQuorumError. The
+	// three always sum to Runs. Crashed totals the participants killed
+	// across all runs and Starved those that aborted quorumless. All are
+	// scenario-driven: a fault-free campaign reports Elected == Runs.
+	Elected, WinnerCrashed, NoQuorum, Crashed, Starved int
 }
 
 // ScenarioReport is one row of a matrix campaign: the aggregate of one
@@ -130,9 +136,9 @@ type ScenarioReport struct {
 	MeanTime float64
 	// MaxRounds is the highest election round reached under the scenario.
 	MaxRounds int
-	// Elected, WinnerCrashed and Crashed are the election-validity
-	// counts; see Report.
-	Elected, WinnerCrashed, Crashed int
+	// Elected, WinnerCrashed, NoQuorum, Crashed and Starved are the
+	// election-validity counts; see Report.
+	Elected, WinnerCrashed, NoQuorum, Crashed, Starved int
 }
 
 // MatrixReport aggregates a scenario-matrix campaign.
@@ -229,6 +235,7 @@ type runStats struct {
 	rounds  int
 	elected bool // a unique surviving winner decided Win
 	crashed int  // participants the scenario killed
+	starved int  // participants that aborted with fault.NoQuorumError
 }
 
 // runOne executes election run idx under scenario sc.
@@ -261,6 +268,7 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 		return runStats{
 			lat: res.Elapsed, time: res.Time, rounds: res.Rounds,
 			elected: res.Winner >= 0, crashed: len(res.Crashed),
+			starved: len(res.NoQuorum),
 		}, nil
 	default: // BackendSim
 		start := time.Now()
@@ -296,7 +304,8 @@ func Run(cfg Config) (Report, error) {
 		Runs: m.Runs, Workers: m.Workers,
 		Elapsed: m.Elapsed, Throughput: m.Throughput,
 		Latency: s.Latency, MeanTime: s.MeanTime, MaxRounds: s.MaxRounds,
-		Elected: s.Elected, WinnerCrashed: s.WinnerCrashed, Crashed: s.Crashed,
+		Elected: s.Elected, WinnerCrashed: s.WinnerCrashed,
+		NoQuorum: s.NoQuorum, Crashed: s.Crashed, Starved: s.Starved,
 	}, nil
 }
 
@@ -330,12 +339,17 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 	}
 	if cfg.Backend == BackendLive && cfg.Transport == live.TransportTCP {
 		// One shared server set for the whole matrix: every run multiplexes
-		// onto it under a fresh election ID. Fault scenarios preclude the
+		// onto it under a fresh election ID. Crash scenarios preclude the
 		// sharing — crashing a shared server would leak faults across
-		// elections — so scenario matrices fall back to one cluster per run.
+		// elections — so those matrices fall back to one cluster per run.
+		// Link-only scenarios (partitions, flaky links, latency: no crash
+		// schedule) keep the shared cluster: their faults are injected on
+		// the client side of the pool, scoped to one election's clients, so
+		// a partitioned run's siblings never feel it — the blast radius the
+		// chaos grid measures.
 		shared := true
 		for _, sc := range scenarios {
-			if sc.Active() {
+			if sc.Active() && !sc.LinkOnly() {
 				shared = false
 				break
 			}
@@ -363,6 +377,8 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 		times          int64
 		rounds         int
 		elected, crash int
+		noquorum       int // runs in which every participant starved
+		starved        int // participants that aborted quorumless
 	}
 	accs := make([][]acc, cfg.Workers)
 	errs := make([]error, cfg.Workers)
@@ -396,8 +412,16 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 				}
 				if st.elected {
 					a.elected++
+				} else if st.crashed == 0 && st.starved > 0 {
+					// Nobody won and nobody crashed: the partition starved
+					// every client of quorums — a no-quorum run, not a
+					// winner-crashed one. (A run with both crashes and
+					// starvation counts as winner-crashed: the linearized
+					// winner was among the crash victims.)
+					a.noquorum++
 				}
 				a.crash += st.crashed
+				a.starved += st.starved
 			}
 		}(w)
 	}
@@ -427,11 +451,13 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 				row.MaxRounds = a.rounds
 			}
 			row.Elected += a.elected
+			row.NoQuorum += a.noquorum
 			row.Crashed += a.crash
+			row.Starved += a.starved
 		}
 		completed += len(lats)
 		if len(lats) == cfg.Runs {
-			row.WinnerCrashed = cfg.Runs - row.Elected
+			row.WinnerCrashed = cfg.Runs - row.Elected - row.NoQuorum
 			row.MeanTime = float64(times) / float64(cfg.Runs)
 			row.Latency = summarize(lats)
 		}

@@ -297,3 +297,60 @@ func TestScenarioRequiresLiveBackend(t *testing.T) {
 		t.Error("empty scenario matrix accepted")
 	}
 }
+
+// TestRunMatrixLinkOnlySharedCluster: link-only scenarios (partitions,
+// flaky links — no crash schedule) keep the shared TCP cluster: their
+// faults are injected client-side, scoped per election, so the matrix
+// multiplexes chaos rows and the fault-free control onto one server set
+// and every row still holds its validity accounting. Run under -race in CI.
+func TestRunMatrixLinkOnlySharedCluster(t *testing.T) {
+	scenarios := []fault.Scenario{
+		fault.Baseline(),
+		fault.PartitionHeal(),
+		fault.FlakyAsym(),
+	}
+	for _, sc := range scenarios[1:] {
+		if !sc.LinkOnly() {
+			t.Fatalf("%q is not link-only; the test premise is broken", sc.Name)
+		}
+	}
+	m, err := RunMatrix(Config{
+		Runs: 4, Workers: 4, N: 5, BaseSeed: 31, Transport: live.TransportTCP,
+	}, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range m.Scenarios {
+		if row.Elected != row.Runs {
+			t.Errorf("%q: elected %d of %d on the shared cluster (noquorum=%d crashed=%d starved=%d)",
+				row.Scenario.Name, row.Elected, row.Runs, row.NoQuorum, row.Crashed, row.Starved)
+		}
+	}
+}
+
+// TestRunNoQuorumReporting: a scenario that provably starves every client
+// (total permanent loss, NoQuorumOK) yields all-no-quorum runs, and the
+// report books them apart from winner-crashed: Elected + WinnerCrashed +
+// NoQuorum = Runs, with the starved-participant total matching.
+func TestRunNoQuorumReporting(t *testing.T) {
+	rep, err := Run(Config{
+		Runs: 4, Workers: 4, N: 5, BaseSeed: 13,
+		Scenario: fault.Scenario{Name: "blackout", LossProb: 1, LossLinks: fault.AllLinks, NoQuorumOK: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoQuorum != rep.Runs || rep.Elected != 0 || rep.WinnerCrashed != 0 {
+		t.Errorf("blackout campaign books elected=%d winner-crashed=%d noquorum=%d of %d runs",
+			rep.Elected, rep.WinnerCrashed, rep.NoQuorum, rep.Runs)
+	}
+	if rep.Elected+rep.WinnerCrashed+rep.NoQuorum != rep.Runs {
+		t.Errorf("validity counts do not sum to runs: %+v", rep)
+	}
+	if rep.Starved != rep.Runs*5 {
+		t.Errorf("starved %d participants, want %d", rep.Starved, rep.Runs*5)
+	}
+	if rep.Crashed != 0 {
+		t.Errorf("blackout campaign reports %d crashes", rep.Crashed)
+	}
+}

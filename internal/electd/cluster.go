@@ -120,6 +120,29 @@ func (cl *Cluster) Crash(id rt.ProcID) {
 	cl.listeners[id].Crash()
 }
 
+// Restart recovers a crashed server end to end: the replica resumes
+// answering (with the register state it held at the crash — see
+// Server.Restart), its listener re-arms at the original address, and the
+// shared pool redials it, so the recovered replica serves quorum calls
+// again mid-election. The inverse of Crash; a no-op error if the
+// listener's transport cannot recover.
+func (cl *Cluster) Restart(id rt.ProcID) error {
+	if int(id) >= len(cl.servers) {
+		return fmt.Errorf("electd: restart server %d of a %d-server cluster", id, cl.n)
+	}
+	rec, ok := cl.listeners[id].(transport.Recoverer)
+	if !ok {
+		return fmt.Errorf("electd: server %d's listener (%T) cannot recover", id, cl.listeners[id])
+	}
+	// Replica first: the instant the listener accepts again, requests must
+	// find a serving replica, not the drop-everything switch still on.
+	cl.servers[id].Restart()
+	if err := rec.Recover(); err != nil {
+		return err
+	}
+	return cl.pool.Redial(int(id))
+}
+
 // BeginDrain puts every server into drain mode: new elections are refused
 // with busy replies, in-flight ones keep being served. See Server.Drain
 // for the full graceful-shutdown sequence.

@@ -190,10 +190,11 @@ func (s *Server) Crash() { s.crashed.Store(true) }
 
 // Restart revives a crashed replica: it resumes answering with whatever
 // register state it held when it crashed — the crash-recovery model of a
-// replica whose durable state survived. Connections severed by the
-// transport half of a crash stay severed; Restart only flips the replica's
-// own drop-everything switch (useful for churn tests and for embedders
-// whose transport reconnects on its own).
+// replica whose durable state survived. Restart only flips the replica's
+// own drop-everything switch; connections severed by the transport half of
+// a crash stay severed until the listener Recovers and clients redial.
+// Cluster.Restart performs the full sequence (replica, listener, pool) so
+// a fault.Plan's recovery reaches quorum traffic end to end.
 func (s *Server) Restart() { s.crashed.Store(false) }
 
 // Crashed reports whether the replica has been crashed.

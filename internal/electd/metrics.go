@@ -67,11 +67,13 @@ func (pl *Pool) registerMetrics(r *obs.Registry) {
 	r.NewCounterFunc("electd_busy_shed_total", "quorum calls aborted by a server's busy reply", pl.busy.Load)
 	pl.rpcHist = r.NewHistogram("electd_quorum_roundtrip_usec", "quorum round-trip latency, microseconds", quorumLatencyBounds)
 	pl.batchHist = r.NewHistogram("electd_coalesce_batch_msgs", "messages per coalescer flush", batchSizeBounds)
-	for _, cos := range pl.outs {
-		for _, co := range cos {
-			if co != nil {
-				co.hist = pl.batchHist
-			}
+	for j := range pl.links {
+		link := pl.links[j].Load()
+		if link == nil {
+			continue
+		}
+		for _, co := range link.cos {
+			co.hist = pl.batchHist
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/transport"
@@ -59,13 +60,26 @@ type callShard struct {
 // and pending-call slots and their reply channels are recycled, so a
 // steady-state election allocates only its payload entries.
 type Pool struct {
-	n     int
-	conns []transport.Conn
-	outs  [][]*coalescer // [server][coalShards]; nil row when undialed or coalescing off
+	n int
+	// links holds one slot per server, each an atomically swappable
+	// connection + coalescer bundle: sends load the slot lock-free, and
+	// Redial swaps in a fresh bundle when a crashed server recovers — the
+	// transport half of crash-recovery. A nil slot is an undialed server.
+	links []atomic.Pointer[serverLink]
+
+	// Redial context, fixed at dial time.
+	nw         transport.Network
+	addrs      []string
+	noCoalesce bool
 
 	shards [callShards]callShard
 	next   atomic.Uint64
 	pend   sync.Pool // recycled pending slots with quorum-capacity channels
+
+	// Coalescer totals of links retired by Redial, folded in so
+	// CoalesceStats stays monotonic across recoveries.
+	retiredMsgs   atomic.Int64
+	retiredFrames atomic.Int64
 
 	// inflight tracks delayed (fault-injected) sends still riding timers,
 	// so Close can wait for stragglers instead of racing them.
@@ -94,11 +108,20 @@ type PoolOptions struct {
 	Metrics *obs.Registry
 }
 
+// serverLink is one server's connection bundle: the transport connection
+// and its coalescer stripes (nil when coalescing is off). Immutable once
+// published in a Pool slot; Redial replaces the whole bundle.
+type serverLink struct {
+	conn transport.Conn
+	cos  []*coalescer // [coalShards]; nil when coalescing off
+}
+
 // pending is one outstanding communicate call awaiting quorum replies.
 type pending struct {
 	ch     chan *wire.Msg
 	cli    *Client
-	routed int // replies routed so far, guarded by the call's shard mutex
+	routed int    // replies routed so far, guarded by the call's shard mutex
+	seen   []bool // [server]; dedups retransmission-induced duplicate replies
 }
 
 // callShardOf routes a call ID to its stripe. Plain masking is the right
@@ -122,37 +145,26 @@ func DialPool(nw transport.Network, addrs []string) (*Pool, error) {
 // DialPoolOpts is DialPool with explicit options.
 func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool, error) {
 	pl := &Pool{
-		n:    len(addrs),
-		outs: make([][]*coalescer, len(addrs)),
+		n:          len(addrs),
+		links:      make([]atomic.Pointer[serverLink], len(addrs)),
+		nw:         nw,
+		addrs:      append([]string(nil), addrs...),
+		noCoalesce: opts.NoCoalesce,
 	}
 	for i := range pl.shards {
 		pl.shards[i].calls = make(map[uint64]*pending)
 	}
-	pl.pend.New = func() any { return &pending{ch: make(chan *wire.Msg, pl.n)} }
+	pl.pend.New = func() any {
+		return &pending{ch: make(chan *wire.Msg, pl.n), seen: make([]bool, pl.n)}
+	}
 	var down []string
 	for i, addr := range addrs {
 		c, err := nw.Dial(addr, pl.handle)
 		if err != nil {
 			down = append(down, fmt.Sprintf("server %d at %s: %v", i, addr, err))
-			pl.conns = append(pl.conns, nil)
 			continue
 		}
-		pl.conns = append(pl.conns, c)
-		if !opts.NoCoalesce {
-			cos := make([]*coalescer, coalShards)
-			for s := range cos {
-				cos[s] = &coalescer{conn: c}
-			}
-			pl.outs[i] = cos
-		}
-		if fc, ok := c.(transport.FilteredConn); ok {
-			// Drop straggler replies — answers to calls that already
-			// reached quorum — before they are decoded: at n servers per
-			// broadcast, almost half of all view replies are stragglers,
-			// and their decode (entries, statuses, allocations) is the
-			// single largest avoidable cost on the client's read loops.
-			fc.SetFilter(pl.keepReply)
-		}
+		pl.links[i].Store(pl.newLink(c))
 	}
 	if len(down) > (len(addrs)-1)/2 {
 		// Startup failure must not leak the minority that did answer:
@@ -170,13 +182,68 @@ func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool
 // N returns the quorum system size.
 func (pl *Pool) N() int { return pl.n }
 
+// newLink dials nothing: it wraps an established connection in a link
+// bundle — fresh coalescers (hist pre-installed when metrics are on), the
+// straggler/fault reply filter armed. Shared by dial time and Redial.
+func (pl *Pool) newLink(c transport.Conn) *serverLink {
+	link := &serverLink{conn: c}
+	if !pl.noCoalesce {
+		link.cos = make([]*coalescer, coalShards)
+		for s := range link.cos {
+			link.cos[s] = &coalescer{conn: c, hist: pl.batchHist}
+		}
+	}
+	if fc, ok := c.(transport.FilteredConn); ok {
+		// Drop straggler replies — answers to calls that already
+		// reached quorum — before they are decoded: at n servers per
+		// broadcast, almost half of all view replies are stragglers,
+		// and their decode (entries, statuses, allocations) is the
+		// single largest avoidable cost on the client's read loops.
+		// Under a fault plan the same filter also samples
+		// reply-direction link loss (see keepReply).
+		fc.SetFilter(pl.keepReply)
+	}
+	return link
+}
+
+// Redial reconnects the pool to server j — the client half of
+// crash-recovery, called after the server's listener Recovered. The old
+// connection (severed by the crash anyway) is closed and its link slot
+// atomically replaced, so in-flight broadcasts resolve either bundle,
+// never a torn one; retransmitting calls pick up the fresh connection on
+// their next tick. The retired coalescers' totals fold into the pool's so
+// CoalesceStats stays monotonic.
+func (pl *Pool) Redial(j int) error {
+	if j < 0 || j >= pl.n {
+		return fmt.Errorf("electd: redial server %d of a %d-server pool", j, pl.n)
+	}
+	c, err := pl.nw.Dial(pl.addrs[j], pl.handle)
+	if err != nil {
+		return fmt.Errorf("electd: redial server %d at %s: %w", j, pl.addrs[j], err)
+	}
+	old := pl.links[j].Swap(pl.newLink(c))
+	if old != nil {
+		for _, co := range old.cos {
+			pl.retiredMsgs.Add(co.msgs.Load())
+			pl.retiredFrames.Add(co.frames.Load())
+		}
+		old.conn.Close()
+	}
+	return nil
+}
+
 // CoalesceStats reports the pool's batching effectiveness: msgs is the
 // number of messages that went through the coalescers, frames the number
 // of wire frames they were sent in. frames < msgs means multi-op batching
 // happened; a NoCoalesce pool reports zeros.
 func (pl *Pool) CoalesceStats() (msgs, frames int64) {
-	for _, cos := range pl.outs {
-		for _, co := range cos {
+	msgs, frames = pl.retiredMsgs.Load(), pl.retiredFrames.Load()
+	for j := range pl.links {
+		link := pl.links[j].Load()
+		if link == nil {
+			continue
+		}
+		for _, co := range link.cos {
 			msgs += co.msgs.Load()
 			frames += co.frames.Load()
 		}
@@ -196,8 +263,14 @@ func (pl *Pool) CoalesceStats() (msgs, frames int64) {
 // call completing between this check and the router's is dropped there
 // instead, and the reverse race cannot happen (calls are registered before
 // any request is sent).
+// When the waiting client carries a fault plan, the filter is also the
+// reply-direction loss seam: the reply's sender id is peeked from the
+// header and the client's replyDrop hook — concurrency-safe, it runs on
+// every connection's read loop — decides whether this reply died on the
+// (server → client) link. Dropping here, before decode, is exactly where
+// a lost reply would have vanished on a real wire.
 func (pl *Pool) keepReply(body []byte) bool {
-	k, call, ok := wire.PeekReply(body)
+	k, call, from, ok := wire.PeekReplyFrom(body)
 	if !ok || (k != wire.KindAck && k != wire.KindView && k != wire.KindBusy) {
 		return true
 	}
@@ -205,7 +278,14 @@ func (pl *Pool) keepReply(body []byte) bool {
 	sh.mu.Lock()
 	p := sh.calls[call]
 	keep := p != nil && p.routed < pl.n/2+1
+	var drop func(int) bool
+	if keep {
+		drop = p.cli.replyDrop
+	}
 	sh.mu.Unlock()
+	if keep && drop != nil && drop(int(from)) {
+		return false
+	}
 	return keep
 }
 
@@ -224,6 +304,16 @@ func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
 	sh := pl.callShardOf(m.Call)
 	sh.mu.Lock()
 	if p := sh.calls[m.Call]; p != nil {
+		// Retransmitted requests draw duplicate replies from servers that
+		// already answered; dedup by sender so a repeat answer can never
+		// stand in for a distinct quorum member.
+		if f := int(m.From); f >= 0 && f < len(p.seen) {
+			if p.seen[f] {
+				sh.mu.Unlock()
+				return
+			}
+			p.seen[f] = true
+		}
 		p.routed++
 		p.cli.msgs.Add(1)
 		p.cli.bytes.Add(int64(m.WireSize()))
@@ -237,9 +327,9 @@ func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
 
 // closeConns severs every established server connection.
 func (pl *Pool) closeConns() {
-	for _, c := range pl.conns {
-		if c != nil {
-			c.Close()
+	for j := range pl.links {
+		if link := pl.links[j].Load(); link != nil {
+			link.conn.Close()
 		}
 	}
 }
@@ -292,8 +382,44 @@ type Client struct {
 	replies []*wire.Msg
 	views   []rt.View
 
+	// Fault-plan hooks, installed by SetFaults before the participant
+	// starts; all nil/zero on a bare client, leaving the hot path alone.
+	drop       func(server int) bool // request-direction loss; algorithm goroutine
+	replyDrop  func(server int) bool // reply-direction loss; any read loop (must be concurrency-safe)
+	retransmit time.Duration         // quorum-wait resend period; 0 = never resend
+	noq        <-chan struct{}       // closed when this client is provably starved of quorums
+	noqProc    int                   // participant id reported in the NoQuorumError
+
 	msgs  atomic.Int64 // frames sent + replies received (the router bumps these)
 	bytes atomic.Int64
+}
+
+// FaultProfile arms one client with a fault plan's link behavior; every
+// field is optional. Drop decides request-direction loss per server and
+// runs on the participant's algorithm goroutine (a goroutine-owned PRNG is
+// fine); ReplyDrop decides reply-direction loss and runs concurrently on
+// the connections' read loops, so it must be safe for concurrent calls.
+// Retransmit > 0 makes quorum waits rebroadcast on that period — required
+// for liveness under partitions, flaky links, and crash-recovery, since
+// the algorithms themselves never resend. NoQuorum, when it fires, aborts
+// the client's current and future quorum waits by unwinding the
+// participant's goroutine with a *fault.NoQuorumError panic — the typed
+// no-quorum outcome for clients the plan has provably cut off; recover it
+// like a crash at the election runner.
+type FaultProfile struct {
+	Drop       func(server int) bool
+	ReplyDrop  func(server int) bool
+	Retransmit time.Duration
+	NoQuorum   <-chan struct{}
+	Proc       int
+}
+
+// SetFaults installs the profile. Call before the participant's goroutine
+// starts; the hooks are read without synchronization afterwards.
+func (c *Client) SetFaults(fp FaultProfile) {
+	c.drop, c.replyDrop = fp.Drop, fp.ReplyDrop
+	c.retransmit = fp.Retransmit
+	c.noq, c.noqProc = fp.NoQuorum, fp.Proc
 }
 
 // Proc implements rt.Comm.
@@ -386,52 +512,93 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	// PayloadBytes; the length prefix — and a batch frame's header — is
 	// transport framing, not payload.
 	size := int64(m.WireSize())
-	var frame []byte // encoded once, lazily; every server gets the same bytes
-	sent := int64(0)
-	for j := 0; j < pl.n; j++ {
-		if pl.conns[j] == nil {
-			continue // server was unreachable at dial time: nothing to send
-		}
-		sent++
-		if c.delay != nil {
-			if d := c.delay(j); d > 0 {
-				transport.SendDelayed(pl.conns[j], m, d, &pl.inflight)
+	var frame []byte // encoded once, lazily; every broadcast reuses the bytes
+	broadcast := func() {
+		sent := int64(0)
+		for j := 0; j < pl.n; j++ {
+			link := pl.links[j].Load()
+			if link == nil {
+				continue // server was unreachable at dial time: nothing to send
+			}
+			sent++ // a dropped request still went onto the wire and died there
+			if c.drop != nil && c.drop(j) {
 				continue
 			}
-		}
-		if cos := pl.outs[j]; cos != nil {
-			if frame == nil {
-				var err error
-				if frame, err = wire.Append(wire.GetBuf(), m); err != nil {
-					// Unencodable payloads cannot reach any server: loss on
-					// every link, exactly as the per-conn Send path reports.
-					wire.PutBuf(frame)
-					frame = nil
-					break
+			if c.delay != nil {
+				if d := c.delay(j); d > 0 {
+					transport.SendDelayed(link.conn, m, d, &pl.inflight)
+					continue
 				}
 			}
-			cos[c.cshard].enqueue(frame)
-		} else {
-			pl.conns[j].Send(m) //nolint:errcheck // loss, per the model
+			if link.cos != nil {
+				if frame == nil {
+					var err error
+					if frame, err = wire.Append(wire.GetBuf(), m); err != nil {
+						// Unencodable payloads cannot reach any server: loss on
+						// every link, exactly as the per-conn Send path reports.
+						wire.PutBuf(frame)
+						frame = nil
+						break
+					}
+				}
+				link.cos[c.cshard].enqueue(frame)
+			} else {
+				link.conn.Send(m) //nolint:errcheck // loss, per the model
+			}
+		}
+		c.msgs.Add(sent)
+		c.bytes.Add(sent * size)
+	}
+	broadcast()
+
+	need := c.QuorumSize()
+	c.replies = c.replies[:0]
+	shed, starved := false, false
+	if c.retransmit == 0 && c.noq == nil {
+		// The bare fast path: nothing to select on but the replies.
+		for len(c.replies) < need {
+			r := <-p.ch
+			if r.Kind == wire.KindBusy {
+				shed = true
+				wire.PutMsg(r)
+				break
+			}
+			c.replies = append(c.replies, r)
+		}
+	} else {
+		var tickC <-chan time.Time
+		if c.retransmit > 0 {
+			tick := time.NewTicker(c.retransmit)
+			defer tick.Stop()
+			tickC = tick.C
+		}
+	wait:
+		for len(c.replies) < need {
+			select {
+			case r := <-p.ch:
+				if r.Kind == wire.KindBusy {
+					shed = true
+					wire.PutMsg(r)
+					break wait
+				}
+				c.replies = append(c.replies, r)
+			case <-tickC:
+				// Resend to everyone; duplicate replies from servers that
+				// already answered are deduped by the router. This is what
+				// carries the call across partitions, flaky links, and
+				// crash-recovery windows.
+				broadcast()
+			case <-c.noq:
+				// The plan proved this client can never reach a quorum
+				// again, and the grace period is over: abort with the typed
+				// no-quorum outcome instead of waiting forever.
+				starved = true
+				break wait
+			}
 		}
 	}
 	if frame != nil {
 		wire.PutBuf(frame)
-	}
-	c.msgs.Add(sent)
-	c.bytes.Add(sent * size)
-
-	need := c.QuorumSize()
-	c.replies = c.replies[:0]
-	shed := false
-	for len(c.replies) < need {
-		r := <-p.ch
-		if r.Kind == wire.KindBusy {
-			shed = true
-			wire.PutMsg(r)
-			break
-		}
-		c.replies = append(c.replies, r)
 	}
 	sh.mu.Lock()
 	delete(sh.calls, call)
@@ -447,6 +614,9 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 		}
 		break
 	}
+	for i := range p.seen {
+		p.seen[i] = false
+	}
 	p.cli, p.routed = nil, 0
 	pl.pend.Put(p)
 	c.calls++
@@ -456,6 +626,12 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 		}
 		pl.busy.Add(1)
 		panic(&BusyError{Election: c.election})
+	}
+	if starved {
+		for _, r := range c.replies {
+			wire.PutMsg(r)
+		}
+		panic(&fault.NoQuorumError{Proc: c.noqProc})
 	}
 	if pl.rpcHist != nil {
 		pl.rpcHist.Observe(time.Since(t0).Microseconds())

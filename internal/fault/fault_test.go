@@ -216,3 +216,176 @@ func TestLookup(t *testing.T) {
 		t.Error("unknown scenario resolved")
 	}
 }
+
+// TestChaosGridPlanDeterminism: for every chaos-grid scenario, equal
+// (n, seed) pairs materialize byte-identical plans — partition windows and
+// sides, crash and rejoin times, drop matrices, everything — which is what
+// lets the chaos runner re-derive the exact plan a run executed under and
+// validate its outcome against it.
+func TestChaosGridPlanDeterminism(t *testing.T) {
+	for _, sc := range ChaosGrid() {
+		a, err := sc.Plan(16, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		b, _ := sc.Plan(16, 99)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: equal seeds drew different plans", sc.Name)
+		}
+	}
+	// And seeds actually matter: the drop matrix of the asymmetric flaky
+	// scenario re-rolls (6 of 240 links colliding across two seeds would
+	// mean the seed is not reaching the PRNG).
+	a, _ := FlakyAsym().Plan(16, 1)
+	c, _ := FlakyAsym().Plan(16, 2)
+	if reflect.DeepEqual(a.Drop, c.Drop) {
+		t.Error("flaky-asym: different seeds drew identical drop matrices")
+	}
+}
+
+// TestChaosGridPlanBounds: every materialized plan of the grid respects the
+// declarative scenario's bounds — minority sizes, side constraints, rejoin
+// ordering, drop-probability domain — across seeds.
+func TestChaosGridPlanBounds(t *testing.T) {
+	const n = 16
+	for _, sc := range ChaosGrid() {
+		for seed := int64(1); seed <= 20; seed++ {
+			pl, err := sc.Plan(n, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", sc.Name, seed, err)
+			}
+			if pl == nil {
+				continue // baseline
+			}
+			if part := pl.Partition; part != nil {
+				m := 0
+				for _, b := range part.Minority {
+					if b {
+						m++
+					}
+				}
+				if m < 1 || m > MaxCrashes(n) {
+					t.Errorf("%s seed %d: minority size %d outside [1, %d]", sc.Name, seed, m, MaxCrashes(n))
+				}
+				if part.End != 0 && part.End <= part.Start {
+					t.Errorf("%s seed %d: partition window [%v, %v) empty", sc.Name, seed, part.Start, part.End)
+				}
+				switch sc.Partition.Clients {
+				case SideMinority:
+					if !part.Minority[0] {
+						t.Errorf("%s seed %d: SideMinority left processor 0 on the majority side", sc.Name, seed)
+					}
+				case SideMajority:
+					for i := 0; i < (n+1)/2; i++ {
+						if part.Minority[i] {
+							t.Errorf("%s seed %d: SideMajority put low id %d on the minority side", sc.Name, seed, i)
+						}
+					}
+				}
+			}
+			if sc.RecoverAfter > 0 {
+				if len(pl.Recoveries) != len(pl.Crashes) {
+					t.Fatalf("%s seed %d: %d recoveries for %d crashes", sc.Name, seed, len(pl.Recoveries), len(pl.Crashes))
+				}
+				crashAt := map[int]time.Duration{}
+				for _, cr := range pl.Crashes {
+					crashAt[cr.Proc] = cr.At
+				}
+				for _, rc := range pl.Recoveries {
+					at, ok := crashAt[rc.Proc]
+					if !ok {
+						t.Fatalf("%s seed %d: recovery of uncrashed %d", sc.Name, seed, rc.Proc)
+					}
+					if rc.At < at+sc.RecoverAfter || rc.At >= at+sc.RecoverAfter+sc.RecoverJitter+1 {
+						t.Errorf("%s seed %d: proc %d rejoins at %v, crash %v + after %v + jitter %v",
+							sc.Name, seed, rc.Proc, rc.At, at, sc.RecoverAfter, sc.RecoverJitter)
+					}
+					if got, ok := pl.RecoveryOf(rc.Proc); !ok || got != rc.At {
+						t.Errorf("%s seed %d: RecoveryOf(%d) = (%v, %v)", sc.Name, seed, rc.Proc, got, ok)
+					}
+				}
+			}
+			if len(pl.Drop) > n*(n-1) {
+				t.Errorf("%s seed %d: %d flaky links exceed n(n-1)", sc.Name, seed, len(pl.Drop))
+			}
+			for key, p := range pl.Drop {
+				src, dst := key/n, key%n
+				if src == dst || src < 0 || src >= n || dst < 0 || dst >= n {
+					t.Errorf("%s seed %d: drop key %d is not a directed link", sc.Name, seed, key)
+				}
+				if p <= 0 || p > 1 {
+					t.Errorf("%s seed %d: drop probability %v outside (0, 1]", sc.Name, seed, p)
+				}
+			}
+			if (pl.Partition != nil || len(pl.Drop) > 0 || len(pl.Recoveries) > 0) && !pl.NeedsRetransmit() {
+				t.Errorf("%s seed %d: lossy plan does not ask for retransmission", sc.Name, seed)
+			}
+			// Electable and StarveAt must agree, for every client.
+			for i := 0; i < n; i++ {
+				at, starved := pl.StarveAt(i)
+				if pl.Electable(i) == starved {
+					t.Errorf("%s seed %d: Electable(%d)=%v but StarveAt starved=%v", sc.Name, seed, i, pl.Electable(i), starved)
+				}
+				if starved && at < 0 {
+					t.Errorf("%s seed %d: negative starvation time %v", sc.Name, seed, at)
+				}
+			}
+		}
+	}
+}
+
+// TestElectabilityContract: Validate rejects scenarios whose permanent
+// faults could starve a client of quorums forever unless the scenario
+// declares NoQuorumOK, and the materialized plan pinpoints exactly which
+// clients are cut off.
+func TestElectabilityContract(t *testing.T) {
+	never := Scenario{Name: "cut", Partition: &PartitionSpec{Start: time.Millisecond, Minority: MinorityMax}}
+	if err := never.Validate(8); err == nil {
+		t.Error("never-healing partition validated without NoQuorumOK")
+	}
+	never.NoQuorumOK = true
+	if err := never.Validate(8); err != nil {
+		t.Errorf("NoQuorumOK partition rejected: %v", err)
+	}
+
+	blackout := Scenario{Name: "blackout", LossProb: 1, LossLinks: AllLinks}
+	if err := blackout.Validate(8); err == nil {
+		t.Error("total loss validated without NoQuorumOK")
+	}
+	blackout.NoQuorumOK = true
+	if err := blackout.Validate(8); err != nil {
+		t.Errorf("NoQuorumOK blackout rejected: %v", err)
+	}
+	pl, err := blackout.Plan(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if pl.Electable(i) {
+			t.Errorf("client %d electable under total permanent loss", i)
+		}
+		if at, starved := pl.StarveAt(i); !starved || at != 0 {
+			t.Errorf("client %d starves at %v (%v), want 0 (true)", i, at, starved)
+		}
+	}
+
+	// A minority-side client of a never-healing partition is starved from
+	// the partition's start; majority-side clients stay electable.
+	cut := Scenario{Name: "cut", NoQuorumOK: true,
+		Partition: &PartitionSpec{Start: 200 * time.Microsecond, Minority: MinorityMax, Clients: SideMinority}}
+	cpl, err := cut.Plan(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpl.Electable(0) {
+		t.Error("processor 0 electable on the minority side of a permanent cut")
+	}
+	if at, starved := cpl.StarveAt(0); !starved || at != cut.Partition.Start {
+		t.Errorf("processor 0 starves at %v (%v), want %v", at, starved, cut.Partition.Start)
+	}
+	for i := 0; i < 8; i++ {
+		if !cpl.Partition.Minority[i] && !cpl.Electable(i) {
+			t.Errorf("majority-side processor %d not electable", i)
+		}
+	}
+}

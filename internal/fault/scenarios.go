@@ -87,12 +87,137 @@ func Chaos() Scenario {
 	}
 }
 
+// PartitionHeal opens a full minority/majority cut early in the run and
+// heals it well before any sane deadline: every client must still elect,
+// and the winner must be unique — the retransmission loops carry quorum
+// calls across the window.
+func PartitionHeal() Scenario {
+	return Scenario{
+		Name: "partition-heal",
+		Partition: &PartitionSpec{
+			Start:    500 * time.Microsecond,
+			Heal:     6 * time.Millisecond,
+			Minority: MinorityMax,
+		},
+	}
+}
+
+// PartitionMinority cuts the maximum minority off forever and pins every
+// client to the minority side: no client can ever reach a majority, so the
+// only valid outcome is the typed no-quorum abort — never a winner, never
+// a hang.
+func PartitionMinority() Scenario {
+	return Scenario{
+		Name: "partition-minority",
+		Partition: &PartitionSpec{
+			Start:    200 * time.Microsecond,
+			Minority: MinorityMax,
+			Clients:  SideMinority,
+		},
+		NoQuorumOK: true,
+	}
+}
+
+// PartitionMajority cuts the maximum minority off forever but keeps every
+// client on the majority side: the cut costs only dead retransmissions,
+// and a unique winner must still emerge. NoQuorumOK is set because the
+// never-healing cut starves the *servers* stranded on the minority side
+// of nothing the clients need — but the scenario as declared cannot prove
+// per-client electability without knowing the draw, so the plan decides
+// per client (and with SideMajority, every client is electable).
+func PartitionMajority() Scenario {
+	return Scenario{
+		Name: "partition-majority",
+		Partition: &PartitionSpec{
+			Start:    200 * time.Microsecond,
+			Minority: MinorityMax,
+			Clients:  SideMajority,
+		},
+		NoQuorumOK: true,
+	}
+}
+
+// CrashRecovery crashes the full fault budget and brings every victim's
+// replica back a few milliseconds later: mid-election the quorum system
+// dips to the bare majority, then returns to full strength — recovered
+// replicas must answer again (catching up through the quorum reads'
+// propagate round), and the winner must be unique.
+func CrashRecovery() Scenario {
+	return Scenario{
+		Name:          "crash-recovery",
+		Crashes:       CrashMax,
+		CrashWindow:   2 * time.Millisecond,
+		RecoverAfter:  5 * time.Millisecond,
+		RecoverJitter: 2 * time.Millisecond,
+	}
+}
+
+// Flaky drops a quarter of all traffic on every link, independently per
+// message and direction: no quorum call completes without retransmission,
+// but every one eventually does — elections must remain valid, just slow.
+func Flaky() Scenario {
+	return Scenario{
+		Name:      "flaky",
+		LossProb:  0.25,
+		LossLinks: AllLinks,
+	}
+}
+
+// FlakyAsym concentrates heavy loss (60%) on a random subset of directed
+// links, leaving their reverse directions (and all other links) clean —
+// the asymmetric regime where a client can send but not hear, or hear but
+// not send. At 6 directed links the subset stays well below total loss on
+// any quorum at the sizes the grids run.
+func FlakyAsym() Scenario {
+	return Scenario{
+		Name:      "flaky-asym",
+		LossProb:  0.6,
+		LossLinks: 6,
+	}
+}
+
+// ChaosRecovery is the widest scenario the engine now expresses: the full
+// crash budget with recovery, a healing partition on top, flaky links
+// under that, plus heavy-tailed latency — every fault family at once,
+// with a valid election still required.
+func ChaosRecovery() Scenario {
+	return Scenario{
+		Name:          "chaos-recovery",
+		Crashes:       CrashMax,
+		CrashWindow:   2 * time.Millisecond,
+		RecoverAfter:  4 * time.Millisecond,
+		RecoverJitter: 2 * time.Millisecond,
+		Partition: &PartitionSpec{
+			Start:    1 * time.Millisecond,
+			Heal:     5 * time.Millisecond,
+			Minority: MinorityMax,
+		},
+		LossProb:  0.15,
+		LossLinks: AllLinks,
+		Link:      Dist{Kind: Pareto, Base: 20 * time.Microsecond, Jitter: 60 * time.Microsecond, Alpha: 1.2},
+	}
+}
+
 // Presets returns every named scenario, baseline first — the default
 // campaign matrix.
 func Presets() []Scenario {
 	return []Scenario{
 		Baseline(), CrashOne(), CrashMinority(), LAN(), WAN(),
 		HeavyTail(), SlowThird(), Reordering(), Chaos(),
+		PartitionHeal(), PartitionMinority(), PartitionMajority(),
+		CrashRecovery(), Flaky(), FlakyAsym(), ChaosRecovery(),
+	}
+}
+
+// ChaosGrid returns the chaos runner's default scenario matrix: baseline
+// as the control plus every scenario exercising the partition, recovery
+// and flaky-link families. cmd/livesim -chaos sweeps it across seeds and
+// backends; CI runs it compressed under -race.
+func ChaosGrid() []Scenario {
+	return []Scenario{
+		Baseline(),
+		PartitionHeal(), PartitionMinority(), PartitionMajority(),
+		CrashRecovery(), Flaky(), FlakyAsym(), ChaosRecovery(),
 	}
 }
 

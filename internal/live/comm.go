@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/rt"
 	"repro/internal/wire"
 )
@@ -17,12 +18,14 @@ type Comm struct {
 	p *Proc
 
 	// Single-goroutine arena, reused across communicate calls: the reply
-	// collection scratch and the views Collect hands back. Collect's return
-	// value is valid until the processor's next communicate call, per the
-	// rt.Comm contract — the entries inside stay valid, they are shared
-	// immutable snapshots.
+	// collection scratch, the views Collect hands back, and the per-call
+	// replier-dedup bitmap the fault path uses. Collect's return value is
+	// valid until the processor's next communicate call, per the rt.Comm
+	// contract — the entries inside stay valid, they are shared immutable
+	// snapshots.
 	out   []reply
 	views []rt.View
+	seen  []bool
 }
 
 // NewComm builds the communicate handle for an algorithm running on p.
@@ -81,9 +84,16 @@ func (c *Comm) Collect(reg string) []rt.View {
 // Under a scenario plan each outgoing message may carry an injected delay
 // (link latency, slow-processor tax, reordering); the delivery then rides a
 // helper goroutine so one slow link never stalls the rest of the broadcast.
-// The quorum wait itself needs no fault handling: with at most ⌈n/2⌉−1
-// crashes, at least ⌊n/2⌋ live peers answer every delivered request, which
-// is exactly the quorum−1 replies awaited here.
+// With only crashes and delays the quorum wait needs no fault handling:
+// at most ⌈n/2⌉−1 crashes leave at least ⌊n/2⌋ live peers answering every
+// delivered request, exactly the quorum−1 replies awaited here. Partitions,
+// flaky links and crash-recovery break that arithmetic — a message (or its
+// reply) can be lost while its server is, or becomes, able to answer — so
+// under those plans the wait retransmits the request on the plan's tick,
+// dedups the duplicate replies by sender, samples reply-direction loss at
+// receipt (the chan analogue of dropping a reply on the wire), and aborts
+// with a typed fault.NoQuorumError once the plan has provably starved this
+// processor of majority quorums and the grace period has passed.
 func (c *Comm) communicate(req request) []reply {
 	p := c.p
 	p.maybeCrash()
@@ -109,36 +119,84 @@ func (c *Comm) communicate(req request) []reply {
 	}
 	reqSize := int64((&wire.Msg{Kind: wk, Call: req.call, From: p.id, Reg: req.reg, Entries: req.entries}).WireSize())
 	pl := p.sys.plan
-	for j := 0; j < n; j++ {
-		if rt.ProcID(j) == p.id {
-			continue
+	broadcast := func() {
+		for j := 0; j < n; j++ {
+			if rt.ProcID(j) == p.id {
+				continue
+			}
+			inbox := p.sys.procs[j].inbox
+			p.sys.messages.Add(1)
+			p.sys.bytes.Add(reqSize)
+			if pl.DropMsg(p.frng, int(p.id), j, p.sys.elapsed()) {
+				continue // lost on the wire: sent, never delivered
+			}
+			// Booked as outstanding before the hand-off (delayed or not), so
+			// quiescence waits never miss a request that is still in flight.
+			p.sys.reqs.Add(1)
+			if d := pl.SendDelay(p.frng, int(p.id), j); d > 0 {
+				// Delayed delivery. The inflight group lets Shutdown wait for
+				// stragglers before closing the mailboxes.
+				p.sys.inflight.Add(1)
+				go func() {
+					defer p.sys.inflight.Done()
+					time.Sleep(d)
+					inbox <- req
+				}()
+				continue
+			}
+			inbox <- req
 		}
-		inbox := p.sys.procs[j].inbox
-		p.sys.messages.Add(1)
-		p.sys.bytes.Add(reqSize)
-		// Booked as outstanding before the hand-off (delayed or not), so
-		// quiescence waits never miss a request that is still in flight.
-		p.sys.reqs.Add(1)
-		if d := pl.SendDelay(p.frng, int(p.id), j); d > 0 {
-			// Delayed delivery. The inflight group lets Shutdown wait for
-			// stragglers before closing the mailboxes.
-			p.sys.inflight.Add(1)
-			go func() {
-				defer p.sys.inflight.Done()
-				time.Sleep(d)
-				inbox <- req
-			}()
-			continue
+	}
+	broadcast()
+	if !pl.NeedsRetransmit() && p.noq == nil {
+		// The bare wait: every reply counts, nothing to resend or abort.
+		if cap(c.out) < need {
+			c.out = make([]reply, need)
 		}
-		inbox <- req
+		out := c.out[:need]
+		for i := range out {
+			out[i] = <-ch
+		}
+		p.maybeCrash()
+		return out
 	}
-	if cap(c.out) < need {
-		c.out = make([]reply, need)
+
+	var tickC <-chan time.Time
+	if pl.NeedsRetransmit() {
+		tick := time.NewTicker(pl.RetransmitTick())
+		defer tick.Stop()
+		tickC = tick.C
 	}
-	out := c.out[:need]
-	for i := range out {
-		out[i] = <-ch
+	if cap(c.seen) < n {
+		c.seen = make([]bool, n)
 	}
+	seen := c.seen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
+	out := c.out[:0]
+	for len(out) < need {
+		select {
+		case r := <-ch:
+			f := int(r.from)
+			if seen[f] {
+				continue // duplicate answer drawn by a retransmission
+			}
+			// Reply-direction loss, sampled at receipt — where the reply
+			// would have vanished on a real wire. An undropped reply from a
+			// dropped server can still arrive later via retransmission.
+			if pl.DropMsg(p.frng, f, int(p.id), p.sys.elapsed()) {
+				continue
+			}
+			seen[f] = true
+			out = append(out, r)
+		case <-tickC:
+			broadcast()
+		case <-p.noq:
+			panic(&fault.NoQuorumError{Proc: int(p.id)})
+		}
+	}
+	c.out = out // keep the grown scratch for the next call
 	p.maybeCrash()
 	return out
 }

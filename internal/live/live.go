@@ -41,7 +41,10 @@ type request struct {
 }
 
 // reply answers a request: an ack for propagateReq, a view for collectReq.
+// from identifies the replying server — what reply-direction fault sampling
+// keys on, and what dedups the duplicate replies retransmission induces.
 type reply struct {
+	from rt.ProcID
 	view rt.View
 }
 
@@ -84,6 +87,13 @@ type System struct {
 	reqs     sync.WaitGroup // mailbox requests handed off but not yet served
 	messages atomic.Int64
 	bytes    atomic.Int64 // wire-codec bytes of all quorum traffic
+
+	// start anchors the run's fault clock (UnixNano): partition windows are
+	// elapsed-time checks, sampled on whatever goroutine is sending, so the
+	// anchor is an atomic — message data flow gives the race detector no
+	// happens-before edge to hang a plain field on. Stamped by StartClock
+	// when the algorithms launch.
+	start atomic.Int64
 }
 
 // NewSystem creates n processors, each with a running server goroutine, and
@@ -130,6 +140,9 @@ func newSystem(n int, seed int64, plan *fault.Plan, serve bool) *System {
 		p.cond = sync.NewCond(&p.mu)
 		sys.procs[i] = p
 	}
+	// A default fault-clock anchor; runners re-stamp it as the algorithms
+	// launch so partition windows align with the crash timers.
+	sys.start.Store(time.Now().UnixNano())
 	if serve {
 		for _, p := range sys.procs {
 			sys.servers.Add(1)
@@ -142,6 +155,13 @@ func newSystem(n int, seed int64, plan *fault.Plan, serve bool) *System {
 // faultStreamSalt decorrelates a processor's delay-sampling PRNG stream
 // from its coin-flip stream (both are derived from the same sharded seed).
 const faultStreamSalt = 0x3C6EF372FE94F82A
+
+// replyStreamSalt seeds a client's reply-direction loss-sampling stream on
+// the TCP transport: it is drawn on the pool's connection read loops —
+// concurrent goroutines, behind a per-client mutex — so it cannot share
+// the goroutine-owned frng, and the salt keeps it decorrelated from both
+// the coin-flip and the send-side fault streams.
+const replyStreamSalt uint64 = 0x94D049BB133111EB
 
 // N returns the system size.
 func (sys *System) N() int { return sys.n }
@@ -158,6 +178,7 @@ func (sys *System) Plan() *fault.Plan { return sys.plan }
 func (sys *System) Crash(id rt.ProcID) {
 	p := sys.procs[id]
 	p.crashed.Store(true)
+	p.down.Store(true)
 	// Broadcast under the mutex so an algorithm goroutine between its
 	// Await check and its cond.Wait cannot miss the wakeup.
 	p.mu.Lock()
@@ -165,8 +186,28 @@ func (sys *System) Crash(id rt.ProcID) {
 	p.mu.Unlock()
 }
 
+// Recover revives processor id's replica half: its server goroutine
+// resumes answering with whatever register state it held at the crash —
+// the crash-recovery model of durable state surviving. The participant
+// half stays dead: a crashed algorithm goroutine has unwound and a
+// recovered processor does not re-enter an election it left, it only
+// serves quorums again.
+func (sys *System) Recover(id rt.ProcID) {
+	sys.procs[id].down.Store(false)
+}
+
 // Crashed reports whether processor id has crashed.
 func (sys *System) Crashed(id rt.ProcID) bool { return sys.procs[id].crashed.Load() }
+
+// StartClock anchors the fault clock: partition windows and starvation
+// deadlines count elapsed time from here. The runner stamps it as the
+// algorithms launch.
+func (sys *System) StartClock(t time.Time) { sys.start.Store(t.UnixNano()) }
+
+// elapsed is the fault-clock reading; safe from any goroutine.
+func (sys *System) elapsed() time.Duration {
+	return time.Duration(time.Now().UnixNano() - sys.start.Load())
+}
 
 // Proc returns the handle of processor id.
 func (sys *System) Proc(id rt.ProcID) *Proc { return sys.procs[id] }
@@ -200,12 +241,24 @@ func (sys *System) Shutdown() {
 // algorithm goroutine; the server goroutine only touches the mutex-guarded
 // store and raw mailbox.
 type Proc struct {
-	id      rt.ProcID
-	sys     *System
-	rng     *rand.Rand
-	frng    *rand.Rand // delay sampling; non-nil iff sys.plan is
+	id  rt.ProcID
+	sys *System
+	rng *rand.Rand
+	// frng samples fault decisions (delays, request-direction loss) on the
+	// algorithm goroutine; non-nil iff sys.plan is.
+	frng *rand.Rand
+	// crashed is the participant half of a crash: the algorithm goroutine
+	// unwinds at its next step. down is the replica half: the server
+	// goroutine drops requests. Crash sets both; Recover clears only down —
+	// a recovered replica answers again, a crashed participant stays gone.
 	crashed atomic.Bool
-	inbox   chan request
+	down    atomic.Bool
+	// noq, when non-nil, is closed once this processor is provably starved
+	// of majority quorums and its grace period has run out; communicate
+	// aborts with a fault.NoQuorumError. Installed by the runner before the
+	// algorithm goroutine starts.
+	noq   <-chan struct{}
+	inbox chan request
 
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast whenever guarded state changes
@@ -404,10 +457,16 @@ func (p *Proc) snapshotSizedLocked(reg string) ([]rt.Entry, int) {
 // never block on a dead peer — but drops every request unanswered. Every
 // drained request is marked served on sys.reqs, crashed or not, so
 // quiescence (Reset, pool checkout) can wait for the mailboxes to empty.
+// Reply sends are non-blocking: the per-call channels are buffered for all
+// n−1 distinct repliers, so on a fault-free run a send never finds them
+// full — but a retransmitted request (fault plans with partitions, flaky
+// links or recovery) can draw a second reply from the same server, and an
+// overflowing duplicate is simply dropped: loss, the model's prerogative,
+// recovered by the next retransmission.
 func (p *Proc) serve() {
 	defer p.sys.servers.Done()
 	for req := range p.inbox {
-		if p.crashed.Load() {
+		if p.down.Load() {
 			p.sys.reqs.Done()
 			continue // crashed: the message is lost, no acknowledgment
 		}
@@ -419,13 +478,19 @@ func (p *Proc) serve() {
 			}
 			p.cond.Broadcast()
 			p.mu.Unlock()
-			req.reply <- reply{}
+			select {
+			case req.reply <- reply{from: p.id}:
+			default:
+			}
 			p.sys.bytes.Add(int64((&wire.Msg{Kind: wire.KindAck, Call: req.call, From: p.id}).WireSize()))
 		case collectReq:
 			p.mu.Lock()
 			entries, size := p.snapshotSizedLocked(req.reg)
 			p.mu.Unlock()
-			req.reply <- reply{view: rt.View{From: p.id, Entries: entries}}
+			select {
+			case req.reply <- reply{from: p.id, view: rt.View{From: p.id, Entries: entries}}:
+			default:
+			}
 			// The reply's wire size from cached parts: the header of its
 			// internal/wire equivalent plus the snapshot's cached entry
 			// bytes — identical arithmetic to wire.Msg.WireSize without

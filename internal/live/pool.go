@@ -47,6 +47,8 @@ func (sys *System) Reset(seed int64, plan *fault.Plan) {
 			p.frng = nil
 		}
 		p.crashed.Store(false)
+		p.down.Store(false)
+		p.noq = nil
 		p.mu.Lock()
 		for _, arr := range p.regs {
 			// Keep the allocated arrays — register names repeat across runs

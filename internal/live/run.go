@@ -3,6 +3,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -120,6 +121,15 @@ type Result struct {
 	// id order. Crashed non-participants (silent servers) are not listed:
 	// they affect only message loss, not decisions.
 	Crashed []rt.ProcID
+	// NoQuorum lists the participants that aborted with a typed
+	// fault.NoQuorumError: the plan provably cut them off from every
+	// majority quorum (a never-healing partition's minority side, total
+	// loss, too many unrecovered crashes) and the grace period ran out.
+	// From the protocol's perspective an aborted participant is a crash —
+	// it vanishes mid-election and the safety argument is unchanged — but
+	// the runner reports the two causes apart, and a run in which an
+	// electable participant lands here is invalid.
+	NoQuorum []rt.ProcID
 	// Rounds is the highest election round any participant reached.
 	Rounds int
 	// Time is the maximum number of communicate calls any processor made —
@@ -179,8 +189,8 @@ func (cfg *Config) normalize() error {
 		if cfg.Cluster.N() != cfg.N {
 			return fmt.Errorf("live: shared cluster has %d servers, run wants n=%d", cfg.Cluster.N(), cfg.N)
 		}
-		if cfg.Scenario.Active() {
-			return fmt.Errorf("live: scenario %q cannot run on a shared cluster (faults would leak into other elections); omit Cluster", cfg.Scenario.Name)
+		if cfg.Scenario.Active() && !cfg.Scenario.LinkOnly() {
+			return fmt.Errorf("live: scenario %q cannot run on a shared cluster (crash faults would fail servers other elections depend on); omit Cluster", cfg.Scenario.Name)
 		}
 	}
 	if cfg.Pool != nil {
@@ -230,6 +240,10 @@ func Elect(cfg Config) (Result, error) {
 	for _, id := range res.Crashed {
 		crashed[id] = true
 	}
+	starved := make(map[rt.ProcID]bool, len(res.NoQuorum))
+	for _, id := range res.NoQuorum {
+		starved[id] = true
+	}
 	res.Winner = -1
 	res.Decisions = make(map[rt.ProcID]core.Decision, cfg.K)
 	for i, d := range decisions {
@@ -237,8 +251,8 @@ func Elect(cfg Config) (Result, error) {
 		if s := states[i]; s.Round > res.Rounds {
 			res.Rounds = s.Round
 		}
-		if crashed[id] {
-			continue // killed mid-protocol; no decision to report
+		if crashed[id] || starved[id] {
+			continue // killed or starved mid-protocol; no decision to report
 		}
 		switch d {
 		case core.Win:
@@ -253,12 +267,13 @@ func Elect(cfg Config) (Result, error) {
 		res.Decisions[id] = d
 	}
 	if res.Winner < 0 {
-		if len(res.Crashed) == 0 {
+		if len(res.Crashed) == 0 && len(res.NoQuorum) == 0 {
 			return res, ErrNoWinner
 		}
 		// Every survivor lost: the linearized winner is among the crashed
-		// (Theorem A.5 allows this — the election is a test-and-set, and
-		// the processor that "took" it died before returning).
+		// or starved (Theorem A.5 allows this — the election is a
+		// test-and-set, and the processor that "took" it vanished before
+		// returning; an abort is a crash from the protocol's perspective).
 	}
 	return res, nil
 }
@@ -295,15 +310,18 @@ func Sift(cfg Config) (Result, error) {
 		return res, err
 	}
 
-	crashed := make(map[rt.ProcID]bool, len(res.Crashed))
+	gone := make(map[rt.ProcID]bool, len(res.Crashed)+len(res.NoQuorum))
 	for _, id := range res.Crashed {
-		crashed[id] = true
+		gone[id] = true
+	}
+	for _, id := range res.NoQuorum {
+		gone[id] = true
 	}
 	res.Winner = -1
 	res.Outcomes = make(map[rt.ProcID]core.Outcome, cfg.K)
 	survivors := 0
 	for i, o := range outcomes {
-		if crashed[rt.ProcID(i)] {
+		if gone[rt.ProcID(i)] {
 			continue
 		}
 		res.Outcomes[rt.ProcID(i)] = o
@@ -312,8 +330,9 @@ func Sift(cfg Config) (Result, error) {
 		}
 	}
 	// Claim 3.1 guarantees a survivor only when every participant returns;
-	// with crashed participants an empty survivor set is legitimate.
-	if survivors == 0 && len(res.Crashed) == 0 {
+	// with crashed or starved participants an empty survivor set is
+	// legitimate.
+	if survivors == 0 && len(res.Crashed) == 0 && len(res.NoQuorum) == 0 {
 		return res, fmt.Errorf("live: safety violation: no sift survivor (Claim 3.1)")
 	}
 	return res, nil
@@ -370,6 +389,22 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 		sys = newSystem(cfg.N, cfg.Seed, plan, cfg.Transport != TransportTCP)
 	}
 
+	// Participants the plan provably starves of quorums get an abort
+	// channel, installed before their goroutines start; its close timer is
+	// armed with the crash timers below, once the fault clock is stamped.
+	var noq []chan struct{}
+	if plan != nil {
+		for i := 0; i < cfg.K; i++ {
+			if _, isStarved := plan.StarveAt(i); isStarved {
+				if noq == nil {
+					noq = make([]chan struct{}, cfg.K)
+				}
+				noq[i] = make(chan struct{})
+				sys.procs[i].noq = noq[i]
+			}
+		}
+	}
+
 	var cluster *electd.Cluster
 	var clients []*electd.Client
 	comms := make([]rt.Comm, cfg.K)
@@ -400,6 +435,37 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 				}
 			}
 			clients[i] = cluster.NewComm(p, election, delay)
+			if plan != nil && (plan.HasLinkFaults() || plan.NeedsRetransmit() || (noq != nil && noq[i] != nil)) {
+				fp := electd.FaultProfile{Proc: i}
+				if plan.HasLinkFaults() {
+					// Request-direction loss samples on the algorithm
+					// goroutine (rpc broadcasts and retransmits there), so
+					// the goroutine-owned frng is safe. Reply-direction loss
+					// samples on the pool's connection read loops, which run
+					// concurrently — it gets its own salted, mutex-guarded
+					// stream so concurrent sampling stays deterministic-ish
+					// per client without perturbing the coin-flip streams.
+					fp.Drop = func(to int) bool {
+						return plan.DropMsg(p.frng, int(p.id), to, sys.elapsed())
+					}
+					rrng := rand.New(rand.NewSource(int64((uint64(cfg.Seed) + uint64(i)*SeedStride) ^ replyStreamSalt)))
+					var rmu sync.Mutex
+					pid := int(p.id)
+					fp.ReplyDrop = func(from int) bool {
+						rmu.Lock()
+						d := plan.DropMsg(rrng, from, pid, sys.elapsed())
+						rmu.Unlock()
+						return d
+					}
+				}
+				if plan.NeedsRetransmit() {
+					fp.Retransmit = plan.RetransmitTick()
+				}
+				if noq != nil && noq[i] != nil {
+					fp.NoQuorum = noq[i]
+				}
+				clients[i].SetFaults(fp)
+			}
 			comms[i] = &countedComm{p: p, inner: clients[i]}
 		}
 	} else {
@@ -409,8 +475,10 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	}
 
 	crashed := make([]bool, cfg.K)
+	starved := make([]bool, cfg.K)
 	var wg sync.WaitGroup
 	start := time.Now()
+	sys.StartClock(start)
 	// Crash timers race run completion: a timer that fires between the last
 	// decision and its Stop call must not mutate the system — with pooling
 	// it may already be hosting someone else's run. The guard mutex plus
@@ -419,7 +487,7 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	var crashMu sync.Mutex
 	finished := false
 	if plan != nil {
-		timers := make([]*time.Timer, 0, len(plan.Crashes))
+		timers := make([]*time.Timer, 0, len(plan.Crashes)+len(plan.Recoveries)+len(noq))
 		for _, cr := range plan.Crashes {
 			id := rt.ProcID(cr.Proc)
 			timers = append(timers, time.AfterFunc(cr.At, func() {
@@ -432,14 +500,49 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 				if cluster != nil {
 					// An owned cluster pairs server i with processor i, so a
 					// crash fails both halves, as on the chan substrate.
-					// (Shared clusters reject scenarios at normalize.)
+					// (Shared clusters admit only link faults at normalize.)
 					cluster.Crash(id)
 				}
 			}))
 		}
+		for _, rc := range plan.Recoveries {
+			id := rt.ProcID(rc.Proc)
+			timers = append(timers, time.AfterFunc(rc.At, func() {
+				crashMu.Lock()
+				defer crashMu.Unlock()
+				if finished {
+					return
+				}
+				// Only the replica half rejoins: the crashed participant's
+				// goroutine has unwound and stays gone; what recovers is the
+				// quorum member. On TCP that is the full Restart sequence —
+				// replica, listener, pool redial; a failed rebind is the
+				// recovery itself failing, which the model treats as the
+				// replica staying down.
+				if cluster != nil {
+					cluster.Restart(id) //nolint:errcheck // best-effort rejoin
+				} else {
+					sys.Recover(id)
+				}
+			}))
+		}
+		for i, ch := range noq {
+			if ch == nil {
+				continue
+			}
+			at, _ := plan.StarveAt(i)
+			chn := ch
+			timers = append(timers, time.AfterFunc(at+fault.NoQuorumGrace, func() {
+				// No finished-guard: closing after the run completed (or
+				// after the pool re-issued the system — Reset clears p.noq
+				// first) wakes nobody.
+				close(chn)
+			}))
+		}
 		// Pending crashes are cancelled once the run completes: a crash
 		// scheduled after the last decision didn't happen, as far as the
-		// run's results are concerned.
+		// run's results are concerned. Same for recoveries and starvation
+		// deadlines.
 		defer func() {
 			for _, t := range timers {
 				t.Stop()
@@ -452,11 +555,14 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					if _, ok := r.(crashSignal); ok {
+					switch r.(type) {
+					case crashSignal:
 						crashed[i] = true
-						return
+					case *fault.NoQuorumError:
+						starved[i] = true
+					default:
+						panic(r)
 					}
-					panic(r)
 				}
 			}()
 			algo(sys.procs[i], comms[i], i)
@@ -500,6 +606,9 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	for i := 0; i < cfg.K; i++ {
 		if crashed[i] {
 			res.Crashed = append(res.Crashed, rt.ProcID(i))
+		}
+		if starved[i] {
+			res.NoQuorum = append(res.NoQuorum, rt.ProcID(i))
 		}
 		if c := sys.procs[i].CommCalls(); c > res.Time {
 			res.Time = c

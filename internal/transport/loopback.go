@@ -100,6 +100,19 @@ func (l *loopListener) Crash() {
 	}
 }
 
+// Recover implements Recoverer: the listener stays registered in the
+// network across a Crash, so recovery is just accepting again. Severed
+// connections stay severed — clients redial.
+func (l *loopListener) Recover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("transport: loopback listener %q is closed, not crashed", l.addr)
+	}
+	l.crashed = false
+	return nil
+}
+
 // Close implements Listener.
 func (l *loopListener) Close() error {
 	l.mu.Lock()

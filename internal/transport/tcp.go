@@ -46,18 +46,19 @@ func (t *TCP) Dial(addr string, h Handler) (Conn, error) {
 // TCPListener is a server-side TCP endpoint: an accept loop spawning one
 // read loop per inbound connection.
 type TCPListener struct {
-	ln         net.Listener
 	handler    Handler
-	noCoalesce bool // fixed at listen time
+	noCoalesce bool   // fixed at listen time
+	addr       string // resolved listen address, fixed at listen time; Recover rebinds it
 	crashed    atomic.Bool
 
 	mu        sync.Mutex
+	ln        net.Listener // swapped by Recover
 	closed    bool
 	conns     map[*tcpConn]struct{}
 	wg        sync.WaitGroup
 	acceptErr error // fatal accept failure; guarded by mu, set before done closes
 
-	done chan struct{} // closed when the accept loop exits
+	done chan struct{} // closed when the current accept loop exits; swapped by Recover
 }
 
 // ListenTCP binds addr (host:port; port 0 for ephemeral) and serves inbound
@@ -71,19 +72,27 @@ func listenTCP(addr string, h Handler, noCoalesce bool) (*TCPListener, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &TCPListener{ln: ln, handler: h, noCoalesce: noCoalesce, conns: make(map[*tcpConn]struct{}), done: make(chan struct{})}
+	l := &TCPListener{ln: ln, handler: h, noCoalesce: noCoalesce, addr: ln.Addr().String(), conns: make(map[*tcpConn]struct{}), done: make(chan struct{})}
 	l.wg.Add(1)
-	go l.accept()
+	go l.accept(ln, l.done)
 	return l, nil
 }
 
-// Addr implements Listener.
-func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+// Addr implements Listener. The address is fixed at listen time (even for
+// ephemeral-port binds it is the resolved port), so it stays dialable
+// across Crash/Recover cycles.
+func (l *TCPListener) Addr() string { return l.addr }
 
 // Done is closed when the accept loop has exited — after Close or Crash,
 // or on a fatal accept error. A daemon selects on it so a listener that
-// dies under it becomes an exit, not a silent unreachable server.
-func (l *TCPListener) Done() <-chan struct{} { return l.done }
+// dies under it becomes an exit, not a silent unreachable server. Recover
+// starts a fresh accept loop with a fresh Done channel; re-read it after
+// any recovery.
+func (l *TCPListener) Done() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.done
+}
 
 // Err reports why the accept loop exited: nil for a deliberate Close or
 // Crash, the accept error otherwise. Meaningful once Done is closed.
@@ -93,11 +102,11 @@ func (l *TCPListener) Err() error {
 	return l.acceptErr
 }
 
-func (l *TCPListener) accept() {
+func (l *TCPListener) accept(ln net.Listener, done chan struct{}) {
 	defer l.wg.Done()
-	defer close(l.done)
+	defer close(done)
 	for {
-		c, err := l.ln.Accept()
+		c, err := ln.Accept()
 		if err != nil {
 			l.mu.Lock()
 			if !l.closed && !l.crashed.Load() {
@@ -140,16 +149,52 @@ func (l *TCPListener) accept() {
 // ones, drop anything already inbound.
 func (l *TCPListener) Crash() {
 	l.crashed.Store(true)
-	l.ln.Close()
 	l.mu.Lock()
+	ln := l.ln
 	conns := make([]*tcpConn, 0, len(l.conns))
 	for c := range l.conns {
 		conns = append(conns, c)
 	}
 	l.mu.Unlock()
+	ln.Close()
 	for _, c := range conns {
 		c.Close()
 	}
+}
+
+// Recover implements Recoverer: rebind the original address and start a
+// fresh accept loop. Connections severed by the Crash stay severed —
+// clients redial (see electd's Pool.Redial). Fails if the port was taken
+// meanwhile or the listener was Closed rather than Crashed.
+func (l *TCPListener) Recover() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return net.ErrClosed
+	}
+	l.mu.Unlock()
+	// The old accept loop is on its way out (Crash closed its listener);
+	// join it so two loops never run at once.
+	l.wg.Wait()
+	ln, err := net.Listen("tcp", l.addr)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	l.mu.Lock()
+	if l.closed { // Close raced the rebind
+		l.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	l.ln = ln
+	l.done = done
+	l.acceptErr = nil
+	l.wg.Add(1)
+	l.mu.Unlock()
+	l.crashed.Store(false)
+	go l.accept(ln, done)
+	return nil
 }
 
 // Close implements Listener: stop accepting, close every connection, wait
@@ -157,12 +202,13 @@ func (l *TCPListener) Crash() {
 func (l *TCPListener) Close() error {
 	l.mu.Lock()
 	l.closed = true
+	ln := l.ln
 	conns := make([]*tcpConn, 0, len(l.conns))
 	for c := range l.conns {
 		conns = append(conns, c)
 	}
 	l.mu.Unlock()
-	err := l.ln.Close()
+	err := ln.Close()
 	for _, c := range conns {
 		c.Close()
 	}

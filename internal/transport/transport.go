@@ -84,6 +84,15 @@ type Listener interface {
 	Close() error
 }
 
+// Recoverer is implemented by listeners that can come back from a Crash:
+// Recover re-arms the endpoint at its original address, so clients that
+// redial reach the server again — the transport half of crash-recovery.
+// Both built-in networks' listeners implement it. Recover after Close is
+// an error: Close is teardown, Crash is a fault.
+type Recoverer interface {
+	Recover() error
+}
+
 // Network is a transport implementation: a dialer/listener factory whose
 // addresses are mutually reachable.
 type Network interface {

@@ -458,3 +458,54 @@ func TestSendDelayed(t *testing.T) {
 		t.Fatal("delayed send never arrived")
 	}
 }
+
+// TestCrashRecoverRestoresListener: every network's Listener implements
+// Recoverer; after Crash → Recover the same address accepts dials and
+// answers again, and Recover after Close is an error — closed is final.
+func TestCrashRecoverRestoresListener(t *testing.T) {
+	for name, mk := range networks() {
+		t.Run(name, func(t *testing.T) {
+			nw := mk()
+			ln, err := nw.Listen(echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			rec, ok := ln.(Recoverer)
+			if !ok {
+				t.Fatalf("%T does not implement transport.Recoverer", ln)
+			}
+
+			ln.Crash()
+			if _, err := nw.Dial(ln.Addr(), nil); err == nil {
+				t.Fatal("dial to a crashed listener succeeded")
+			}
+			if err := rec.Recover(); err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+
+			got := make(chan *wire.Msg, 4)
+			conn, err := nw.Dial(ln.Addr(), func(_ Conn, m *wire.Msg) { got <- m })
+			if err != nil {
+				t.Fatalf("redial after recover: %v", err)
+			}
+			defer conn.Close()
+			if err := conn.Send(&wire.Msg{Kind: wire.KindPropagate, Call: 1, Reg: "r"}); err != nil {
+				t.Fatalf("send after recover: %v", err)
+			}
+			select {
+			case m := <-got:
+				if m.Kind != wire.KindAck {
+					t.Fatalf("bad reply after recover: %+v", m)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("recovered listener never answered")
+			}
+
+			ln.Close()
+			if err := rec.Recover(); err == nil {
+				t.Fatal("Recover after Close succeeded; closed must be final")
+			}
+		})
+	}
+}

@@ -708,6 +708,32 @@ func PeekReply(body []byte) (k Kind, call uint64, ok bool) {
 	return k, call, true
 }
 
+// PeekReplyFrom additionally extracts the replying server's id — what a
+// fault-injecting reply filter needs to sample per-link loss on the reply
+// direction, and what reply dedup under retransmission keys on. Same
+// contract as PeekReply: header parse only, no canonicality check.
+func PeekReplyFrom(body []byte) (k Kind, call uint64, from rt.ProcID, ok bool) {
+	if len(body) == 0 {
+		return 0, 0, 0, false
+	}
+	k = Kind(body[0])
+	rest := body[1:]
+	_, n := binary.Uvarint(rest) // election
+	if n <= 0 {
+		return k, 0, 0, false
+	}
+	rest = rest[n:]
+	call, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return k, call, 0, false
+	}
+	f, n := binary.Uvarint(rest[n:])
+	if n <= 0 {
+		return k, call, 0, false
+	}
+	return k, call, rt.ProcID(f), true
+}
+
 // SortEntries orders entries by owner, the canonical snapshot order shared
 // by both backends' stores and the electd servers.
 func SortEntries(entries []rt.Entry) {

@@ -369,9 +369,11 @@ type CampaignReport struct {
 	MeanTime float64
 	// Elected counts runs with a unique surviving winner; WinnerCrashed
 	// counts runs whose winner crashed before returning (possible only
-	// under a WithScenario crash schedule); Crashed totals participants
-	// killed across all runs.
-	Elected, WinnerCrashed, Crashed int
+	// under a WithScenario crash schedule); NoQuorum counts runs in which
+	// every client was starved of majority quorums by a never-healing
+	// partition (NoQuorumOK scenarios only); Crashed totals participants
+	// killed across all runs and Starved those that aborted quorumless.
+	Elected, WinnerCrashed, NoQuorum, Crashed, Starved int
 }
 
 // Campaign fans WithRuns independent elections across a WithWorkers-sized
@@ -417,7 +419,8 @@ func Campaign(opts ...Option) (CampaignReport, error) {
 		MeanLatency: rep.Latency.Mean, P50: rep.Latency.P50, P90: rep.Latency.P90,
 		P99: rep.Latency.P99, MaxLatency: rep.Latency.Max,
 		MeanTime: rep.MeanTime,
-		Elected:  rep.Elected, WinnerCrashed: rep.WinnerCrashed, Crashed: rep.Crashed,
+		Elected:  rep.Elected, WinnerCrashed: rep.WinnerCrashed,
+		NoQuorum: rep.NoQuorum, Crashed: rep.Crashed, Starved: rep.Starved,
 	}, nil
 }
 
