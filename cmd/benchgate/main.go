@@ -2,20 +2,35 @@
 // checked-in baseline and fails (exit 1) on regressions beyond a threshold
 // in the gated metrics — the CI bench job's regression gate.
 //
-// Both files hold the repository's benchmark-metric schema: a JSON array of
-// {"name": ..., "value": ...} objects (see docs/BENCH.md). Every metric
-// present in both files is printed benchstat-style with its delta; only
-// metrics matching -gate are enforced — by default the latency metrics
-// (`election-sec`) and the allocation counts (`allocs`), so both a slow
-// hot path and a pooling regression fail CI. Direction is inferred from
-// the name: metrics matching -higher (throughput-like, "...-per-sec")
+// Both files hold the repository's benchmark-metric schema (docs/BENCH.md):
+// either the legacy flat JSON array of {"name": ..., "value": ...} objects,
+// or the current object form {"metrics": [...], "phases": [...]} whose
+// phases carry per-phase latency-attribution baselines (internal/trace
+// breakdowns) alongside the scalar metrics. benchgate gates only the
+// scalar metrics; the phases ride along as recorded context for perf PRs.
+//
+// Every metric present in both files is printed benchstat-style with its
+// delta; only metrics matching -gate are enforced — by default the latency
+// metrics (`election-sec`) and the allocation counts (`allocs`), so both a
+// slow hot path and a pooling regression fail CI. Direction is inferred
+// from the name: metrics matching -higher (throughput-like, "...-per-sec")
 // regress when they fall, everything else (latency-like, "...-sec",
 // "allocs") regresses when it rises.
+//
+// -ratio gates paired variants inside the *current* file alone: for each
+// "traced:untraced" prefix pair, every gated metric of the traced variant
+// is divided by its untraced sibling and the ratio must stay within
+// -ratio-threshold of 1. This is how CI bounds the flight recorder's
+// overhead: the disabled-trace path is gated to zero added allocations via
+// the ordinary baseline compare, and the enabled-trace path is gated to a
+// bounded delta via the pair ratio — no second baseline file needed.
 //
 // Usage:
 //
 //	benchgate -baseline BENCH_net.baseline.json -current BENCH_net.json \
 //	          [-gate '(?:election-sec|allocs)$'] [-higher '-per-sec$'] [-threshold 0.30]
+//	benchgate -current BENCH_net.json -ratio 't13/tcp-traced:t13/tcp' \
+//	          [-ratio-gate 'allocs$'] [-ratio-threshold 0.25]
 package main
 
 import (
@@ -25,6 +40,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // metric is one row of a BENCH_*.json file.
@@ -72,19 +88,17 @@ func compare(baseline, current map[string]float64, gate, higher *regexp.Regexp, 
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "", "checked-in baseline BENCH_*.json")
+	baselinePath := flag.String("baseline", "", "checked-in baseline BENCH_*.json (optional when only -ratio gates run)")
 	currentPath := flag.String("current", "", "freshly generated BENCH_*.json")
 	gatePat := flag.String("gate", `(?:election-sec|allocs)$`, "regexp selecting the metrics the gate enforces")
 	higherPat := flag.String("higher", `-per-sec$`, "regexp selecting higher-is-better metrics")
 	threshold := flag.Float64("threshold", 0.30, "fractional regression beyond which a gated metric fails")
+	ratioPairs := flag.String("ratio", "", "comma-separated traced:untraced prefix pairs gated against each other inside the current file")
+	ratioGate := flag.String("ratio-gate", `allocs$`, "regexp selecting the metrics the -ratio pairs gate")
+	ratioThreshold := flag.Float64("ratio-threshold", 0.25, "fractional traced/untraced overhead beyond which a -ratio pair fails")
 	flag.Parse()
-	if *baselinePath == "" || *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
-		os.Exit(2)
-	}
-	baseline, err := load(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
+	if *currentPath == "" || (*baselinePath == "" && *ratioPairs == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: -current plus -baseline and/or -ratio are required")
 		os.Exit(2)
 	}
 	current, err := load(*currentPath)
@@ -92,39 +106,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	rows := compare(baseline, current, regexp.MustCompile(*gatePat), regexp.MustCompile(*higherPat), *threshold)
-	if len(rows) == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no shared metrics between baseline and current")
-		os.Exit(2)
-	}
 	failures := 0
-	fmt.Printf("%-44s %14s %14s %9s\n", "metric", "old", "new", "delta")
-	for _, r := range rows {
-		mark := " "
-		if r.gated {
-			mark = "*"
-			if r.failed {
-				mark = "!"
-				failures++
-			}
+	if *baselinePath != "" {
+		baseline, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%-44s %14.6g %14.6g %+8.1f%% %s\n", r.name, r.old, r.new, 100*r.delta, mark)
+		rows := compare(baseline, current, regexp.MustCompile(*gatePat), regexp.MustCompile(*higherPat), *threshold)
+		if len(rows) == 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: no shared metrics between baseline and current")
+			os.Exit(2)
+		}
+		fmt.Printf("%-44s %14s %14s %9s\n", "metric", "old", "new", "delta")
+		for _, r := range rows {
+			mark := " "
+			if r.gated {
+				mark = "*"
+				if r.failed {
+					mark = "!"
+					failures++
+				}
+			}
+			fmt.Printf("%-44s %14.6g %14.6g %+8.1f%% %s\n", r.name, r.old, r.new, 100*r.delta, mark)
+		}
+		fmt.Printf("\n(* gated; ! regression beyond %.0f%%; positive delta = worse)\n", 100**threshold)
 	}
-	fmt.Printf("\n(* gated; ! regression beyond %.0f%%; positive delta = worse)\n", 100**threshold)
+	if *ratioPairs != "" {
+		rows, err := compareRatios(current, strings.Split(*ratioPairs, ","), regexp.MustCompile(*ratioGate), *ratioThreshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\n%-44s %14s %14s %9s\n", "paired metric (vs sibling)", "traced", "untraced", "ratio")
+		for _, r := range rows {
+			mark := "*"
+			ratio := "-"
+			if !r.degenerate {
+				ratio = fmt.Sprintf("%.2fx", r.ratio)
+				if r.failed {
+					mark = "!"
+					failures++
+				}
+			}
+			fmt.Printf("%-44s %14.6g %14.6g %9s %s\n", r.name, r.num, r.den, ratio, mark)
+		}
+		fmt.Printf("\n(paired gate: traced/untraced ratio beyond %.2fx fails)\n", 1+*ratioThreshold)
+	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d gated metric(s) regressed beyond %.0f%%\n", failures, 100**threshold)
+		fmt.Fprintf(os.Stderr, "benchgate: %d gated metric(s) regressed beyond the threshold\n", failures)
 		os.Exit(1)
 	}
 }
 
-// load reads one BENCH_*.json metric file.
+// load reads one BENCH_*.json metric file. Both schema generations parse:
+// the legacy flat array of metrics, and the object form whose "metrics"
+// key holds the same array next to the "phases" attribution baselines
+// (which benchgate ignores — they are context, not gated numbers).
 func load(path string) (map[string]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var ms []metric
-	if err := json.Unmarshal(raw, &ms); err != nil {
+	ms, err := parseMetrics(raw)
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	out := make(map[string]float64, len(ms))
@@ -132,4 +177,75 @@ func load(path string) (map[string]float64, error) {
 		out[m.Name] = m.Value
 	}
 	return out, nil
+}
+
+// parseMetrics decodes either BENCH_*.json schema generation.
+func parseMetrics(raw []byte) ([]metric, error) {
+	var ms []metric
+	if err := json.Unmarshal(raw, &ms); err == nil {
+		return ms, nil
+	}
+	var obj struct {
+		Metrics []metric `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return nil, err
+	}
+	if obj.Metrics == nil {
+		return nil, fmt.Errorf("neither a metric array nor an object with a \"metrics\" key")
+	}
+	return obj.Metrics, nil
+}
+
+// ratioRow is one paired-variant comparison inside the current file.
+type ratioRow struct {
+	name       string // the traced variant's metric name
+	sibling    string
+	num, den   float64
+	ratio      float64
+	failed     bool
+	degenerate bool // zero denominator: report, never gate
+}
+
+// compareRatios gates paired variants: for every current metric whose name
+// contains the pair's first prefix and matches gate, the metric with the
+// prefix swapped for the second must exist, and their ratio must not
+// exceed 1+threshold. Pairs are "traced:untraced" prefix strings.
+func compareRatios(current map[string]float64, pairs []string, gate *regexp.Regexp, threshold float64) ([]ratioRow, error) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows []ratioRow
+	for _, pair := range pairs {
+		a, b, ok := strings.Cut(pair, ":")
+		if !ok || a == "" || b == "" {
+			return nil, fmt.Errorf("ratio pair %q must be \"traced:untraced\"", pair)
+		}
+		matched := false
+		for _, name := range names {
+			if !strings.Contains(name, a) || !gate.MatchString(name) {
+				continue
+			}
+			sibling := strings.Replace(name, a, b, 1)
+			den, ok := current[sibling]
+			if !ok {
+				return nil, fmt.Errorf("metric %s has no %s sibling %s", name, b, sibling)
+			}
+			matched = true
+			r := ratioRow{name: name, sibling: sibling, num: current[name], den: den}
+			if den == 0 {
+				r.degenerate = true
+			} else {
+				r.ratio = r.num / den
+				r.failed = r.ratio > 1+threshold
+			}
+			rows = append(rows, r)
+		}
+		if !matched {
+			return nil, fmt.Errorf("ratio pair %q matched no gated metric in the current file", pair)
+		}
+	}
+	return rows, nil
 }

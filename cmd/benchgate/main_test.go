@@ -121,3 +121,67 @@ func TestImprovementsAndNewMetricsPass(t *testing.T) {
 		t.Errorf("2.3x improvement reported delta %v, want strongly negative", r.delta)
 	}
 }
+
+// TestParseMetricsBothSchemas: the legacy flat metric array and the object
+// form with a phases section both load; a JSON object without "metrics" is
+// rejected rather than silently read as zero metrics.
+func TestParseMetricsBothSchemas(t *testing.T) {
+	flat := []byte(`[{"name":"a","value":1},{"name":"b","value":2}]`)
+	obj := []byte(`{"metrics":[{"name":"a","value":1}],"phases":[{"meta":{"name":"t13/tcp/n=32"},"breakdown":{"phases":[]}}]}`)
+	ms, err := parseMetrics(flat)
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("flat schema: err=%v, %d metrics", err, len(ms))
+	}
+	ms, err = parseMetrics(obj)
+	if err != nil || len(ms) != 1 || ms[0].Name != "a" {
+		t.Fatalf("object schema: err=%v, metrics=%+v", err, ms)
+	}
+	if _, err := parseMetrics([]byte(`{"something":"else"}`)); err == nil {
+		t.Error("object without a metrics key accepted")
+	}
+}
+
+// TestCompareRatios: the paired traced:untraced gate flags bounded
+// overhead as passing, 2x overhead as failing, and refuses to run when a
+// pair matches nothing or a sibling is missing — a silent no-op gate is
+// worse than no gate.
+func TestCompareRatios(t *testing.T) {
+	current := map[string]float64{
+		"t13/tcp-traced/n=32/allocs":       1100,
+		"t13/tcp/n=32/allocs":              1000,
+		"t13/tcp-traced/n=32/election-sec": 0.036, // outside the allocs ratio gate
+		"t13/tcp/n=32/election-sec":        0.030,
+		"t15/tcp-traced/conc=16/allocs":    2000,
+		"t15/tcp/conc=16/allocs":           1000,
+		"t15/zero-traced/conc=1/allocs":    5,
+		"t15/zero/conc=1/allocs":           0,
+	}
+	allocs := regexp.MustCompile(`allocs$`)
+	rows, err := compareRatios(current, []string{"t13/tcp-traced:t13/tcp"}, allocs, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].failed || rows[0].ratio < 1.09 || rows[0].ratio > 1.11 {
+		t.Fatalf("10%% overhead within a 25%% bound flagged: %+v", rows)
+	}
+	rows, err = compareRatios(current, []string{"t15/tcp-traced:t15/tcp"}, allocs, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].failed {
+		t.Fatalf("2x overhead passed a 25%% bound: %+v", rows)
+	}
+	rows, err = compareRatios(current, []string{"t15/zero-traced:t15/zero"}, allocs, 0.25)
+	if err != nil || len(rows) != 1 || !rows[0].degenerate || rows[0].failed {
+		t.Fatalf("zero-denominator pair should report without gating: err=%v rows=%+v", err, rows)
+	}
+	if _, err := compareRatios(current, []string{"t99/a:t99/b"}, allocs, 0.25); err == nil {
+		t.Error("pair matching no metric accepted")
+	}
+	if _, err := compareRatios(map[string]float64{"x-traced/allocs": 1}, []string{"x-traced:x"}, allocs, 0.25); err == nil {
+		t.Error("missing untraced sibling accepted")
+	}
+	if _, err := compareRatios(current, []string{"nocolon"}, allocs, 0.25); err == nil {
+		t.Error("malformed pair accepted")
+	}
+}

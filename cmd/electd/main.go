@@ -46,8 +46,10 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	rtrace "runtime/trace"
 	"strings"
 	"sync"
 	"syscall"
@@ -57,6 +59,7 @@ import (
 	"repro/internal/electd"
 	"repro/internal/obs"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -72,6 +75,8 @@ func main() {
 		ttl       = flag.Duration("ttl", 10*time.Minute, "serve: evict election state idle longer than this (0: retain forever)")
 		maxLive   = flag.Int("max-live", 4096, "serve: per-shard live election bound; above it new elections get busy replies (0: unbounded)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "serve: graceful drain deadline on SIGTERM/SIGINT")
+		pprofOn   = flag.Bool("pprof", false, "serve: expose net/http/pprof and runtime/trace start/stop under /debug on the -admin server")
+		traceOn   = flag.Bool("trace", false, "serve: record per-phase server spans into a flight recorder; per-phase histograms appear in /metrics")
 		servers   = flag.String("servers", "", "elect: comma-separated server addresses, in replica-id order")
 		n         = flag.Int("n", 3, "demo/soak: number of quorum servers")
 		k         = flag.Int("k", 4, "elect/demo/soak: participants per election")
@@ -85,7 +90,7 @@ func main() {
 	var err error
 	switch {
 	case *serve:
-		err = runServe(*id, *listen, *admin, *ttl, *maxLive, *drainWait)
+		err = runServe(*id, *listen, *admin, *ttl, *maxLive, *drainWait, *pprofOn, *traceOn)
 	case *elect:
 		err = runElect(strings.Split(*servers, ","), *k, *elections, *seed, *algo)
 	case *demo:
@@ -104,17 +109,27 @@ func main() {
 // runServe hosts one register replica until signalled, then drains. The
 // error it returns — drain deadline passed, admin server died, accept loop
 // died — is the process's non-zero exit.
-func runServe(id int, addr, admin string, ttl time.Duration, maxLive int, drainWait time.Duration) error {
+func runServe(id int, addr, admin string, ttl time.Duration, maxLive int, drainWait time.Duration, pprofOn, traceOn bool) error {
 	if id < 0 {
 		return fmt.Errorf("server id %d must be non-negative", id)
 	}
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)
 	transport.RegisterMetrics(reg)
+	// The flight recorder is opt-in: untraced servers keep the hot path
+	// free of even the nil checks' branch history. With -trace, every
+	// shard-wait/merge/snapshot/reply span also lands in the
+	// trace_phase_us histograms /metrics exposes.
+	var rec *trace.Recorder
+	if traceOn {
+		rec = trace.NewRecorder(1 << 18)
+		rec.EnableMetrics(reg)
+	}
 	srv := electd.NewServerOpts(rt.ProcID(id), electd.ServerOptions{
 		TTL:             ttl,
 		MaxLivePerShard: maxLive,
 		Metrics:         reg,
+		Trace:           rec,
 	})
 	defer srv.Close()
 	ln, err := transport.ListenTCP(addr, srv.Handle)
@@ -130,7 +145,7 @@ func runServe(id int, addr, admin string, ttl time.Duration, maxLive int, drainW
 	drainReq := make(chan struct{}, 1)
 	adminErr := make(chan error, 1)
 	if admin != "" {
-		hs := &http.Server{Addr: admin, Handler: adminMux(reg, srv, drainReq)}
+		hs := &http.Server{Addr: admin, Handler: adminMux(reg, srv, drainReq, pprofOn)}
 		go func() { adminErr <- hs.ListenAndServe() }()
 		defer hs.Close()
 		fmt.Printf("electd: server %d admin endpoint on http://%s/metrics\n", id, admin)
@@ -173,9 +188,20 @@ func drainAndReport(srv *electd.Server, id int, drainWait time.Duration) error {
 
 // adminMux assembles the admin endpoint: /metrics (obs snapshot, JSON or
 // Prometheus text), /healthz (503 once draining, for load-balancer
-// removal), /drainz (GET status; POST initiates a graceful drain).
-func adminMux(reg *obs.Registry, srv *electd.Server, drainReq chan<- struct{}) *http.ServeMux {
+// removal), /drainz (GET status; POST initiates a graceful drain). With
+// pprofOn it also mounts net/http/pprof under /debug/pprof/ and the
+// runtime execution tracer under /debug/rtrace/{start,stop} — both
+// diagnostics around the service, never in the quorum path.
+func adminMux(reg *obs.Registry, srv *electd.Server, drainReq chan<- struct{}, pprofOn bool) *http.ServeMux {
 	mux := http.NewServeMux()
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mountRuntimeTrace(mux)
+	}
 	mux.Handle("/metrics", obs.Handler(reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if srv.Draining() {
@@ -204,6 +230,67 @@ func adminMux(reg *obs.Registry, srv *electd.Server, drainReq chan<- struct{}) *
 		}
 	})
 	return mux
+}
+
+// mountRuntimeTrace wires runtime/trace capture onto the admin mux:
+// POST /debug/rtrace/start begins writing an execution trace to a
+// server-side file (?file= overrides the path), POST /debug/rtrace/stop
+// ends it and reports the file to feed `go tool trace`. Unlike
+// /debug/pprof/trace this survives client disconnects, so it can bracket
+// a whole soak or drain. One capture at a time; a second start is a 409.
+func mountRuntimeTrace(mux *http.ServeMux) {
+	var mu sync.Mutex
+	var out *os.File
+	mux.HandleFunc("/debug/rtrace/start", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST", http.StatusMethodNotAllowed)
+			return
+		}
+		path := r.FormValue("file")
+		if path == "" {
+			path = fmt.Sprintf("electd-rtrace-%d.out", os.Getpid())
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if out != nil {
+			http.Error(w, "a runtime trace is already being captured; POST /debug/rtrace/stop first", http.StatusConflict)
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			os.Remove(path)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out = f
+		fmt.Fprintf(w, "runtime trace started: %s\n", path)
+	})
+	mux.HandleFunc("/debug/rtrace/stop", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST", http.StatusMethodNotAllowed)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if out == nil {
+			http.Error(w, "no runtime trace running", http.StatusConflict)
+			return
+		}
+		rtrace.Stop()
+		name := out.Name()
+		if err := out.Close(); err != nil {
+			out = nil
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out = nil
+		fmt.Fprintf(w, "runtime trace stopped: %s (inspect with: go tool trace %s)\n", name, name)
+	})
 }
 
 // runSoak runs the endurance harness (electd.Soak) in one process and

@@ -13,6 +13,17 @@
 //	livesim -n 32 -runs 128 -transport tcp       # quorums over loopback TCP (electd)
 //	livesim -n 64 -runs 1 -v                     # one election, per-run detail
 //
+// Flight recorder (live backend only):
+//
+//	livesim -n 32 -runs 64 -transport tcp -trace-out trace.json
+//	livesim -n 32 -runs 64 -trace-out t.json -trace-chrome t.chrome.json
+//
+// -trace-out records phase-level spans (client pool, transport, electd
+// server) into a lock-free ring, prints the per-phase latency attribution
+// table, and writes the trace file cmd/traceview reads; -trace-chrome also
+// exports Chrome trace_event JSON for about://tracing. Tracing off (the
+// default) leaves every hot path byte-identical to an untraced build.
+//
 // Scenario matrices (live backend only):
 //
 //	livesim -n 64 -runs 128 -scenarios all       # every preset scenario
@@ -50,6 +61,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/fault"
 	"repro/internal/live"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -66,6 +78,10 @@ func main() {
 		verbose = flag.Bool("v", false, "run additional individual live elections first and print their per-run details")
 
 		scenarios = flag.String("scenarios", "", "comma-separated preset scenarios, or \"all\" (live backend)")
+
+		traceOut    = flag.String("trace-out", "", "record phase-level spans and write the trace file (breakdown + raw spans) to this path (live backend)")
+		traceChrome = flag.String("trace-chrome", "", "also export the recorded spans in Chrome trace_event format to this path")
+		traceCap    = flag.Int("trace-cap", 1<<20, "flight-recorder ring capacity in spans (rounded up to a power of two)")
 
 		chaos      = flag.Bool("chaos", false, "run the chaos verification grid (fault.ChaosGrid × seeds × backends) and validate every election")
 		chaosSeeds = flag.Int("chaos-seeds", 6, "seeds per chaos grid cell")
@@ -91,6 +107,7 @@ func main() {
 		n: *n, k: *k, runs: *runs, workers: *workers, seed: *seed,
 		algo: *algo, backend: *backend, transport: *trans, scan: *scan, verbose: *verbose,
 		scenarios: *scenarios, custom: custom,
+		traceOut: *traceOut, traceChrome: *traceChrome, traceCap: *traceCap,
 	}
 	if *chaos {
 		if err := runChaos(cfg, *chaosSeeds, *chaosOut); err != nil {
@@ -113,6 +130,9 @@ type config struct {
 	scan, verbose       bool
 	scenarios           string
 	custom              *fault.Scenario
+
+	traceOut, traceChrome string
+	traceCap              int
 }
 
 // buildCustomScenario assembles a Scenario from the individual injection
@@ -184,6 +204,14 @@ func run(cfg config) error {
 		Algorithm: live.Algorithm(cfg.algo), Backend: campaign.Backend(cfg.backend),
 		Transport: live.Transport(cfg.transport),
 	}
+	var rec *trace.Recorder
+	if cfg.traceOut != "" || cfg.traceChrome != "" {
+		if campaign.Backend(cfg.backend) != campaign.BackendLive {
+			return fmt.Errorf("-trace-out records the live backend's flight recorder; backend %q has no live spans", cfg.backend)
+		}
+		rec = trace.NewRecorder(cfg.traceCap)
+		ccfg.Trace = rec
+	}
 	scenarios, err := resolveScenarios(cfg)
 	if err != nil {
 		return err
@@ -210,6 +238,13 @@ func run(cfg config) error {
 			return err
 		}
 		printMatrix(m)
+		if rec != nil {
+			// The matrix shares one recorder, so the trace file aggregates
+			// every scenario's spans; the first row's latency anchors the
+			// reconciliation line.
+			s := m.Scenarios[0]
+			return writeTrace(cfg, rec, m.Runs, s.Latency.Mean, s.MeanRounds, s.MeanMsgs)
+		}
 		return nil
 	}
 
@@ -222,6 +257,62 @@ func run(cfg config) error {
 	}
 	printHeader()
 	printReport(rep)
+	printShape(rep.Shape)
+	if rec != nil {
+		return writeTrace(cfg, rec, rep.Runs, rep.Latency.Mean, rep.MeanRounds, rep.MeanMsgs)
+	}
+	return nil
+}
+
+// printShape prints the paper-shape reconciliation of a campaign report:
+// measured mean rounds and messages against the O(log* k) and O(kn)
+// predictions of Theorem A.5.
+func printShape(s campaign.Shape) {
+	if s.K == 0 {
+		return
+	}
+	fmt.Printf("shape: rounds %.2f vs log*k+2 = %d (%.2fx), msgs %.1f vs kn = %d (%.2fx)\n",
+		s.RoundsRatio*float64(s.LogStarK+2), s.LogStarK+2, s.RoundsRatio,
+		s.MsgsRatio*float64(s.KN), s.KN, s.MsgsRatio)
+}
+
+// writeTrace snapshots the flight recorder, writes the trace file and the
+// optional Chrome export, and prints the attribution table.
+func writeTrace(cfg config, rec *trace.Recorder, runs int, meanLat time.Duration, meanRounds, meanMsgs float64) error {
+	k := cfg.k
+	if k == 0 {
+		k = cfg.n
+	}
+	f := &trace.File{
+		Meta: trace.Meta{
+			Name:      fmt.Sprintf("%s/%s/n=%d", cfg.algo, cfg.transport, cfg.n),
+			Transport: cfg.transport, N: cfg.n, K: k,
+			Elections: runs, Participants: k,
+			MeanElectionSec: meanLat.Seconds(),
+			MeanRounds:      meanRounds, MeanMsgs: meanMsgs,
+		},
+		Spans: rec.Spans(),
+	}
+	f.Breakdown = trace.ComputeBreakdown(f.Spans, rec.Dropped())
+	fmt.Println()
+	f.WriteTable(os.Stdout)
+	if cfg.traceOut != "" {
+		if err := trace.WriteFile(cfg.traceOut, f); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", cfg.traceOut, len(f.Spans))
+	}
+	if cfg.traceChrome != "" {
+		out, err := os.Create(cfg.traceChrome)
+		if err != nil {
+			return fmt.Errorf("write chrome trace: %w", err)
+		}
+		defer out.Close()
+		if err := f.WriteChrome(out); err != nil {
+			return fmt.Errorf("write chrome trace: %w", err)
+		}
+		fmt.Printf("chrome trace written to %s (load in about://tracing)\n", cfg.traceChrome)
+	}
 	return nil
 }
 

@@ -1,0 +1,90 @@
+// Command traceview reads the trace files cmd/livesim -trace-out (and the
+// benchmark suite) write, prints the per-phase latency attribution table,
+// and diffs two traces — the "where do the 33ms at t13/tcp/n=32 go, and
+// which phase did this PR actually move" tool.
+//
+// Usage:
+//
+//	traceview trace.json                 # attribution table + coverage
+//	traceview -diff before.json after.json
+//	traceview -chrome out.json trace.json  # re-export Chrome trace_event
+//
+// The attribution table lists every phase that recorded spans, grouped by
+// layer (client, transport, server), with count, mean, p50, p99 and the
+// phase's detail payload (queue depth, frames per drain, snapshot hit
+// rate). The footer reconciles the trace against the measured run: the
+// trace-reconstructed election span (the extent of each election's
+// client-layer spans) should cover ~100% of the measured election latency;
+// large gaps mean the ring evicted spans or a layer went untraced.
+//
+// -diff prints per-phase before → after mean durations with ratios, so a
+// perf PR's claim ("batching halved write-drain") is checked against the
+// phase it names rather than end-to-end latency alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		diff   = flag.Bool("diff", false, "diff two trace files: before.json after.json")
+		chrome = flag.String("chrome", "", "re-export the trace's raw spans as Chrome trace_event JSON to this path")
+	)
+	flag.Parse()
+	if err := run(*diff, *chrome, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(diff bool, chrome string, args []string) error {
+	if diff {
+		if len(args) != 2 {
+			return fmt.Errorf("-diff needs exactly two trace files (before, after)")
+		}
+		a, err := trace.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := trace.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		trace.WriteDiff(os.Stdout, a, b)
+		return nil
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: traceview [-diff] [-chrome out.json] <trace.json> [trace2.json]")
+	}
+	f, err := trace.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	f.WriteTable(os.Stdout)
+	if cov := f.Coverage(); cov > 0 {
+		fmt.Printf("coverage: %.3f (trace-reconstructed span / measured latency)\n", cov)
+	}
+	if f.Breakdown != nil && f.Breakdown.Spans > 0 {
+		fmt.Printf("top phases by total time: %s\n", f.Breakdown.Summary())
+	}
+	if chrome != "" {
+		if len(f.Spans) == 0 {
+			return fmt.Errorf("%s carries no raw spans (breakdown only); re-capture with livesim -trace-out", args[0])
+		}
+		out, err := os.Create(chrome)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := f.WriteChrome(out); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s (load in about://tracing)\n", chrome)
+	}
+	return nil
+}

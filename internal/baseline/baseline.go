@@ -86,7 +86,7 @@ const matchRounds = 1 << 20
 // the R < r−1 rule after two rounds, exactly like a solo election.
 func playMatch(c rt.Comm, inst string, s *core.State) core.Decision {
 	for r := 1; r <= matchRounds; r++ {
-		s.Round = r
+		s.SetRound(r)
 		d := core.PreRound(c, inst, r, s)
 		if d != core.Proceed {
 			return d

@@ -12,6 +12,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/fault"
 	"repro/internal/live"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -82,6 +83,12 @@ type Config struct {
 	// clusters alike — the unbatched baseline the benchmarks compare
 	// against.
 	NoBatch bool
+	// Trace, when non-nil, records phase-level spans for every run into the
+	// given flight recorder: client pool, transport and server spans on the
+	// TCP substrate (shared cluster and per-run clusters alike), send and
+	// quorum-wait spans on the channel substrate. Nil keeps every hot path
+	// byte-identical to an untraced campaign.
+	Trace *trace.Recorder
 
 	// cluster is the campaign-owned shared server set of a TCP campaign.
 	cluster *electd.Cluster
@@ -93,6 +100,36 @@ type Config struct {
 // Latency summarises a campaign's per-election wall-clock latencies.
 type Latency struct {
 	Mean, P50, P90, P99, Max time.Duration
+}
+
+// Shape relates a campaign's measured round and message means to the
+// paper's asymptotic predictions (Theorem A.5): with k participants an
+// election takes O(log* k) rounds per processor and O(kn) total messages.
+// The ratios are diagnostics, not pass/fail gates — the constants hidden
+// by the O notation are modest but real — yet a ratio that grows with k
+// or n signals a regression toward tournament (Θ(log k)) behaviour.
+type Shape struct {
+	// K and N echo the campaign's participant count and system size.
+	K, N int
+	// LogStarK is log* k, the paper's round-shape; RoundsRatio divides
+	// the measured mean max-round by log* k + 2 (the +2 absorbs the
+	// final solo rounds a winner needs to notice it is alone).
+	LogStarK    int
+	RoundsRatio float64
+	// KN is k·n, the paper's message-shape; MsgsRatio divides the
+	// measured mean message count by it.
+	KN        int
+	MsgsRatio float64
+}
+
+// shapeOf computes the paper-shape diagnostics from measured means.
+func shapeOf(k, n int, meanRounds, meanMsgs float64) Shape {
+	s := Shape{K: k, N: n, LogStarK: expt.LogStar(float64(k)), KN: k * n}
+	s.RoundsRatio = meanRounds / float64(s.LogStarK+2)
+	if s.KN > 0 {
+		s.MsgsRatio = meanMsgs / float64(s.KN)
+	}
+	return s
 }
 
 // Report aggregates one campaign.
@@ -110,6 +147,15 @@ type Report struct {
 	MeanTime float64
 	// MaxRounds is the highest election round reached in any run.
 	MaxRounds int
+	// MeanRounds is the mean of the per-run maximum election round, and
+	// MeanMsgs the mean point-to-point message count per run. Together with
+	// Shape they let a report check the paper's complexity claims: Theorem
+	// A.5 bounds rounds by O(log* k) and total messages by O(kn).
+	MeanRounds float64
+	MeanMsgs   float64
+	// Shape compares the measured means against the paper's predicted
+	// asymptotic shape for this campaign's k and n.
+	Shape Shape
 	// Elected counts runs that ended with a unique surviving winner,
 	// WinnerCrashed those in which every survivor lost because the
 	// linearized winner crashed first, and NoQuorum those in which no
@@ -136,6 +182,10 @@ type ScenarioReport struct {
 	MeanTime float64
 	// MaxRounds is the highest election round reached under the scenario.
 	MaxRounds int
+	// MeanRounds and MeanMsgs mirror Report's paper-shape counters for the
+	// scenario's runs.
+	MeanRounds float64
+	MeanMsgs   float64
 	// Elected, WinnerCrashed, NoQuorum, Crashed and Starved are the
 	// election-validity counts; see Report.
 	Elected, WinnerCrashed, NoQuorum, Crashed, Starved int
@@ -233,9 +283,10 @@ type runStats struct {
 	lat     time.Duration
 	time    int
 	rounds  int
-	elected bool // a unique surviving winner decided Win
-	crashed int  // participants the scenario killed
-	starved int  // participants that aborted with fault.NoQuorumError
+	msgs    int64 // point-to-point messages the run exchanged
+	elected bool  // a unique surviving winner decided Win
+	crashed int   // participants the scenario killed
+	starved int   // participants that aborted with fault.NoQuorumError
 }
 
 // runOne executes election run idx under scenario sc.
@@ -245,7 +296,7 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 	case BackendLive:
 		lcfg := live.Config{
 			N: cfg.N, K: cfg.K, Seed: seed, Algorithm: cfg.Algorithm, Scenario: sc,
-			Transport: cfg.Transport, Pool: cfg.spool,
+			Transport: cfg.Transport, Pool: cfg.spool, Trace: cfg.Trace,
 		}
 		if cfg.cluster == nil {
 			// Owned clusters (per-run, under fault scenarios) inherit the
@@ -267,6 +318,7 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 		}
 		return runStats{
 			lat: res.Elapsed, time: res.Time, rounds: res.Rounds,
+			msgs:    res.Messages,
 			elected: res.Winner >= 0, crashed: len(res.Crashed),
 			starved: len(res.NoQuorum),
 		}, nil
@@ -285,7 +337,8 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 		}
 		return runStats{
 			lat: elapsed, time: r.Stats.MaxCommunicateCalls(),
-			rounds: r.MaxRound, elected: true,
+			rounds: r.MaxRound, msgs: int64(r.Stats.MessagesSent),
+			elected: true,
 		}, nil
 	}
 }
@@ -300,10 +353,16 @@ func Run(cfg Config) (Report, error) {
 		return Report{}, err
 	}
 	s := m.Scenarios[0]
+	k, n := cfg.K, cfg.N
+	if k == 0 {
+		k = n
+	}
 	return Report{
 		Runs: m.Runs, Workers: m.Workers,
 		Elapsed: m.Elapsed, Throughput: m.Throughput,
 		Latency: s.Latency, MeanTime: s.MeanTime, MaxRounds: s.MaxRounds,
+		MeanRounds: s.MeanRounds, MeanMsgs: s.MeanMsgs,
+		Shape:   shapeOf(k, n, s.MeanRounds, s.MeanMsgs),
 		Elected: s.Elected, WinnerCrashed: s.WinnerCrashed,
 		NoQuorum: s.NoQuorum, Crashed: s.Crashed, Starved: s.Starved,
 	}, nil
@@ -357,8 +416,11 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 		if shared {
 			nw := transport.NewTCP()
 			nw.NoCoalesce = cfg.NoBatch
-			cluster, err := electd.NewClusterOpts(nw, cfg.N,
-				electd.PoolOptions{NoCoalesce: cfg.NoBatch})
+			nw.Trace = cfg.Trace
+			cluster, err := electd.NewClusterWith(nw, cfg.N, electd.ClusterOptions{
+				Pool:   electd.PoolOptions{NoCoalesce: cfg.NoBatch, Trace: cfg.Trace},
+				Server: electd.ServerOptions{Trace: cfg.Trace},
+			})
 			if err != nil {
 				return MatrixReport{}, fmt.Errorf("campaign: start electd cluster: %w", err)
 			}
@@ -376,6 +438,8 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 		lats           []time.Duration
 		times          int64
 		rounds         int
+		roundSum       int64 // sum of per-run max rounds, for the shape mean
+		msgs           int64 // sum of per-run message counts
 		elected, crash int
 		noquorum       int // runs in which every participant starved
 		starved        int // participants that aborted quorumless
@@ -407,6 +471,8 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 				a := &accs[w][s]
 				a.lats = append(a.lats, st.lat)
 				a.times += int64(st.time)
+				a.roundSum += int64(st.rounds)
+				a.msgs += st.msgs
 				if st.rounds > a.rounds {
 					a.rounds = st.rounds
 				}
@@ -442,11 +508,13 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 	for s, sc := range scenarios {
 		row := ScenarioReport{Scenario: sc, Runs: cfg.Runs}
 		var lats []time.Duration
-		var times int64
+		var times, roundSum, msgs int64
 		for w := range accs {
 			a := &accs[w][s]
 			lats = append(lats, a.lats...)
 			times += a.times
+			roundSum += a.roundSum
+			msgs += a.msgs
 			if a.rounds > row.MaxRounds {
 				row.MaxRounds = a.rounds
 			}
@@ -459,6 +527,8 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 		if len(lats) == cfg.Runs {
 			row.WinnerCrashed = cfg.Runs - row.Elected - row.NoQuorum
 			row.MeanTime = float64(times) / float64(cfg.Runs)
+			row.MeanRounds = float64(roundSum) / float64(cfg.Runs)
+			row.MeanMsgs = float64(msgs) / float64(cfg.Runs)
 			row.Latency = summarize(lats)
 		}
 		rep.Scenarios = append(rep.Scenarios, row)

@@ -185,6 +185,22 @@ type State struct {
 	Decision Decision
 	// LastOutcome is the outcome of the most recent sift.
 	LastOutcome Outcome
+
+	// RoundHook, when set, is called at every Round transition with the
+	// new round number, on the participant's algorithm goroutine. It is
+	// observability plumbing (the live backends use it to stamp election
+	// spans with their round) and must not touch protocol state.
+	RoundHook func(round int)
+}
+
+// SetRound records a round transition, notifying RoundHook if installed.
+// Algorithms use it instead of assigning Round directly so observers see
+// every transition.
+func (s *State) SetRound(r int) {
+	s.Round = r
+	if s.RoundHook != nil {
+		s.RoundHook(r)
+	}
 }
 
 // NewState publishes a fresh State on p and returns it.

@@ -100,13 +100,13 @@ func LeaderElectWithState(c rt.Comm, inst string, s *State) Decision {
 	// published State across several elections.
 	s.Decided = false
 	s.Decision = 0
-	s.Round = 0
+	s.SetRound(0)
 	if Doorway(c, inst, s) == Lose { // lines 63-64
 		s.decide(Lose)
 		return Lose
 	}
 	for r := 1; ; r++ { // lines 65, 71-72
-		s.Round = r
+		s.SetRound(r)
 		d := PreRound(c, inst, r, s) // line 66
 		if d == Win || d == Lose {   // lines 67-68
 			s.decide(d)

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -227,9 +228,18 @@ func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
 	}
 	switch m.Kind {
 	case wire.KindPropagate:
+		rec := s.opts.Trace
 		now := time.Now().UnixNano()
 		sh := &s.shards[electionShard(m.Election)]
+		var lockT0, mergeT0 int64
+		if rec != nil {
+			lockT0 = trace.Now()
+		}
 		sh.mu.Lock()
+		if rec != nil {
+			mergeT0 = trace.Now()
+			rec.Record(m.Election, 0, trace.PShardWait, lockT0, mergeT0-lockT0, 0)
+		}
 		st := sh.elections[m.Election]
 		if st == nil {
 			if s.draining.Load() || (s.opts.MaxLivePerShard > 0 && len(sh.elections) >= s.opts.MaxLivePerShard) {
@@ -248,18 +258,38 @@ func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
 			st.merge(e)
 		}
 		sh.mu.Unlock()
+		if rec != nil {
+			rec.Record(m.Election, 0, trace.PMerge, mergeT0, trace.Now()-mergeT0, int64(len(m.Entries)))
+		}
 		sh.served.Add(1)
 		s.reply(c, wire.KindAck, m, nil)
 	case wire.KindCollect:
+		rec := s.opts.Trace
 		now := time.Now().UnixNano()
 		sh := &s.shards[electionShard(m.Election)]
+		var lockT0, snapT0 int64
+		if rec != nil {
+			lockT0 = trace.Now()
+		}
 		sh.mu.Lock()
+		if rec != nil {
+			snapT0 = trace.Now()
+			rec.Record(m.Election, 0, trace.PShardWait, lockT0, snapT0-lockT0, 0)
+		}
 		tail := emptyTail
+		hit := int64(1) // an absent instance or array rebuilds nothing
 		if st := sh.elections[m.Election]; st != nil {
 			st.last = now // reads keep an instance live, like writes
-			tail = st.snapshotTail(m.Reg)
+			var cached bool
+			tail, cached = st.snapshotTail(m.Reg)
+			if !cached {
+				hit = 0
+			}
 		}
 		sh.mu.Unlock()
+		if rec != nil {
+			rec.Record(m.Election, 0, trace.PSnapshot, snapT0, trace.Now()-snapT0, hit)
+		}
 		sh.served.Add(1)
 		s.reply(c, wire.KindView, m, tail)
 	default:
@@ -270,6 +300,11 @@ func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
 // reply sends one assembled reply frame for request m. Send errors are
 // message loss, as on any dead link.
 func (s *Server) reply(c transport.Conn, kind wire.Kind, m *wire.Msg, tail []byte) {
+	rec := s.opts.Trace
+	var t0 int64
+	if rec != nil {
+		t0 = trace.Now()
+	}
 	reg := ""
 	if kind == wire.KindView {
 		reg = m.Reg
@@ -279,7 +314,11 @@ func (s *Server) reply(c transport.Conn, kind wire.Kind, m *wire.Msg, tail []byt
 		wire.PutBuf(frame)
 		return // oversized reply: loss
 	}
+	n := len(frame)
 	c.SendEncoded(frame) //nolint:errcheck
+	if rec != nil {
+		rec.Record(m.Election, 0, trace.PReply, t0, trace.Now()-t0, int64(n))
+	}
 }
 
 // merge applies an entry under writer versioning (higher sequence numbers
@@ -299,30 +338,33 @@ func (st *store) merge(e rt.Entry) {
 // snapshotTail returns the encoded view tail (entry count + entries, in
 // owner order — the canonical order both backends' stores use) of one
 // register array, rebuilding the caches only when a merge has won since
-// they were built. Callers hold the store's shard mutex; the returned
-// bytes are immutable by convention.
-func (st *store) snapshotTail(reg string) []byte {
+// they were built. hit reports whether the cached encoding was served
+// as-is (tracing detail; an empty array counts as a hit — nothing was
+// rebuilt). Callers hold the store's shard mutex; the returned bytes are
+// immutable by convention.
+func (st *store) snapshotTail(reg string) (tail []byte, hit bool) {
 	arr := st.regs[reg]
 	if arr == nil || len(arr.cells) == 0 {
-		return emptyTail
+		return emptyTail, true
 	}
-	if arr.enc == nil {
-		if arr.snap == nil {
-			out := make([]rt.Entry, 0, len(arr.cells))
-			for owner, c := range arr.cells {
-				out = append(out, rt.Entry{Reg: reg, Owner: owner, Seq: c.seq, Val: c.val})
-			}
-			sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
-			arr.snap = out
-		}
-		enc, err := wire.AppendEntries(nil, reg, arr.snap)
-		if err != nil {
-			// Values outside the codec's domain cannot be stored here (they
-			// arrived through the codec); treat the impossible as an empty
-			// view rather than corrupting the stream.
-			return emptyTail
-		}
-		arr.enc = enc
+	if arr.enc != nil {
+		return arr.enc, true
 	}
-	return arr.enc
+	if arr.snap == nil {
+		out := make([]rt.Entry, 0, len(arr.cells))
+		for owner, c := range arr.cells {
+			out = append(out, rt.Entry{Reg: reg, Owner: owner, Seq: c.seq, Val: c.val})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+		arr.snap = out
+	}
+	enc, err := wire.AppendEntries(nil, reg, arr.snap)
+	if err != nil {
+		// Values outside the codec's domain cannot be stored here (they
+		// arrived through the codec); treat the impossible as an empty
+		// view rather than corrupting the stream.
+		return emptyTail, false
+	}
+	arr.enc = enc
+	return arr.enc, false
 }

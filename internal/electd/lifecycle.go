@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rt"
+	"repro/internal/trace"
 )
 
 // ServerOptions tunes a Server's state lifecycle. The zero value disables
@@ -47,6 +48,11 @@ type ServerOptions struct {
 	// (func-backed from the atomics the server maintains anyway), so
 	// enabling metrics adds nothing to the request path.
 	Metrics *obs.Registry
+
+	// Trace, when non-nil, records server-phase spans (shard-lock wait,
+	// register merge, snapshot hit/miss, reply assembly) into the
+	// election flight recorder. Nil leaves Handle untraced and unchanged.
+	Trace *trace.Recorder
 }
 
 // NewServerOpts creates replica id with an explicit lifecycle. A sweeper

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -92,6 +93,12 @@ type Pool struct {
 	busy      atomic.Int64 // quorum calls aborted by a busy reply
 	rpcHist   *obs.Histogram
 	batchHist *obs.Histogram
+
+	// trace, when non-nil, is the election flight recorder: rpc records
+	// encode/send/quorum-wait spans and straggler/retransmit events into
+	// it. Nil on an untraced pool — every recording site is guarded, so
+	// the untraced hot path is unchanged.
+	trace *trace.Recorder
 }
 
 // PoolOptions tunes a Pool at dial time.
@@ -106,6 +113,11 @@ type PoolOptions struct {
 	// (pending-call depth, coalescing totals, quorum round-trip latency,
 	// batch-size distribution, busy sheds) on the registry.
 	Metrics *obs.Registry
+
+	// Trace, when non-nil, records per-call client-phase spans (encode,
+	// send, quorum-wait) and straggler/retransmit events into the
+	// flight recorder. Nil leaves the hot path untraced and unchanged.
+	Trace *trace.Recorder
 }
 
 // serverLink is one server's connection bundle: the transport connection
@@ -150,6 +162,7 @@ func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool
 		nw:         nw,
 		addrs:      append([]string(nil), addrs...),
 		noCoalesce: opts.NoCoalesce,
+		trace:      opts.Trace,
 	}
 	for i := range pl.shards {
 		pl.shards[i].calls = make(map[uint64]*pending)
@@ -282,9 +295,16 @@ func (pl *Pool) keepReply(body []byte) bool {
 	if keep {
 		drop = p.cli.replyDrop
 	}
+	var el uint64
+	if pl.trace != nil && p != nil {
+		el = p.cli.election // read under the shard lock; gone calls trace as election 0
+	}
 	sh.mu.Unlock()
 	if keep && drop != nil && drop(int(from)) {
 		return false
+	}
+	if !keep && pl.trace != nil {
+		pl.trace.Event(el, 0, trace.PStraggler, int64(from))
 	}
 	return keep
 }
@@ -370,6 +390,7 @@ type Client struct {
 	delay    func(int) time.Duration
 	seqs     map[string]uint64 // per-register write versions of the own cell
 	calls    int
+	round    int32 // current protocol round, for span attribution (SetRound)
 
 	// Single-goroutine scratch, reused across communicate calls: the
 	// request message (safe because every send path has finished with it
@@ -421,6 +442,12 @@ func (c *Client) SetFaults(fp FaultProfile) {
 	c.retransmit = fp.Retransmit
 	c.noq, c.noqProc = fp.NoQuorum, fp.Proc
 }
+
+// SetRound records the protocol round in progress, so subsequent spans
+// carry it. Tracing metadata only — never read by the quorum protocol.
+// Must be called from the participant's algorithm goroutine (the round
+// hook in core fires there).
+func (c *Client) SetRound(r int) { c.round = int32(r) }
 
 // Proc implements rt.Comm.
 func (c *Client) Proc() rt.Procer { return c.p }
@@ -495,6 +522,7 @@ func (c *Client) Collect(reg string) []rt.View {
 // property already holds, and the filter or router drops it like any other.
 func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	pl := c.pool
+	rec := pl.trace
 	var t0 time.Time
 	if pl.rpcHist != nil {
 		t0 = time.Now()
@@ -532,6 +560,10 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 			}
 			if link.cos != nil {
 				if frame == nil {
+					var encT0 int64
+					if rec != nil {
+						encT0 = trace.Now()
+					}
 					var err error
 					if frame, err = wire.Append(wire.GetBuf(), m); err != nil {
 						// Unencodable payloads cannot reach any server: loss on
@@ -539,6 +571,9 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 						wire.PutBuf(frame)
 						frame = nil
 						break
+					}
+					if rec != nil {
+						rec.Record(c.election, c.round, trace.PEncode, encT0, trace.Now()-encT0, int64(len(frame)))
 					}
 				}
 				link.cos[c.cshard].enqueue(frame)
@@ -549,7 +584,15 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 		c.msgs.Add(sent)
 		c.bytes.Add(sent * size)
 	}
+	var sendT0, waitT0 int64
+	if rec != nil {
+		sendT0 = trace.Now()
+	}
 	broadcast()
+	if rec != nil {
+		waitT0 = trace.Now()
+		rec.Record(c.election, c.round, trace.PSend, sendT0, waitT0-sendT0, int64(pl.n))
+	}
 
 	need := c.QuorumSize()
 	c.replies = c.replies[:0]
@@ -566,6 +609,7 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 			c.replies = append(c.replies, r)
 		}
 	} else {
+		var resends int64
 		var tickC <-chan time.Time
 		if c.retransmit > 0 {
 			tick := time.NewTicker(c.retransmit)
@@ -587,6 +631,10 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 				// already answered are deduped by the router. This is what
 				// carries the call across partitions, flaky links, and
 				// crash-recovery windows.
+				if rec != nil {
+					resends++
+					rec.Event(c.election, c.round, trace.PRetransmit, resends)
+				}
 				broadcast()
 			case <-c.noq:
 				// The plan proved this client can never reach a quorum
@@ -596,6 +644,9 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 				break wait
 			}
 		}
+	}
+	if rec != nil {
+		rec.Record(c.election, c.round, trace.PQuorumWait, waitT0, trace.Now()-waitT0, int64(len(c.replies)))
 	}
 	if frame != nil {
 		wire.PutBuf(frame)

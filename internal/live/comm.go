@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -15,7 +16,8 @@ import (
 // answered, exactly mirroring the [ABND95] primitive the paper builds on.
 // Methods must be called from the processor's algorithm goroutine.
 type Comm struct {
-	p *Proc
+	p     *Proc
+	round int32 // current protocol round, for span attribution (SetRound)
 
 	// Single-goroutine arena, reused across communicate calls: the reply
 	// collection scratch, the views Collect hands back, and the per-call
@@ -33,6 +35,11 @@ func NewComm(p *Proc) *Comm { return &Comm{p: p} }
 
 // Proc implements rt.Comm.
 func (c *Comm) Proc() rt.Procer { return c.p }
+
+// SetRound records the protocol round in progress, so subsequent spans
+// carry it. Tracing metadata only — never read by the quorum protocol.
+// Must be called from the processor's algorithm goroutine.
+func (c *Comm) SetRound(r int) { c.round = int32(r) }
 
 // QuorumSize implements rt.Comm: ⌊n/2⌋+1.
 func (c *Comm) QuorumSize() int { return c.p.sys.n/2 + 1 }
@@ -119,6 +126,7 @@ func (c *Comm) communicate(req request) []reply {
 	}
 	reqSize := int64((&wire.Msg{Kind: wk, Call: req.call, From: p.id, Reg: req.reg, Entries: req.entries}).WireSize())
 	pl := p.sys.plan
+	rec := p.sys.rec
 	broadcast := func() {
 		for j := 0; j < n; j++ {
 			if rt.ProcID(j) == p.id {
@@ -147,7 +155,15 @@ func (c *Comm) communicate(req request) []reply {
 			inbox <- req
 		}
 	}
+	var sendT0, waitT0 int64
+	if rec != nil {
+		sendT0 = trace.Now()
+	}
 	broadcast()
+	if rec != nil {
+		waitT0 = trace.Now()
+		rec.Record(p.sys.traceID, c.round, trace.PSend, sendT0, waitT0-sendT0, int64(n-1))
+	}
 	if !pl.NeedsRetransmit() && p.noq == nil {
 		// The bare wait: every reply counts, nothing to resend or abort.
 		if cap(c.out) < need {
@@ -156,6 +172,9 @@ func (c *Comm) communicate(req request) []reply {
 		out := c.out[:need]
 		for i := range out {
 			out[i] = <-ch
+		}
+		if rec != nil {
+			rec.Record(p.sys.traceID, c.round, trace.PQuorumWait, waitT0, trace.Now()-waitT0, int64(need))
 		}
 		p.maybeCrash()
 		return out
@@ -191,10 +210,16 @@ func (c *Comm) communicate(req request) []reply {
 			seen[f] = true
 			out = append(out, r)
 		case <-tickC:
+			if rec != nil {
+				rec.Event(p.sys.traceID, c.round, trace.PRetransmit, int64(n-1))
+			}
 			broadcast()
 		case <-p.noq:
 			panic(&fault.NoQuorumError{Proc: int(p.id)})
 		}
+	}
+	if rec != nil {
+		rec.Record(p.sys.traceID, c.round, trace.PQuorumWait, waitT0, trace.Now()-waitT0, int64(need))
 	}
 	c.out = out // keep the grown scratch for the next call
 	p.maybeCrash()

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -87,6 +88,13 @@ type System struct {
 	reqs     sync.WaitGroup // mailbox requests handed off but not yet served
 	messages atomic.Int64
 	bytes    atomic.Int64 // wire-codec bytes of all quorum traffic
+
+	// rec is the election flight recorder of the current run (nil =
+	// untraced) and traceID the election ID its spans carry; both are
+	// installed by the runner before the algorithm goroutines start and
+	// read only from those goroutines, so pooled reuse is race-free.
+	rec     *trace.Recorder
+	traceID uint64
 
 	// start anchors the run's fault clock (UnixNano): partition windows are
 	// elapsed-time checks, sampled on whatever goroutine is sending, so the

@@ -12,6 +12,7 @@ import (
 	"repro/internal/electd"
 	"repro/internal/fault"
 	"repro/internal/rt"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -86,6 +87,16 @@ type Config struct {
 	// system is always reset to construction state. Nil builds a fresh
 	// system per run, as before.
 	Pool *SystemPool
+	// Trace, when non-nil, is the election flight recorder: the run's
+	// client, transport and server layers record per-phase spans into it
+	// (see internal/trace). On an owned TCP cluster the recorder is
+	// threaded through the pool, the servers and the network (enabling
+	// wire stamping); on a shared Cluster the cluster's own options
+	// govern the pool/server/transport layers and only the chan-side or
+	// round attribution here applies. Nil — the default — leaves every
+	// hot path untraced and byte- and alloc-identical to before tracing
+	// existed.
+	Trace *trace.Recorder
 }
 
 // DefaultTimeout bounds a live run when Config.Timeout is zero. The
@@ -230,6 +241,13 @@ func Elect(cfg Config) (Result, error) {
 	res, err := run(cfg, func(p *Proc, c rt.Comm, i int) {
 		s := core.NewState(p, string(cfg.Algorithm))
 		states[i] = s
+		if cfg.Trace != nil {
+			// Round transitions stamp the comm's subsequent spans; both
+			// substrates' handles expose SetRound through the wrapper.
+			if rs, ok := c.(interface{ SetRound(int) }); ok {
+				s.RoundHook = rs.SetRound
+			}
+		}
 		decisions[i] = body(c, s)
 	})
 	if err != nil {
@@ -349,6 +367,14 @@ type countedComm struct {
 
 func (c *countedComm) Proc() rt.Procer { return c.p }
 func (c *countedComm) QuorumSize() int { return c.inner.QuorumSize() }
+
+// SetRound forwards round-transition stamps to comm substrates that trace
+// (the electd client); a no-op wrapper target otherwise.
+func (c *countedComm) SetRound(r int) {
+	if rs, ok := c.inner.(interface{ SetRound(int) }); ok {
+		rs.SetRound(r)
+	}
+}
 func (c *countedComm) Propagate(reg string, val rt.Value) {
 	c.p.maybeCrash()
 	c.p.commCalls++
@@ -388,6 +414,17 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	} else {
 		sys = newSystem(cfg.N, cfg.Seed, plan, cfg.Transport != TransportTCP)
 	}
+	// Installed before any algorithm goroutine starts (pooled systems
+	// carry the previous run's recorder otherwise). The chan substrate
+	// and traced owned TCP clusters have no protocol-level election ID,
+	// so their spans carry a seed-derived odd tag — nonzero, and never
+	// colliding with the counter-issued IDs of shared TCP clusters for
+	// realistic campaign sizes.
+	sys.rec = cfg.Trace
+	sys.traceID = uint64(cfg.Seed)*2 + 1
+	if cfg.Transport == TransportTCP && (cfg.Cluster != nil || cfg.ElectionID != 0) {
+		sys.traceID = cfg.ElectionID
+	}
 
 	// Participants the plan provably starves of quorums get an abort
 	// channel, installed before their goroutines start; its close timer is
@@ -411,11 +448,23 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	if cfg.Transport == TransportTCP {
 		cluster = cfg.Cluster
 		election := cfg.ElectionID
+		if cluster == nil && cfg.Trace != nil && election == 0 {
+			// An owned cluster hosts exactly one election, so ID 0 works on
+			// the wire — but spans keyed by election 0 cannot be grouped per
+			// election in the breakdown. Tag traced owned-cluster runs with
+			// the same seed-derived odd ID the chan substrate uses; the
+			// namespace is private to this cluster, and untraced runs keep
+			// ID 0 so their frames stay byte-identical.
+			election = sys.traceID
+		}
 		if cluster == nil {
 			nw := transport.NewTCP()
 			nw.NoCoalesce = cfg.NoBatch
-			cluster, err = electd.NewClusterOpts(nw, cfg.N,
-				electd.PoolOptions{NoCoalesce: cfg.NoBatch})
+			nw.Trace = cfg.Trace
+			cluster, err = electd.NewClusterWith(nw, cfg.N, electd.ClusterOptions{
+				Pool:   electd.PoolOptions{NoCoalesce: cfg.NoBatch, Trace: cfg.Trace},
+				Server: electd.ServerOptions{Trace: cfg.Trace},
+			})
 			if err != nil {
 				if cfg.Pool != nil {
 					cfg.Pool.Put(sys) // nothing ran; the system is clean

@@ -20,6 +20,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -232,15 +233,42 @@ type Point struct {
 	Value  int64   `json:"value"`
 }
 
+// Bucket is one self-describing histogram bucket in a snapshot: the
+// bucket's inclusive upper bound, rendered the way Prometheus renders it
+// ("+Inf" for the overflow bucket), and the non-cumulative count of
+// observations that landed in it.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
 // HistPoint is one histogram sample in a snapshot: per-bucket (non-
 // cumulative) counts, with Counts[len(Bounds)] the overflow bucket.
+// Buckets carries the same data zipped into (upper bound, count) pairs so
+// the JSON exposition is interpretable without knowing the instrument's
+// bound table; the Prometheus exposition derives its cumulative buckets
+// from Bounds/Counts as before.
 type HistPoint struct {
-	Name   string  `json:"name"`
-	Labels []Label `json:"labels,omitempty"`
-	Bounds []int64 `json:"bounds"`
-	Counts []int64 `json:"counts"`
-	Count  int64   `json:"count"`
-	Sum    int64   `json:"sum"`
+	Name    string   `json:"name"`
+	Labels  []Label  `json:"labels,omitempty"`
+	Bounds  []int64  `json:"bounds"`
+	Counts  []int64  `json:"counts"`
+	Buckets []Bucket `json:"buckets"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+}
+
+// fillBuckets derives the self-describing bucket pairs from Bounds and
+// Counts; the slot past the last bound becomes the "+Inf" overflow.
+func (p *HistPoint) fillBuckets() {
+	p.Buckets = make([]Bucket, 0, len(p.Counts))
+	for i, c := range p.Counts {
+		le := "+Inf"
+		if i < len(p.Bounds) {
+			le = strconv.FormatInt(p.Bounds[i], 10)
+		}
+		p.Buckets = append(p.Buckets, Bucket{LE: le, Count: c})
+	}
 }
 
 // Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts by
@@ -314,11 +342,19 @@ func (r *Registry) Snapshot() Snapshot {
 			for i := range st.counts {
 				hp.Counts[i] = st.counts[i].Load()
 			}
+			hp.fillBuckets()
 			s.Histograms = append(s.Histograms, hp)
 		}
 	}
 	for _, fn := range collectors {
 		fn(&s)
+	}
+	// Collectors build HistPoints by hand; derive their bucket pairs too
+	// so every histogram in the snapshot is self-describing.
+	for i := range s.Histograms {
+		if s.Histograms[i].Buckets == nil {
+			s.Histograms[i].fillBuckets()
+		}
 	}
 	return s
 }
@@ -362,6 +398,9 @@ func (s *Snapshot) Histogram(name string) (HistPoint, bool) {
 		}
 		out.Count += p.Count
 		out.Sum += p.Sum
+	}
+	if found {
+		out.fillBuckets()
 	}
 	return out, found
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -91,6 +92,41 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	if q := hp.Quantile(0.99); q != 1000 {
 		t.Fatalf("p99 = %d, want clamped 1000", q)
 	}
+}
+
+// TestHistogramSelfDescribingBuckets: the snapshot's JSON exposition pairs
+// every count with its upper bound ("+Inf" for the overflow), so a scrape
+// is interpretable without the instrument's bound table.
+func TestHistogramSelfDescribingBuckets(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.NewHistogram("lat_usec", "latency", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 10, 50, 99, 500, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	check := func(hp obs.HistPoint, where string) {
+		t.Helper()
+		want := []obs.Bucket{{LE: "10", Count: 3}, {LE: "100", Count: 2}, {LE: "1000", Count: 1}, {LE: "+Inf", Count: 1}}
+		if !reflect.DeepEqual(hp.Buckets, want) {
+			t.Fatalf("%s buckets = %+v, want %+v", where, hp.Buckets, want)
+		}
+	}
+	check(s.Histograms[0], "snapshot")
+	merged, ok := s.Histogram("lat_usec")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	check(merged, "merged")
+	// The pairs survive a JSON round trip — the format consumers see.
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	check(back.Histograms[0], "round-tripped")
 }
 
 // TestHistogramMergesAcrossLabels: Snapshot.Histogram sums same-name series.

@@ -1,0 +1,406 @@
+// Breakdown aggregation, trace-file serialization, the attribution
+// table, Chrome trace_event export, and trace diffing. Everything here
+// is offline analysis — it runs after a campaign, never on a hot path.
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// PhaseStat summarises every span of one phase.
+type PhaseStat struct {
+	Phase string `json:"phase"`
+	Layer string `json:"layer"`
+	// Count is the number of spans.
+	Count int64 `json:"count"`
+	// TotalNs is the summed duration.
+	TotalNs int64 `json:"total_ns"`
+	// MeanNs, P50Ns and P99Ns describe the duration distribution.
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	// MeanDetail is the mean of the phase's Detail payload (queue
+	// depth, frames per drain, snapshot hit rate, ...).
+	MeanDetail float64 `json:"mean_detail"`
+}
+
+// Breakdown is the per-phase latency attribution of one traced run.
+type Breakdown struct {
+	// Phases holds one entry per phase that recorded at least one
+	// span, in declaration (layer) order.
+	Phases []PhaseStat `json:"phases"`
+	// Elections is the number of distinct election IDs seen.
+	Elections int64 `json:"elections"`
+	// Spans is the number of spans aggregated.
+	Spans int64 `json:"spans"`
+	// Dropped is how many spans the ring evicted before snapshot.
+	Dropped uint64 `json:"dropped"`
+	// MeanExtentNs is the mean, over elections, of the extent of the
+	// election's client-layer spans: latest span end minus earliest span
+	// start. Client spans tile each participant's time inside communicate
+	// calls, so the extent reconstructs the election's wall-clock duration
+	// from the trace alone — the number the attribution table reconciles
+	// against the measured election latency. Ring eviction truncates the
+	// extent of the oldest elections; size the ring for the run when the
+	// reconciliation matters.
+	MeanExtentNs int64 `json:"mean_extent_ns,omitempty"`
+}
+
+// Stat returns the stat for the named phase, if present.
+func (b *Breakdown) Stat(phase string) (PhaseStat, bool) {
+	for _, s := range b.Phases {
+		if s.Phase == phase {
+			return s, true
+		}
+	}
+	return PhaseStat{}, false
+}
+
+// ClientSumNs returns the mean summed duration of the sequential
+// client-layer phases (encode + send + quorum-wait) per span-group: the
+// per-communicate client latency the attribution table reconciles
+// against measured election time. The denominator is the number of
+// quorum-wait spans (one per communicate call).
+func (b *Breakdown) ClientSumNs() int64 {
+	var total, calls int64
+	for _, s := range b.Phases {
+		switch s.Phase {
+		case phaseNames[PEncode], phaseNames[PSend], phaseNames[PQuorumWait]:
+			total += s.TotalNs
+		}
+		if s.Phase == phaseNames[PQuorumWait] {
+			calls = s.Count
+		}
+	}
+	if calls == 0 {
+		return 0
+	}
+	return total / calls
+}
+
+// ComputeBreakdown aggregates spans into a Breakdown. Deterministic:
+// the result depends only on the multiset of spans, not their order.
+func ComputeBreakdown(spans []Span, dropped uint64) *Breakdown {
+	durs := make([][]int64, numPhases)
+	details := make([]float64, numPhases)
+	totals := make([]int64, numPhases)
+	type window struct{ min, max int64 }
+	elections := map[uint64]*window{}
+	for _, sp := range spans {
+		if sp.Phase == PNone || sp.Phase >= numPhases {
+			continue
+		}
+		durs[sp.Phase] = append(durs[sp.Phase], sp.Dur)
+		details[sp.Phase] += float64(sp.Detail)
+		totals[sp.Phase] += sp.Dur
+		if sp.Election == 0 || sp.Phase.Layer() != "client" {
+			continue
+		}
+		w := elections[sp.Election]
+		if w == nil {
+			w = &window{min: sp.Start, max: sp.Start + sp.Dur}
+			elections[sp.Election] = w
+			continue
+		}
+		if sp.Start < w.min {
+			w.min = sp.Start
+		}
+		if end := sp.Start + sp.Dur; end > w.max {
+			w.max = end
+		}
+	}
+	b := &Breakdown{Elections: int64(len(elections)), Dropped: dropped}
+	if len(elections) > 0 {
+		var extent int64
+		for _, w := range elections {
+			extent += w.max - w.min
+		}
+		b.MeanExtentNs = extent / int64(len(elections))
+	}
+	for p := PEncode; p < numPhases; p++ {
+		d := durs[p]
+		if len(d) == 0 {
+			continue
+		}
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		n := int64(len(d))
+		b.Spans += n
+		b.Phases = append(b.Phases, PhaseStat{
+			Phase:      p.String(),
+			Layer:      p.Layer(),
+			Count:      n,
+			TotalNs:    totals[p],
+			MeanNs:     totals[p] / n,
+			P50Ns:      quantile(d, 0.50),
+			P99Ns:      quantile(d, 0.99),
+			MeanDetail: details[p] / float64(n),
+		})
+	}
+	return b
+}
+
+// quantile reads the q-quantile from an ascending slice (nearest rank).
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Meta describes the run a trace file was captured from, so the
+// attribution table can reconcile phase sums against measured latency.
+type Meta struct {
+	// Name labels the run (e.g. "t13/tcp/n=32").
+	Name string `json:"name"`
+	// Transport is the backend ("chan", "tcp", ...).
+	Transport string `json:"transport,omitempty"`
+	// N and K are cluster size and contenders.
+	N int `json:"n,omitempty"`
+	K int `json:"k,omitempty"`
+	// Elections and Participants scope the span population.
+	Elections    int `json:"elections,omitempty"`
+	Participants int `json:"participants,omitempty"`
+	// MeanElectionSec is the measured mean wall-clock election
+	// latency the phase sum is reconciled against (0 if unknown).
+	MeanElectionSec float64 `json:"mean_election_sec,omitempty"`
+	// MeanRounds and MeanMsgs are per-election protocol-shape
+	// observations (paper: O(log* k) rounds, O(kn) messages).
+	MeanRounds float64 `json:"mean_rounds,omitempty"`
+	MeanMsgs   float64 `json:"mean_msgs,omitempty"`
+}
+
+// File is the on-disk trace format: run metadata, the aggregated
+// breakdown, and (optionally) the raw spans for Chrome export.
+type File struct {
+	Meta      Meta       `json:"meta"`
+	Breakdown *Breakdown `json:"breakdown"`
+	Spans     []Span     `json:"spans,omitempty"`
+}
+
+// WriteFile serializes f as indented JSON to path.
+func WriteFile(path string, f *File) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFile loads a trace file written by WriteFile.
+func ReadFile(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("trace: parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// WriteTable renders the attribution table — the "33ms = X encode +
+// Y send + Z quorum-wait" answer. Client-layer phases are sequential
+// within a communicate call, so their per-call sum is reconciled
+// against the measured election latency; transport and server phases
+// attribute time *inside* the quorum wait and are listed below it,
+// not added to the sum.
+func (f *File) WriteTable(w io.Writer) {
+	b := f.Breakdown
+	if b == nil || len(b.Phases) == 0 {
+		fmt.Fprintln(w, "trace: no spans recorded")
+		return
+	}
+	fmt.Fprintf(w, "trace %s: %d spans, %d elections", f.Meta.Name, b.Spans, b.Elections)
+	if b.Dropped > 0 {
+		fmt.Fprintf(w, " (%d spans evicted by ring wrap)", b.Dropped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %-10s %-12s %10s %12s %12s %12s %10s\n",
+		"layer", "phase", "count", "mean", "p50", "p99", "detail")
+	lastLayer := ""
+	for _, s := range b.Phases {
+		layer := s.Layer
+		if layer == lastLayer {
+			layer = ""
+		} else {
+			lastLayer = s.Layer
+		}
+		fmt.Fprintf(w, "  %-10s %-12s %10d %12s %12s %12s %10.1f\n",
+			layer, s.Phase, s.Count,
+			fmtNs(s.MeanNs), fmtNs(s.P50Ns), fmtNs(s.P99Ns), s.MeanDetail)
+	}
+	sum := b.ClientSumNs()
+	if sum > 0 {
+		fmt.Fprintf(w, "  client phase sum (encode+send+quorum-wait): %s per communicate call\n", fmtNs(sum))
+	}
+	if f.Meta.MeanElectionSec > 0 && b.MeanExtentNs > 0 {
+		meas := f.Meta.MeanElectionSec * 1e9
+		cov := float64(b.MeanExtentNs) / meas * 100
+		fmt.Fprintf(w, "  trace-reconstructed election span: %s — %.1f%% of measured %s latency\n",
+			fmtNs(b.MeanExtentNs), cov, fmtNs(int64(meas)))
+	}
+	if f.Meta.MeanRounds > 0 {
+		fmt.Fprintf(w, "  shape: %.2f rounds/election, %.1f msgs/election\n",
+			f.Meta.MeanRounds, f.Meta.MeanMsgs)
+	}
+}
+
+// Coverage returns the trace-reconstructed election span (mean extent of
+// each election's client-layer spans) as a fraction of the measured mean
+// election latency (0 when either side is unknown). A healthy traced run
+// sits near 1.0 — the phase table attributes what the extent covers — and
+// the acceptance bar is |1-coverage| ≤ 0.10. Undersized rings drag the
+// ratio down: evicted spans shrink the oldest elections' extents.
+func (f *File) Coverage() float64 {
+	if f.Breakdown == nil || f.Meta.MeanElectionSec <= 0 {
+		return 0
+	}
+	if f.Breakdown.MeanExtentNs == 0 {
+		return 0
+	}
+	return float64(f.Breakdown.MeanExtentNs) / (f.Meta.MeanElectionSec * 1e9)
+}
+
+// WriteDiff renders a per-phase comparison of two trace files: mean
+// duration before → after with the ratio, for spotting which phase a
+// perf PR actually moved.
+func WriteDiff(w io.Writer, a, b *File) {
+	fmt.Fprintf(w, "trace diff: %s -> %s\n", a.Meta.Name, b.Meta.Name)
+	fmt.Fprintf(w, "  %-12s %12s %12s %8s\n", "phase", "before", "after", "ratio")
+	for p := PEncode; p < numPhases; p++ {
+		name := p.String()
+		sa, oka := stat(a, name)
+		sb, okb := stat(b, name)
+		if !oka && !okb {
+			continue
+		}
+		ratio := "-"
+		if oka && okb && sa.MeanNs > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(sb.MeanNs)/float64(sa.MeanNs))
+		}
+		fmt.Fprintf(w, "  %-12s %12s %12s %8s\n",
+			name, fmtStatNs(sa, oka), fmtStatNs(sb, okb), ratio)
+	}
+	if a.Meta.MeanElectionSec > 0 && b.Meta.MeanElectionSec > 0 {
+		fmt.Fprintf(w, "  election latency: %s -> %s (%.2fx)\n",
+			fmtNs(int64(a.Meta.MeanElectionSec*1e9)),
+			fmtNs(int64(b.Meta.MeanElectionSec*1e9)),
+			b.Meta.MeanElectionSec/a.Meta.MeanElectionSec)
+	}
+}
+
+func stat(f *File, phase string) (PhaseStat, bool) {
+	if f.Breakdown == nil {
+		return PhaseStat{}, false
+	}
+	return f.Breakdown.Stat(phase)
+}
+
+func fmtStatNs(s PhaseStat, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmtNs(s.MeanNs)
+}
+
+// fmtNs renders a nanosecond duration human-readably (ns/µs/ms/s).
+func fmtNs(ns int64) string {
+	switch {
+	case ns < 1e3:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array
+// (about://tracing "X" complete events; ts/dur in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports the file's raw spans in Chrome trace_event format
+// (load in about://tracing or Perfetto). Layers map to pids, elections
+// to tids, so one election's client/transport/server work lines up on
+// adjacent tracks. Requires the file to carry raw spans.
+func (f *File) WriteChrome(w io.Writer) error {
+	layerPid := map[string]int{"client": 1, "transport": 2, "server": 3}
+	events := make([]chromeEvent, 0, len(f.Spans)+3)
+	for layer, pid := range layerPid {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": layer},
+		})
+	}
+	// Metadata events sort by pid for a stable export.
+	sort.Slice(events, func(i, j int) bool { return events[i].Pid < events[j].Pid })
+	for _, sp := range f.Spans {
+		ph := "X"
+		if sp.Dur == 0 {
+			ph = "i"
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Phase.String(),
+			Cat:  sp.Phase.Layer(),
+			Ph:   ph,
+			Ts:   float64(sp.Start) / 1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			Pid:  layerPid[sp.Phase.Layer()],
+			Tid:  sp.Election,
+			Args: map[string]any{"round": sp.Round, "detail": sp.Detail},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// Summary returns a one-line digest for logs: top phases by total time.
+func (b *Breakdown) Summary() string {
+	type kv struct {
+		name  string
+		total int64
+	}
+	items := make([]kv, 0, len(b.Phases))
+	var sum int64
+	for _, s := range b.Phases {
+		items = append(items, kv{s.Phase, s.TotalNs})
+		sum += s.TotalNs
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].total != items[j].total {
+			return items[i].total > items[j].total
+		}
+		return items[i].name < items[j].name
+	})
+	if len(items) > 4 {
+		items = items[:4]
+	}
+	parts := make([]string, 0, len(items))
+	for _, it := range items {
+		pct := 0.0
+		if sum > 0 {
+			pct = float64(it.total) / float64(sum) * 100
+		}
+		parts = append(parts, fmt.Sprintf("%s %.0f%%", it.name, pct))
+	}
+	return strings.Join(parts, ", ")
+}

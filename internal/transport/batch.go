@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -23,8 +24,10 @@ const maxRunBytes = 1 << 20
 // coalescing bufio already gives the write loop. Frames that are already
 // batches (no nesting) or malformed pass through untouched, in order; the
 // per-connection FIFO is preserved either way. Every frame buffer is
-// recycled. The caller flushes w afterwards.
-func coalesceFrames(w io.Writer, frames [][]byte) error {
+// recycled. The caller flushes w afterwards. With stamp set, every outer
+// frame is followed by its send-time trace stamp (see wire.PutStamp);
+// the receiving read loop must expect it.
+func coalesceFrames(w io.Writer, frames [][]byte, stamp bool) error {
 	var hdr []byte
 	for i := 0; i < len(frames); {
 		j, size := i, 0
@@ -49,6 +52,9 @@ func coalesceFrames(w io.Writer, frames [][]byte) error {
 					return err
 				}
 			}
+			if err := writeStamp(w, stamp); err != nil {
+				return err
+			}
 			continue
 		}
 		// A lone batchable frame, or an unbatchable one: as-is.
@@ -60,14 +66,18 @@ func coalesceFrames(w io.Writer, frames [][]byte) error {
 		if err != nil {
 			return err
 		}
+		if err := writeStamp(w, stamp); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // writePlain writes a drained run of encoded frames onto w as-is — the
 // NoCoalesce write path: per-frame framing untouched, byte-level merging
-// left to the buffered writer. Every frame buffer is recycled.
-func writePlain(w io.Writer, frames [][]byte) error {
+// left to the buffered writer. Every frame buffer is recycled. With stamp
+// set, every frame is followed by its send-time trace stamp.
+func writePlain(w io.Writer, frames [][]byte, stamp bool) error {
 	for i, f := range frames {
 		countOut(len(f))
 		_, err := w.Write(f)
@@ -76,8 +86,23 @@ func writePlain(w io.Writer, frames [][]byte) error {
 		if err != nil {
 			return err
 		}
+		if err := writeStamp(w, stamp); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// writeStamp follows one just-written outer frame with its send-time
+// trace stamp; a no-op when stamping is off.
+func writeStamp(w io.Writer, stamp bool) error {
+	if !stamp {
+		return nil
+	}
+	var b [wire.StampSize]byte
+	wire.PutStamp(b[:], trace.Now())
+	_, err := w.Write(b[:])
+	return err
 }
 
 // dispatchGroup streams the messages of a group of frame bodies to h in

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -17,6 +18,12 @@ import (
 // kernel. Use it for deterministic-environment tests and as the conformance
 // reference for new Network implementations.
 type Loopback struct {
+	// Trace, when non-nil, records transport-phase spans (enqueue depth,
+	// wire transit via in-frame stamping, decode) on every connection
+	// this network creates. Set it before any Listen or Dial. Nil leaves
+	// connections untraced and the queued frames byte-identical.
+	Trace *trace.Recorder
+
 	mu        sync.Mutex
 	next      int
 	listeners map[string]*loopListener
@@ -72,6 +79,7 @@ func (l *loopListener) accept(h Handler) (Conn, error) {
 		return nil, fmt.Errorf("transport: loopback listener %q is down", l.addr)
 	}
 	client := newLoopConn(h)
+	client.rec = l.net.Trace
 	server := newLoopConn(func(c Conn, m *wire.Msg) {
 		// A crashed node's inbound messages are lost, never handled.
 		l.mu.Lock()
@@ -81,6 +89,7 @@ func (l *loopListener) accept(h Handler) (Conn, error) {
 			l.handler(c, m)
 		}
 	})
+	server.rec = l.net.Trace
 	client.peer, server.peer = server, client
 	go client.pump()
 	go server.pump()
@@ -139,7 +148,8 @@ const loopQueueDepth = 256
 // peer's Send are decoded and dispatched to this half's handler by pump.
 type loopConn struct {
 	handler   Handler
-	filter    atomic.Value // FrameFilter, installed via SetFilter
+	filter    atomic.Value    // FrameFilter, installed via SetFilter
+	rec       *trace.Recorder // set at accept; nil = untraced, no stamps
 	peer      *loopConn
 	q         chan []byte
 	done      chan struct{}
@@ -175,6 +185,17 @@ func (c *loopConn) Send(m *wire.Msg) error {
 // SendEncoded implements Conn, taking ownership of frame.
 func (c *loopConn) SendEncoded(frame []byte) error {
 	p := c.peer
+	rawLen := len(frame) // stats count the frame, never the trace stamp
+	if c.rec != nil {
+		// Traced connections suffix every queued frame with its enqueue
+		// stamp — the peer's pump strips it and records queue transit as
+		// the wire span. Both halves share the network's recorder, so
+		// stamping is always symmetric.
+		c.rec.Event(0, 0, trace.PEnqueue, int64(len(p.q)))
+		var b [wire.StampSize]byte
+		wire.PutStamp(b[:], trace.Now())
+		frame = append(frame, b[:]...)
+	}
 	select {
 	case <-c.done:
 		wire.PutBuf(frame)
@@ -183,7 +204,7 @@ func (c *loopConn) SendEncoded(frame []byte) error {
 		wire.PutBuf(frame)
 		return ErrClosed
 	case p.q <- frame:
-		countOut(len(frame))
+		countOut(rawLen)
 		return nil
 	}
 }
@@ -215,6 +236,13 @@ func (c *loopConn) pump() {
 			bodies = bodies[:0]
 			var err error
 			for _, f := range frames {
+				if c.rec != nil && len(f) >= wire.StampSize {
+					// Strip the enqueue stamp the traced sender
+					// suffixed; queue transit is the wire span.
+					sent := wire.GetStamp(f[len(f)-wire.StampSize:])
+					f = f[:len(f)-wire.StampSize]
+					c.rec.Record(0, 0, trace.PWire, sent, trace.Now()-sent, int64(len(f)))
+				}
 				var body []byte
 				if body, err = frameBody(f); err != nil {
 					break
@@ -222,8 +250,15 @@ func (c *loopConn) pump() {
 				countIn(len(body))
 				bodies = append(bodies, body)
 			}
+			var decT0 int64
+			if c.rec != nil {
+				decT0 = trace.Now()
+			}
 			if err == nil {
 				err = dispatchGroup(c, c.handler, c.loadFilter(), bodies...)
+			}
+			if c.rec != nil {
+				c.rec.Record(0, 0, trace.PReadDecode, decT0, trace.Now()-decT0, int64(len(bodies)))
 			}
 			for _, f := range frames {
 				wire.PutBuf(f)

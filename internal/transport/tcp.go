@@ -2,10 +2,12 @@ package transport
 
 import (
 	"bufio"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -24,6 +26,15 @@ type TCP struct {
 	// on its own, the pre-batching wire behavior. It exists for the
 	// benchmarks' unbatched baseline; production paths leave it off.
 	NoCoalesce bool
+	// Trace, when non-nil, records transport-phase spans (enqueue depth,
+	// write-loop drains, read-loop decodes) on every connection this
+	// network creates, and turns on wire stamping: each outer frame is
+	// followed by a send-time stamp so the receiving end records wire
+	// transit (trace.PWire). Stamping changes the stream format, so both
+	// endpoints must come from the same traced Network — which they do
+	// for in-process clusters, the only place tracing is wired. Nil
+	// leaves connections untraced and the stream byte-identical.
+	Trace *trace.Recorder
 }
 
 // NewTCP returns the loopback-TCP network.
@@ -35,20 +46,21 @@ func (t *TCP) Listen(h Handler) (Listener, error) {
 	if host == "" {
 		host = "127.0.0.1"
 	}
-	return listenTCP(net.JoinHostPort(host, "0"), h, t.NoCoalesce)
+	return listenTCP(net.JoinHostPort(host, "0"), h, t.NoCoalesce, t.Trace)
 }
 
 // Dial implements Network.
 func (t *TCP) Dial(addr string, h Handler) (Conn, error) {
-	return dialTCP(addr, h, t.NoCoalesce)
+	return dialTCP(addr, h, t.NoCoalesce, t.Trace)
 }
 
 // TCPListener is a server-side TCP endpoint: an accept loop spawning one
 // read loop per inbound connection.
 type TCPListener struct {
 	handler    Handler
-	noCoalesce bool   // fixed at listen time
-	addr       string // resolved listen address, fixed at listen time; Recover rebinds it
+	rec        *trace.Recorder // fixed at listen time; nil = untraced
+	noCoalesce bool            // fixed at listen time
+	addr       string          // resolved listen address, fixed at listen time; Recover rebinds it
 	crashed    atomic.Bool
 
 	mu        sync.Mutex
@@ -64,15 +76,15 @@ type TCPListener struct {
 // ListenTCP binds addr (host:port; port 0 for ephemeral) and serves inbound
 // frames to h, with write-side frame coalescing on.
 func ListenTCP(addr string, h Handler) (*TCPListener, error) {
-	return listenTCP(addr, h, false)
+	return listenTCP(addr, h, false, nil)
 }
 
-func listenTCP(addr string, h Handler, noCoalesce bool) (*TCPListener, error) {
+func listenTCP(addr string, h Handler, noCoalesce bool, rec *trace.Recorder) (*TCPListener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	l := &TCPListener{ln: ln, handler: h, noCoalesce: noCoalesce, addr: ln.Addr().String(), conns: make(map[*tcpConn]struct{}), done: make(chan struct{})}
+	l := &TCPListener{ln: ln, handler: h, noCoalesce: noCoalesce, rec: rec, addr: ln.Addr().String(), conns: make(map[*tcpConn]struct{}), done: make(chan struct{})}
 	l.wg.Add(1)
 	go l.accept(ln, l.done)
 	return l, nil
@@ -128,6 +140,7 @@ func (l *TCPListener) accept(ln net.Listener, done chan struct{}) {
 			}
 		})
 		conn.noCoalesce = l.noCoalesce
+		conn.rec = l.rec
 		l.mu.Lock()
 		if l.closed {
 			l.mu.Unlock()
@@ -219,16 +232,17 @@ func (l *TCPListener) Close() error {
 // DialTCP connects to a TCP listener, with write-side frame coalescing
 // on; h receives the frames the server sends back on this connection.
 func DialTCP(addr string, h Handler) (Conn, error) {
-	return dialTCP(addr, h, false)
+	return dialTCP(addr, h, false, nil)
 }
 
-func dialTCP(addr string, h Handler, noCoalesce bool) (Conn, error) {
+func dialTCP(addr string, h Handler, noCoalesce bool, rec *trace.Recorder) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	conn := newTCPConn(c, h)
 	conn.noCoalesce = noCoalesce
+	conn.rec = rec
 	conn.start()
 	return conn, nil
 }
@@ -262,8 +276,9 @@ var (
 type tcpConn struct {
 	c          net.Conn
 	handler    Handler
-	filter     atomic.Value // FrameFilter, installed via SetFilter
-	noCoalesce bool         // set before start; read-only afterwards
+	filter     atomic.Value    // FrameFilter, installed via SetFilter
+	noCoalesce bool            // set before start; read-only afterwards
+	rec        *trace.Recorder // set before start; nil = untraced, no stamps
 	out        chan []byte
 	done       chan struct{}
 	closeOnce  sync.Once
@@ -304,6 +319,9 @@ func (t *tcpConn) Send(m *wire.Msg) error {
 
 // SendEncoded implements Conn, taking ownership of frame.
 func (t *tcpConn) SendEncoded(frame []byte) error {
+	if t.rec != nil {
+		t.rec.Event(0, 0, trace.PEnqueue, int64(len(t.out)))
+	}
 	select {
 	case <-t.done:
 		wire.PutBuf(frame)
@@ -342,13 +360,18 @@ func (t *tcpConn) writeLoop() {
 					break drain
 				}
 			}
+			var drainT0 int64
+			if t.rec != nil {
+				drainT0 = trace.Now()
+			}
+			n := len(frames)
 			var err error
 			if t.noCoalesce {
 				// Unbatched baseline: frames keep their own framing; bufio
 				// still merges the bytes into one write, as it always did.
-				err = writePlain(w, frames)
+				err = writePlain(w, frames, t.rec != nil)
 			} else {
-				err = coalesceFrames(w, frames)
+				err = coalesceFrames(w, frames, t.rec != nil)
 			}
 			if err == nil {
 				err = w.Flush()
@@ -356,6 +379,9 @@ func (t *tcpConn) writeLoop() {
 			if err != nil {
 				t.Close()
 				return
+			}
+			if t.rec != nil {
+				t.rec.Record(0, 0, trace.PWriteDrain, drainT0, trace.Now()-drainT0, int64(n))
 			}
 		}
 	}
@@ -375,11 +401,22 @@ func (t *tcpConn) readLoop() {
 	}()
 	body := wire.GetBuf()
 	defer func() { wire.PutBuf(body) }()
+	var stamp [wire.StampSize]byte
 	for {
 		var err error
 		if body, err = wire.ReadFrame(r, body); err != nil {
 			t.Close()
 			return
+		}
+		if t.rec != nil {
+			// A traced peer follows every outer frame with its send
+			// stamp; transit from that stamp to here is the wire span.
+			if _, err = io.ReadFull(r, stamp[:]); err != nil {
+				t.Close()
+				return
+			}
+			sent := wire.GetStamp(stamp[:])
+			t.rec.Record(0, 0, trace.PWire, sent, trace.Now()-sent, int64(len(body)))
 		}
 		countIn(len(body))
 		select {
@@ -387,9 +424,16 @@ func (t *tcpConn) readLoop() {
 			return
 		default:
 		}
+		var decT0 int64
+		if t.rec != nil {
+			decT0 = trace.Now()
+		}
 		if err = dispatchGroup(t, t.handler, t.loadFilter(), body); err != nil {
 			t.Close()
 			return
+		}
+		if t.rec != nil {
+			t.rec.Record(0, 0, trace.PReadDecode, decT0, trace.Now()-decT0, int64(len(body)))
 		}
 	}
 }

@@ -382,10 +382,10 @@ func TestCoalesceFrames(t *testing.T) {
 		mkFrame(1), mkFrame(2), mkFrame(3),
 		append(wire.GetBuf(), preBatched...),
 		mkFrame(4),
-	}); err != nil {
+	}, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := coalesceFrames(&stream, [][]byte{mkFrame(5), mkFrame(6)}); err != nil {
+	if err := coalesceFrames(&stream, [][]byte{mkFrame(5), mkFrame(6)}, false); err != nil {
 		t.Fatal(err)
 	}
 

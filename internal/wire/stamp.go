@@ -1,0 +1,28 @@
+package wire
+
+import "encoding/binary"
+
+// Trace stamping: when a transport runs with the election flight recorder
+// enabled, it may follow every outer frame on a stream with a fixed-size
+// send-time stamp, letting the receiving end attribute wire transit time
+// to the frame it just read. The stamp is transport framing, not payload:
+// it never enters a frame body, is excluded from bit-complexity
+// accounting like the length prefix, and both ends of a connection must
+// agree on whether stamping is on (the transports enable it per-Network,
+// so paired endpoints always match). With tracing off, no stamp bytes
+// exist and the stream is byte-identical to an unstamped build.
+
+// StampSize is the wire size of one trace stamp: a fixed-width 64-bit
+// big-endian nanosecond timestamp (fixed-width so the reader needs no
+// varint scan between frames).
+const StampSize = 8
+
+// PutStamp writes t into b, which must be at least StampSize bytes.
+func PutStamp(b []byte, t int64) {
+	binary.BigEndian.PutUint64(b, uint64(t))
+}
+
+// GetStamp reads the stamp written by PutStamp.
+func GetStamp(b []byte) int64 {
+	return int64(binary.BigEndian.Uint64(b))
+}
