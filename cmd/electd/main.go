@@ -1,8 +1,8 @@
 // Command electd runs the election service: a long-lived daemon hosting the
 // paper's register arrays behind majority-quorum reads and writes, and a
 // client mode that runs leader elections against a set of such servers over
-// TCP. One server set multiplexes any number of concurrent election
-// instances by election ID.
+// TCP or UDP (-transport; servers and clients must agree). One server set
+// multiplexes any number of concurrent election instances by election ID.
 //
 // A quorum system is n server processes; elections tolerate up to ⌈n/2⌉−1
 // of them failing. Participants are pure clients — they can live anywhere
@@ -83,18 +83,20 @@ func main() {
 		elections = flag.Int("elections", 1, "elect/demo/soak: number of election instances (soak default: 100000)")
 		seed      = flag.Int64("seed", 1, "elect/demo: base PRNG seed")
 		algo      = flag.String("algorithm", "poisonpill", "poisonpill | tournament")
+		tspt      = flag.String("transport", "tcp", "serve/elect/demo: tcp | udp socket substrate (servers and clients must agree)")
 		metricsOu = flag.String("metrics-out", "", "soak: write the final metrics snapshot JSON here")
 	)
 	flag.Parse()
 
+	spec := transport.Spec{Name: *tspt}
 	var err error
 	switch {
 	case *serve:
-		err = runServe(*id, *listen, *admin, *ttl, *maxLive, *drainWait, *pprofOn, *traceOn)
+		err = runServe(spec, *id, *listen, *admin, *ttl, *maxLive, *drainWait, *pprofOn, *traceOn)
 	case *elect:
-		err = runElect(strings.Split(*servers, ","), *k, *elections, *seed, *algo)
+		err = runElect(spec, strings.Split(*servers, ","), *k, *elections, *seed, *algo)
 	case *demo:
-		err = runDemo(*n, *k, *elections, *seed, *algo)
+		err = runDemo(spec, *n, *k, *elections, *seed, *algo)
 	case *soak:
 		err = runSoak(*n, *k, *elections, *metricsOu)
 	default:
@@ -109,7 +111,7 @@ func main() {
 // runServe hosts one register replica until signalled, then drains. The
 // error it returns — drain deadline passed, admin server died, accept loop
 // died — is the process's non-zero exit.
-func runServe(id int, addr, admin string, ttl time.Duration, maxLive int, drainWait time.Duration, pprofOn, traceOn bool) error {
+func runServe(spec transport.Spec, id int, addr, admin string, ttl time.Duration, maxLive int, drainWait time.Duration, pprofOn, traceOn bool) error {
 	if id < 0 {
 		return fmt.Errorf("server id %d must be non-negative", id)
 	}
@@ -132,12 +134,12 @@ func runServe(id int, addr, admin string, ttl time.Duration, maxLive int, drainW
 		Trace:           rec,
 	})
 	defer srv.Close()
-	ln, err := transport.ListenTCP(addr, srv.Handle)
+	ln, err := spec.ListenAddr(addr, srv.Handle)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("electd: server %d listening on %s (ttl %v, max-live %d/shard)\n", id, ln.Addr(), ttl, maxLive)
+	fmt.Printf("electd: server %d listening on %s/%s (ttl %v, max-live %d/shard)\n", id, spec.Name, ln.Addr(), ttl, maxLive)
 
 	// The admin endpoint is plumbing around the service, never in the
 	// quorum path: a scrape or a drain request serializes against nothing
@@ -328,14 +330,16 @@ func runSoak(n, k, elections int, metricsOut string) error {
 
 // runElect dials the servers and runs the requested elections concurrently,
 // multiplexed by election ID over one connection pool.
-func runElect(addrs []string, k, elections int, seed int64, algo string) error {
+func runElect(spec transport.Spec, addrs []string, k, elections int, seed int64, algo string) error {
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
 	if len(addrs) == 0 || addrs[0] == "" {
 		return fmt.Errorf("-elect needs -servers")
 	}
-	pool, err := electd.DialPool(transport.NewTCP(), addrs)
+	// NewPool folds the spec in: on UDP that arms the pool's default
+	// retransmit-and-dedup reliability layer.
+	pool, err := electd.NewPool(spec, addrs, electd.PoolOptions{})
 	if err != nil {
 		return err
 	}
@@ -343,14 +347,15 @@ func runElect(addrs []string, k, elections int, seed int64, algo string) error {
 	return runElections(pool.NewComm, len(addrs), k, elections, seed, algo)
 }
 
-// runDemo starts an in-process cluster over loopback TCP and elects on it.
-func runDemo(n, k, elections int, seed int64, algo string) error {
-	cluster, err := electd.NewCluster(transport.NewTCP(), n)
+// runDemo starts an in-process cluster over loopback sockets and elects on
+// it.
+func runDemo(spec transport.Spec, n, k, elections int, seed int64, algo string) error {
+	cluster, err := electd.NewClusterSpec(spec, n, electd.ClusterOptions{})
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
-	fmt.Printf("electd: %d servers on %s\n", n, strings.Join(cluster.Addrs(), " "))
+	fmt.Printf("electd: %d servers (%s) on %s\n", n, spec.Name, strings.Join(cluster.Addrs(), " "))
 	return runElections(cluster.NewComm, n, k, elections, seed, algo)
 }
 

@@ -31,7 +31,7 @@ const chaosSiblings = 2
 // chaosCell aggregates one (scenario, backend) cell of the grid.
 type chaosCell struct {
 	Scenario string `json:"scenario"`
-	Backend  string `json:"backend"` // chan | tcp | tcp-shared
+	Backend  string `json:"backend"` // chan | tcp | udp | tcp-shared
 	Runs     int    `json:"runs"`
 	// Valid run outcomes: a unique surviving winner, a winnerless run
 	// whose linearized winner crashed, or a fully starved no-quorum run.
@@ -112,12 +112,13 @@ func validateChaosRun(sc fault.Scenario, n, k int, seed int64, res live.Result) 
 	return bad
 }
 
-// chaosBackends lists the backends scenario sc runs on: both transports
-// always, plus the shared multiplexed cluster when the scenario's faults
-// are link-only (client-side, per election) or absent — the configurations
-// a deployed service would actually multiplex.
+// chaosBackends lists the backends scenario sc runs on: every transport
+// always — udp included, so datagram loss composes with injected faults
+// under validation — plus the shared multiplexed cluster when the
+// scenario's faults are link-only (client-side, per election) or absent,
+// the configurations a deployed service would actually multiplex.
 func chaosBackends(sc fault.Scenario) []string {
-	b := []string{"chan", "tcp"}
+	b := []string{"chan", "tcp", "udp"}
 	if !sc.Active() || sc.LinkOnly() {
 		b = append(b, "tcp-shared")
 	}
@@ -197,6 +198,8 @@ func runChaosCell(cfg config, sc fault.Scenario, backend string, seeds, cellIdx 
 			lcfg.Transport = live.TransportChan
 		case "tcp":
 			lcfg.Transport = live.TransportTCP
+		case "udp":
+			lcfg.Transport = live.TransportUDP
 		case "tcp-shared":
 			lcfg.Transport = live.TransportTCP
 			lcfg.Cluster = cluster

@@ -11,6 +11,7 @@
 //	livesim -n 64 -runs 256 -scan                # worker-scaling curve 1..GOMAXPROCS
 //	livesim -n 32 -runs 128 -backend sim         # same campaign on the sim kernel
 //	livesim -n 32 -runs 128 -transport tcp       # quorums over loopback TCP (electd)
+//	livesim -n 32 -runs 128 -transport udp       # quorums over UDP datagrams (electd)
 //	livesim -n 64 -runs 1 -v                     # one election, per-run detail
 //
 // Flight recorder (live backend only):
@@ -46,8 +47,10 @@
 // Algorithms: poisonpill (default), tournament. Backends: live (default),
 // sim. Transports (live backend): chan (default, in-process mailboxes), tcp
 // (electd quorum servers over loopback TCP sockets; the campaign shares one
-// multiplexed server set). Preset scenarios: baseline, crash-1,
-// crash-minority, lan, wan, heavy-tail, slow-third, reorder, chaos.
+// multiplexed server set), udp (the same servers over loopback datagrams
+// with client-side retransmit-and-dedup). Preset scenarios: baseline,
+// crash-1, crash-minority, lan, wan, heavy-tail, slow-third, reorder,
+// chaos.
 package main
 
 import (
@@ -73,7 +76,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base seed (per-run seeds are sharded from it)")
 		algo    = flag.String("algorithm", "poisonpill", "poisonpill | tournament")
 		backend = flag.String("backend", "live", "live | sim")
-		trans   = flag.String("transport", "chan", "chan | tcp (live backend comm substrate)")
+		trans   = flag.String("transport", "chan", "chan | tcp | udp (live backend comm substrate)")
 		scan    = flag.Bool("scan", false, "sweep worker counts 1,2,4,...,GOMAXPROCS and print the scaling curve")
 		verbose = flag.Bool("v", false, "run additional individual live elections first and print their per-run details")
 

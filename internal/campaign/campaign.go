@@ -69,20 +69,25 @@ type Config struct {
 	// RunMatrix.
 	Scenario fault.Scenario
 	// Transport picks the BackendLive comm substrate: live.TransportChan
-	// (default) or live.TransportTCP. Over TCP a fault-free campaign
-	// shares one electd cluster — n loopback-TCP servers — and multiplexes
-	// its elections onto it by election ID, so hundreds of runs exercise a
-	// single set of listening servers like traffic on a deployed service.
-	// Link-only fault scenarios (partitions, drops, latency) share the
-	// cluster too — their injection is client-side and scoped per election.
-	// Campaigns with crash scenarios run one cluster per election instead:
-	// crashing a shared server would leak faults across runs.
+	// (default), live.TransportTCP or live.TransportUDP. Over a networked
+	// transport a fault-free campaign shares one electd cluster — n
+	// loopback servers — and multiplexes its elections onto it by election
+	// ID, so hundreds of runs exercise a single set of listening servers
+	// like traffic on a deployed service. Link-only fault scenarios
+	// (partitions, drops, latency) share the cluster too — their injection
+	// is client-side and scoped per election. Campaigns with crash
+	// scenarios run one cluster per election instead: crashing a shared
+	// server would leak faults across runs.
 	Transport live.Transport
-	// NoBatch (TCP transport only) disables the client pools' frame
+	// NoBatch (networked transports only) disables the client pools' frame
 	// coalescing for the whole campaign — shared cluster and per-run
 	// clusters alike — the unbatched baseline the benchmarks compare
 	// against.
 	NoBatch bool
+	// ConnShards (networked transports only) is how many connections each
+	// client pool dials per server, elections hashed across them — shared
+	// cluster and per-run clusters alike. 0 or 1 means one connection.
+	ConnShards int
 	// Trace, when non-nil, records phase-level spans for every run into the
 	// given flight recorder: client pool, transport and server spans on the
 	// TCP substrate (shared cluster and per-run clusters alike), send and
@@ -251,15 +256,18 @@ func (cfg *Config) normalize() error {
 	case "":
 		cfg.Transport = live.TransportChan
 	case live.TransportChan:
-	case live.TransportTCP:
+	case live.TransportTCP, live.TransportUDP:
 		if cfg.Backend != BackendLive {
-			return fmt.Errorf("campaign: the TCP transport requires the live backend")
+			return fmt.Errorf("campaign: the %s transport requires the live backend", cfg.Transport)
 		}
 	default:
 		return fmt.Errorf("campaign: unknown transport %q", cfg.Transport)
 	}
-	if cfg.NoBatch && cfg.Transport != live.TransportTCP {
-		return fmt.Errorf("campaign: NoBatch tunes the TCP transport's client pools; transport %q has no frames to batch", cfg.Transport)
+	if cfg.NoBatch && !cfg.Transport.Networked() {
+		return fmt.Errorf("campaign: NoBatch tunes a networked transport's client pools; transport %q has no frames to batch", cfg.Transport)
+	}
+	if cfg.ConnShards != 0 && !cfg.Transport.Networked() {
+		return fmt.Errorf("campaign: ConnShards shards a networked transport's connections; transport %q has none", cfg.Transport)
 	}
 	return nil
 }
@@ -300,9 +308,10 @@ func (cfg *Config) runOne(sc fault.Scenario, idx int) (runStats, error) {
 		}
 		if cfg.cluster == nil {
 			// Owned clusters (per-run, under fault scenarios) inherit the
-			// campaign's batching choice; a shared cluster was already
-			// dialed with it.
+			// campaign's batching and sharding choices; a shared cluster
+			// was already dialed with them.
 			lcfg.NoBatch = cfg.NoBatch
+			lcfg.ConnShards = cfg.ConnShards
 		}
 		if cfg.cluster != nil {
 			lcfg.Cluster = cfg.cluster
@@ -393,10 +402,10 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 		// election. Crash-scenario runs ride the same pool — checkout fully
 		// resets a recycled system, and crashed slots are only dropped
 		// flags, their serve goroutines never exit.
-		cfg.spool = live.NewSystemPool(cfg.N, cfg.Transport != live.TransportTCP)
+		cfg.spool = live.NewSystemPool(cfg.N, !cfg.Transport.Networked())
 		defer cfg.spool.Close()
 	}
-	if cfg.Backend == BackendLive && cfg.Transport == live.TransportTCP {
+	if cfg.Backend == BackendLive && cfg.Transport.Networked() {
 		// One shared server set for the whole matrix: every run multiplexes
 		// onto it under a fresh election ID. Crash scenarios preclude the
 		// sharing — crashing a shared server would leak faults across
@@ -414,11 +423,13 @@ func RunMatrix(cfg Config, scenarios []fault.Scenario) (MatrixReport, error) {
 			}
 		}
 		if shared {
-			nw := transport.NewTCP()
-			nw.NoCoalesce = cfg.NoBatch
-			nw.Trace = cfg.Trace
-			cluster, err := electd.NewClusterWith(nw, cfg.N, electd.ClusterOptions{
-				Pool:   electd.PoolOptions{NoCoalesce: cfg.NoBatch, Trace: cfg.Trace},
+			spec := transport.Spec{
+				Name:    string(cfg.Transport),
+				Shards:  cfg.ConnShards,
+				NoBatch: cfg.NoBatch,
+				Trace:   cfg.Trace,
+			}
+			cluster, err := electd.NewClusterSpec(spec, cfg.N, electd.ClusterOptions{
 				Server: electd.ServerOptions{Trace: cfg.Trace},
 			})
 			if err != nil {

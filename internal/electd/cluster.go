@@ -42,6 +42,23 @@ func NewClusterOpts(nw transport.Network, n int, opts PoolOptions) (*Cluster, er
 	return NewClusterWith(nw, n, ClusterOptions{Pool: opts})
 }
 
+// NewClusterSpec starts an in-process cluster under a transport spec: the
+// servers listen and the pool dials on the substrate the spec names, with
+// the spec's knobs folded into the pool options exactly as NewPool does —
+// including the default retransmit layer on unreliable substrates. The
+// symmetric counterpart of NewPool for single-process deployments.
+func NewClusterSpec(spec transport.Spec, n int, opts ClusterOptions) (*Cluster, error) {
+	nw, err := spec.Network()
+	if err != nil {
+		return nil, err
+	}
+	opts.Pool = mergeSpec(spec, opts.Pool)
+	if opts.Server.Trace == nil {
+		opts.Server.Trace = spec.Trace
+	}
+	return NewClusterWith(nw, n, opts)
+}
+
 // NewClusterWith is NewCluster with the full option set, server lifecycle
 // included.
 func NewClusterWith(nw transport.Network, n int, opts ClusterOptions) (*Cluster, error) {

@@ -210,9 +210,11 @@ var emptyTail = []byte{0}
 // connection — which coalesces them into one batch frame when the requests
 // arrived as one (see transport.Handler) — and are assembled directly from
 // header fields plus the cached encoded snapshot, so the server never
-// builds or walks a reply message. Handle takes ownership of m: the server
-// is a request's terminal consumer (merging copies the entries' values),
-// so the message returns to the wire package's pool on the way out.
+// builds or walks a reply message. Handle takes ownership of m and of its
+// entry storage: the server is a request's terminal consumer (merging
+// copies the entries' values, never the slice), so the message recycles
+// whole on the way out and the next decode on it reuses the entry array —
+// the propagate path's steady state allocates nothing per request.
 //
 // Admission control lives here: a propagate that would create a new
 // election instance while the server is draining, or while the instance's
@@ -222,7 +224,7 @@ var emptyTail = []byte{0}
 // (in-flight elections are allowed to finish), and collects never create
 // state, so they are never shed.
 func (s *Server) Handle(c transport.Conn, m *wire.Msg) {
-	defer wire.PutMsg(m)
+	defer wire.RecycleMsg(m)
 	if s.crashed.Load() {
 		return // a crashed server loses requests, no acknowledgment
 	}

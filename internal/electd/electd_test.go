@@ -264,6 +264,80 @@ func TestDialFailureClosesDialedConns(t *testing.T) {
 	}
 }
 
+// failAfterNetwork counts dials through countingNetwork but fails every
+// dial after the first ok successes — the instrument for a mid-link shard
+// failure, where a server's connection set is only partially established.
+type failAfterNetwork struct {
+	countingNetwork
+	ok       int64
+	attempts atomic.Int64
+}
+
+func (n *failAfterNetwork) Dial(addr string, h transport.Handler) (transport.Conn, error) {
+	if n.attempts.Add(1) > n.ok {
+		return nil, fmt.Errorf("induced dial failure to %s", addr)
+	}
+	return n.countingNetwork.Dial(addr, h)
+}
+
+// TestDialFailureClosesShardedConns: the startup-failure contract with
+// connection sharding on. Every shard of every server that did answer must
+// be closed — including a link's partial shard set when the failure lands
+// mid-link — so a retry loop never accumulates sockets, on TCP or UDP.
+func TestDialFailureClosesShardedConns(t *testing.T) {
+	const n = 5
+	lo := transport.NewLoopback()
+	cl, err := electd.NewCluster(lo, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Dials 1–3 succeed; dial 4 — server 1's second shard — and everything
+	// after it fail. Server 0 connects whole (2 shards), server 1 half-
+	// connects, servers 2–4 never do: majority impossible, and all 3
+	// established connections must come back closed.
+	nw := &failAfterNetwork{countingNetwork: countingNetwork{Network: lo}, ok: 3}
+	if _, err := electd.DialPoolOpts(nw, cl.Addrs(), electd.PoolOptions{ConnShards: 2}); err == nil {
+		t.Fatal("pool came up with four of five servers undialable")
+	}
+	if d := nw.dialed.Load(); d != 3 {
+		t.Fatalf("dialed %d connections, want 3", d)
+	}
+	if c := nw.closed.Load(); c != 3 {
+		t.Fatalf("startup failure closed %d of 3 dialed connections — the rest leaked", c)
+	}
+}
+
+// TestDialFailureClosesUDPSockets: the same contract on the real datagram
+// transport. A UDP dial to a dead port succeeds (connectionless), so the
+// unreachable majority here is unresolvable addresses — the failure mode
+// UDP startup actually has — and the bound sockets of the resolvable
+// minority must be closed, not leaked.
+func TestDialFailureClosesUDPSockets(t *testing.T) {
+	const n = 5
+	udp := transport.NewUDP()
+	cl, err := electd.NewCluster(udp, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	addrs := cl.Addrs()
+	addrs[1] = "%%%unresolvable"
+	addrs[2] = "%%%unresolvable"
+	addrs[3] = "%%%unresolvable"
+	nw := &countingNetwork{Network: udp}
+	if _, err := electd.DialPool(nw, addrs); err == nil {
+		t.Fatal("pool came up without a resolvable majority")
+	}
+	if d := nw.dialed.Load(); d != 2 {
+		t.Fatalf("dialed %d sockets, want 2", d)
+	}
+	if c := nw.closed.Load(); c != 2 {
+		t.Fatalf("startup failure closed %d of 2 bound sockets — the rest leaked", c)
+	}
+}
+
 // TestCoalescedElectionsBatchFrames: concurrent elections multiplexed over
 // one pool must elect correctly AND actually coalesce — fewer wire frames
 // than messages — while a NoCoalesce pool sends frame-per-message and

@@ -72,6 +72,12 @@ type Pool struct {
 	nw         transport.Network
 	addrs      []string
 	noCoalesce bool
+	connShards int // connections dialed per server; ≥ 1
+
+	// defaultRetransmit arms every NewComm client with a baseline resend
+	// period (PoolOptions.Retransmit) — the reliability layer under lossy
+	// transports. Zero on reliable transports.
+	defaultRetransmit time.Duration
 
 	shards [callShards]callShard
 	next   atomic.Uint64
@@ -101,13 +107,32 @@ type Pool struct {
 	trace *trace.Recorder
 }
 
-// PoolOptions tunes a Pool at dial time.
+// PoolOptions tunes a Pool at dial time. Every field's zero value is the
+// default — one connection per server, coalescing on, no default
+// retransmit, unobserved, untraced — so PoolOptions{} is always valid;
+// NewPool folds a transport.Spec's knobs into the zero fields.
 type PoolOptions struct {
 	// NoCoalesce disables per-server frame batching: every message travels
 	// as its own frame and is encoded per connection, the pre-batching wire
 	// behavior. It exists for the benchmarks' unbatched baseline and for
 	// debugging frame-level traces; production paths leave it off.
 	NoCoalesce bool
+
+	// ConnShards is how many connections the pool dials per server, with
+	// elections hashed across them (the same Fibonacci hash as the
+	// coalescer stripes) so concurrent elections' decode and write loops
+	// parallelize instead of funneling through one read loop per server.
+	// 0 or 1 means one connection per server, the pre-sharding behavior.
+	ConnShards int
+
+	// Retransmit arms every client of this pool with a default quorum-wait
+	// resend period, as if a fault plan demanded it: rpc rebroadcasts on
+	// that tick and the router dedups the duplicate replies by sender.
+	// This is the reliability layer of lossy transports — NewPool defaults
+	// it to fault.DefaultRetransmitTick on UDP — kept strictly below the
+	// quorum semantics. 0 means no default; a fault plan's SetFaults can
+	// still arm its own period (it never disarms this one).
+	Retransmit time.Duration
 
 	// Metrics, when non-nil, registers the pool's client-side instruments
 	// (pending-call depth, coalescing totals, quorum round-trip latency,
@@ -120,12 +145,23 @@ type PoolOptions struct {
 	Trace *trace.Recorder
 }
 
-// serverLink is one server's connection bundle: the transport connection
-// and its coalescer stripes (nil when coalescing is off). Immutable once
+// serverLink is one server's connection bundle: its connShards transport
+// connections (elections hash across them, so two elections in flight
+// ride different read and write loops) and the coalescer stripes (nil
+// when coalescing is off; stripe s writes connection s mod connShards, so
+// an election's coalescer and connection choices agree). Immutable once
 // published in a Pool slot; Redial replaces the whole bundle.
 type serverLink struct {
-	conn transport.Conn
-	cos  []*coalescer // [coalShards]; nil when coalescing off
+	conns []transport.Conn // [connShards]
+	cos   []*coalescer     // [coalShards]; nil when coalescing off
+}
+
+// conn returns the connection an election's coalescer stripe rides.
+func (l *serverLink) conn(cshard int) transport.Conn {
+	if len(l.conns) == 1 {
+		return l.conns[0]
+	}
+	return l.conns[cshard%len(l.conns)]
 }
 
 // pending is one outstanding communicate call awaiting quorum replies.
@@ -154,15 +190,61 @@ func DialPool(nw transport.Network, addrs []string) (*Pool, error) {
 	return DialPoolOpts(nw, addrs, PoolOptions{})
 }
 
+// mergeSpec folds a transport spec's pool-facing knobs into options whose
+// corresponding fields are still zero: sharding and batching follow the
+// spec, the flight recorder threads through, and an unreliable substrate
+// arms the default retransmit period — the client-side reliability layer
+// that sits strictly below the quorum semantics (dedup lives in the reply
+// router; see pending.seen).
+func mergeSpec(spec transport.Spec, opts PoolOptions) PoolOptions {
+	opts.NoCoalesce = opts.NoCoalesce || spec.NoBatch
+	if opts.ConnShards == 0 {
+		opts.ConnShards = spec.Shards
+	}
+	if opts.Trace == nil {
+		opts.Trace = spec.Trace
+	}
+	if opts.Retransmit == 0 && !spec.Reliable() {
+		opts.Retransmit = DefaultDatagramRetransmit
+	}
+	return opts
+}
+
+// DefaultDatagramRetransmit is the resend period mergeSpec arms on
+// unreliable substrates. It is deliberately above fault.DefaultRetransmitTick
+// (which is tuned for the simulator's artificial loss rates): on a real
+// datagram socket the common case is zero loss, so the first resend should
+// fire past the p99 of a loaded quorum round-trip, not in the middle of it —
+// resending a call that is merely slow floods every server with duplicates.
+const DefaultDatagramRetransmit = 5 * time.Millisecond
+
+// NewPool dials a client pool under the given transport spec — the one
+// entry point that keeps the spec's knobs (sharding, batching, tracing,
+// reliability) consistent between the transport and the pool on top of it.
+// DialPool/DialPoolOpts remain for callers that build a Network themselves.
+func NewPool(spec transport.Spec, addrs []string, opts PoolOptions) (*Pool, error) {
+	nw, err := spec.Network()
+	if err != nil {
+		return nil, err
+	}
+	return DialPoolOpts(nw, addrs, mergeSpec(spec, opts))
+}
+
 // DialPoolOpts is DialPool with explicit options.
 func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool, error) {
+	shards := opts.ConnShards
+	if shards < 1 {
+		shards = 1
+	}
 	pl := &Pool{
-		n:          len(addrs),
-		links:      make([]atomic.Pointer[serverLink], len(addrs)),
-		nw:         nw,
-		addrs:      append([]string(nil), addrs...),
-		noCoalesce: opts.NoCoalesce,
-		trace:      opts.Trace,
+		n:                 len(addrs),
+		links:             make([]atomic.Pointer[serverLink], len(addrs)),
+		nw:                nw,
+		addrs:             append([]string(nil), addrs...),
+		noCoalesce:        opts.NoCoalesce,
+		connShards:        shards,
+		defaultRetransmit: opts.Retransmit,
+		trace:             opts.Trace,
 	}
 	for i := range pl.shards {
 		pl.shards[i].calls = make(map[uint64]*pending)
@@ -172,12 +254,12 @@ func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool
 	}
 	var down []string
 	for i, addr := range addrs {
-		c, err := nw.Dial(addr, pl.handle)
+		conns, err := pl.dialLink(addr)
 		if err != nil {
 			down = append(down, fmt.Sprintf("server %d at %s: %v", i, addr, err))
 			continue
 		}
-		pl.links[i].Store(pl.newLink(c))
+		pl.links[i].Store(pl.newLink(conns))
 	}
 	if len(down) > (len(addrs)-1)/2 {
 		// Startup failure must not leak the minority that did answer:
@@ -195,26 +277,51 @@ func DialPoolOpts(nw transport.Network, addrs []string, opts PoolOptions) (*Pool
 // N returns the quorum system size.
 func (pl *Pool) N() int { return pl.n }
 
-// newLink dials nothing: it wraps an established connection in a link
+// dialLink dials the connShards connections of one server. A server is
+// connected whole or not at all: if any shard fails, the partial set is
+// closed before the error is reported, so a failed dial never leaks
+// bound sockets (the same discipline DialPool applies across servers).
+func (pl *Pool) dialLink(addr string) ([]transport.Conn, error) {
+	conns := make([]transport.Conn, pl.connShards)
+	for s := range conns {
+		c, err := pl.nw.Dial(addr, pl.handle)
+		if err != nil {
+			for _, d := range conns[:s] {
+				d.Close()
+			}
+			return nil, err
+		}
+		conns[s] = c
+	}
+	return conns, nil
+}
+
+// newLink dials nothing: it wraps established connections in a link
 // bundle — fresh coalescers (hist pre-installed when metrics are on), the
-// straggler/fault reply filter armed. Shared by dial time and Redial.
-func (pl *Pool) newLink(c transport.Conn) *serverLink {
-	link := &serverLink{conn: c}
+// straggler/fault reply filter armed on every shard. Shared by dial time
+// and Redial.
+func (pl *Pool) newLink(conns []transport.Conn) *serverLink {
+	link := &serverLink{conns: conns}
 	if !pl.noCoalesce {
 		link.cos = make([]*coalescer, coalShards)
 		for s := range link.cos {
-			link.cos[s] = &coalescer{conn: c, hist: pl.batchHist}
+			// Stripe s flushes on connection s mod connShards — the same
+			// reduction serverLink.conn applies — so one election's
+			// messages always ride one connection, batched or not.
+			link.cos[s] = &coalescer{conn: conns[s%len(conns)], hist: pl.batchHist}
 		}
 	}
-	if fc, ok := c.(transport.FilteredConn); ok {
-		// Drop straggler replies — answers to calls that already
-		// reached quorum — before they are decoded: at n servers per
-		// broadcast, almost half of all view replies are stragglers,
-		// and their decode (entries, statuses, allocations) is the
-		// single largest avoidable cost on the client's read loops.
-		// Under a fault plan the same filter also samples
-		// reply-direction link loss (see keepReply).
-		fc.SetFilter(pl.keepReply)
+	for _, c := range conns {
+		if fc, ok := c.(transport.FilteredConn); ok {
+			// Drop straggler replies — answers to calls that already
+			// reached quorum — before they are decoded: at n servers per
+			// broadcast, almost half of all view replies are stragglers,
+			// and their decode (entries, statuses, allocations) is the
+			// single largest avoidable cost on the client's read loops.
+			// Under a fault plan the same filter also samples
+			// reply-direction link loss (see keepReply).
+			fc.SetFilter(pl.keepReply)
+		}
 	}
 	return link
 }
@@ -230,17 +337,19 @@ func (pl *Pool) Redial(j int) error {
 	if j < 0 || j >= pl.n {
 		return fmt.Errorf("electd: redial server %d of a %d-server pool", j, pl.n)
 	}
-	c, err := pl.nw.Dial(pl.addrs[j], pl.handle)
+	conns, err := pl.dialLink(pl.addrs[j])
 	if err != nil {
 		return fmt.Errorf("electd: redial server %d at %s: %w", j, pl.addrs[j], err)
 	}
-	old := pl.links[j].Swap(pl.newLink(c))
+	old := pl.links[j].Swap(pl.newLink(conns))
 	if old != nil {
 		for _, co := range old.cos {
 			pl.retiredMsgs.Add(co.msgs.Load())
 			pl.retiredFrames.Add(co.frames.Load())
 		}
-		old.conn.Close()
+		for _, c := range old.conns {
+			c.Close()
+		}
 	}
 	return nil
 }
@@ -319,19 +428,21 @@ func (pl *Pool) keepReply(body []byte) bool {
 // abandoned-buffer asymmetry the in-process backend has.
 func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
 	if m.Kind != wire.KindAck && m.Kind != wire.KindView && m.Kind != wire.KindBusy {
+		wire.RecycleMsg(m) // protocol noise; nobody saw its entries
 		return
 	}
 	sh := pl.callShardOf(m.Call)
+	routed := false
 	sh.mu.Lock()
 	if p := sh.calls[m.Call]; p != nil {
 		// Retransmitted requests draw duplicate replies from servers that
 		// already answered; dedup by sender so a repeat answer can never
 		// stand in for a distinct quorum member.
-		if f := int(m.From); f >= 0 && f < len(p.seen) {
-			if p.seen[f] {
-				sh.mu.Unlock()
-				return
-			}
+		if f := int(m.From); f >= 0 && f < len(p.seen) && p.seen[f] {
+			sh.mu.Unlock()
+			wire.RecycleMsg(m)
+			return
+		} else if f >= 0 && f < len(p.seen) {
 			p.seen[f] = true
 		}
 		p.routed++
@@ -339,17 +450,25 @@ func (pl *Pool) handle(_ transport.Conn, m *wire.Msg) {
 		p.cli.bytes.Add(int64(m.WireSize()))
 		select {
 		case p.ch <- m:
+			routed = true
 		default: // over-full only if a server misbehaves; drop
 		}
 	}
 	sh.mu.Unlock()
+	if !routed {
+		// Straggler past the filter race, or the misbehaving-server drop:
+		// the reply dies here, entries unseen, so the arena keeps them.
+		wire.RecycleMsg(m)
+	}
 }
 
-// closeConns severs every established server connection.
+// closeConns severs every established server connection, all shards.
 func (pl *Pool) closeConns() {
 	for j := range pl.links {
 		if link := pl.links[j].Load(); link != nil {
-			link.conn.Close()
+			for _, c := range link.conns {
+				c.Close()
+			}
 		}
 	}
 }
@@ -374,6 +493,9 @@ func (pl *Pool) NewComm(p rt.Procer, election uint64, delay func(server int) tim
 		// batch together; different elections flush on different locks.
 		cshard: coalShardOf(election),
 		seqs:   make(map[string]uint64),
+		// The pool's baseline resend period (set on lossy transports);
+		// SetFaults may arm a plan-specific one on top, never disarm this.
+		retransmit: pl.defaultRetransmit,
 	}
 }
 
@@ -436,10 +558,14 @@ type FaultProfile struct {
 }
 
 // SetFaults installs the profile. Call before the participant's goroutine
-// starts; the hooks are read without synchronization afterwards.
+// starts; the hooks are read without synchronization afterwards. A zero
+// Retransmit leaves the pool's default period armed (the lossy-transport
+// reliability layer) rather than disarming resends.
 func (c *Client) SetFaults(fp FaultProfile) {
 	c.drop, c.replyDrop = fp.Drop, fp.ReplyDrop
-	c.retransmit = fp.Retransmit
+	if fp.Retransmit > 0 {
+		c.retransmit = fp.Retransmit
+	}
 	c.noq, c.noqProc = fp.NoQuorum, fp.Proc
 }
 
@@ -541,9 +667,12 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	// transport framing, not payload.
 	size := int64(m.WireSize())
 	var frame []byte // encoded once, lazily; every broadcast reuses the bytes
-	broadcast := func() {
+	broadcast := func(skip []bool) {
 		sent := int64(0)
 		for j := 0; j < pl.n; j++ {
+			if skip != nil && skip[j] {
+				continue // this server already answered; nothing to gain
+			}
 			link := pl.links[j].Load()
 			if link == nil {
 				continue // server was unreachable at dial time: nothing to send
@@ -554,7 +683,7 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 			}
 			if c.delay != nil {
 				if d := c.delay(j); d > 0 {
-					transport.SendDelayed(link.conn, m, d, &pl.inflight)
+					transport.SendDelayed(link.conn(c.cshard), m, d, &pl.inflight)
 					continue
 				}
 			}
@@ -578,7 +707,7 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 				}
 				link.cos[c.cshard].enqueue(frame)
 			} else {
-				link.conn.Send(m) //nolint:errcheck // loss, per the model
+				link.conn(c.cshard).Send(m) //nolint:errcheck // loss, per the model
 			}
 		}
 		c.msgs.Add(sent)
@@ -588,7 +717,7 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	if rec != nil {
 		sendT0 = trace.Now()
 	}
-	broadcast()
+	broadcast(nil)
 	if rec != nil {
 		waitT0 = trace.Now()
 		rec.Record(c.election, c.round, trace.PSend, sendT0, waitT0-sendT0, int64(pl.n))
@@ -603,39 +732,57 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 			r := <-p.ch
 			if r.Kind == wire.KindBusy {
 				shed = true
-				wire.PutMsg(r)
+				wire.RecycleMsg(r)
 				break
 			}
 			c.replies = append(c.replies, r)
 		}
 	} else {
 		var resends int64
+		var tmr *time.Timer
 		var tickC <-chan time.Time
-		if c.retransmit > 0 {
-			tick := time.NewTicker(c.retransmit)
-			defer tick.Stop()
-			tickC = tick.C
+		period := c.retransmit
+		if period > 0 {
+			tmr = time.NewTimer(period)
+			defer tmr.Stop()
+			tickC = tmr.C
 		}
+		var skip []bool
 	wait:
 		for len(c.replies) < need {
 			select {
 			case r := <-p.ch:
 				if r.Kind == wire.KindBusy {
 					shed = true
-					wire.PutMsg(r)
+					wire.RecycleMsg(r)
 					break wait
 				}
 				c.replies = append(c.replies, r)
 			case <-tickC:
-				// Resend to everyone; duplicate replies from servers that
-				// already answered are deduped by the router. This is what
-				// carries the call across partitions, flaky links, and
-				// crash-recovery windows.
+				// Resend — but only to servers that haven't answered this
+				// call, and with the period doubling each round (capped).
+				// A blanket fixed-period rebroadcast amplifies itself on a
+				// loss-free substrate: a call that merely runs slow under
+				// load re-floods all n servers every tick, slowing the
+				// others past their ticks in turn. Selective + backed-off
+				// resends still carry the call across partitions, flaky
+				// links, and crash-recovery windows; duplicate replies are
+				// deduped by the router.
 				if rec != nil {
 					resends++
 					rec.Event(c.election, c.round, trace.PRetransmit, resends)
 				}
-				broadcast()
+				if skip == nil {
+					skip = make([]bool, len(p.seen))
+				}
+				sh.mu.Lock()
+				copy(skip, p.seen)
+				sh.mu.Unlock()
+				broadcast(skip)
+				if period < c.retransmit<<4 {
+					period *= 2
+				}
+				tmr.Reset(period)
 			case <-c.noq:
 				// The plan proved this client can never reach a quorum
 				// again, and the grace period is over: abort with the typed
@@ -655,11 +802,12 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	delete(sh.calls, call)
 	sh.mu.Unlock()
 	// After the delete, no router holds the slot: drain the stragglers that
-	// beat the deletion and recycle everything.
+	// beat the deletion and recycle everything — entries too, since these
+	// replies were never handed to the caller.
 	for {
 		select {
 		case m := <-p.ch:
-			wire.PutMsg(m)
+			wire.RecycleMsg(m)
 			continue
 		default:
 		}
@@ -673,14 +821,14 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 	c.calls++
 	if shed {
 		for _, r := range c.replies {
-			wire.PutMsg(r)
+			wire.RecycleMsg(r)
 		}
 		pl.busy.Add(1)
 		panic(&BusyError{Election: c.election})
 	}
 	if starved {
 		for _, r := range c.replies {
-			wire.PutMsg(r)
+			wire.RecycleMsg(r)
 		}
 		panic(&fault.NoQuorumError{Proc: c.noqProc})
 	}
@@ -688,8 +836,10 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 		pl.rpcHist.Observe(time.Since(t0).Microseconds())
 	}
 	if !keep {
+		// Propagate acks carry no entries the caller ever sees; recycle
+		// whole so ack decodes stay allocation-free.
 		for _, r := range c.replies {
-			wire.PutMsg(r)
+			wire.RecycleMsg(r)
 		}
 		return nil
 	}

@@ -20,8 +20,10 @@ import (
 	"repro/internal/transport"
 )
 
-// transports under chaos test.
-var chaosTransports = []live.Transport{live.TransportChan, live.TransportTCP}
+// transports under chaos test. UDP rides its default retransmit/dedup
+// reliability layer here: injected loss stacks on top of real datagram
+// loss, so these are the liveness tests for retransmission itself.
+var chaosTransports = []live.Transport{live.TransportChan, live.TransportTCP, live.TransportUDP}
 
 // electValid runs one election and applies the chaos validity contract:
 // no error (two winners or an undecided return would be one), every

@@ -44,7 +44,17 @@ const (
 	// over loopback TCP sockets: real network boundary, kernel scheduling,
 	// wire-codec frames. Algorithms run unchanged behind rt.Comm.
 	TransportTCP Transport = "tcp"
+	// TransportUDP routes quorum traffic through electd servers over
+	// loopback UDP datagrams: the same wire frames, packed MTU-bounded into
+	// datagrams with batched syscalls, with the client pool's default
+	// retransmit-and-dedup as the reliability layer (strictly below the
+	// quorum semantics — see electd.PoolOptions.Retransmit).
+	TransportUDP Transport = "udp"
 )
+
+// Networked reports whether the transport crosses real sockets through an
+// electd cluster (TCP or UDP), as opposed to the in-process chan substrate.
+func (t Transport) Networked() bool { return t == TransportTCP || t == TransportUDP }
 
 // Config parameterises one live run.
 type Config struct {
@@ -64,22 +74,27 @@ type Config struct {
 	// default). A fired timeout reports an error and leaks the run's
 	// goroutines: it is a diagnostic for liveness bugs, not a control path.
 	Timeout time.Duration
-	// Transport picks the comm substrate: TransportChan (default) or
-	// TransportTCP.
+	// Transport picks the comm substrate: TransportChan (default),
+	// TransportTCP or TransportUDP.
 	Transport Transport
-	// Cluster (TransportTCP only) reuses an already-running electd server
-	// set instead of building one per run; the run then multiplexes onto it
-	// under ElectionID. Crash scenarios are rejected with a shared cluster —
-	// they would fail servers other elections depend on.
+	// Cluster (networked transports only) reuses an already-running electd
+	// server set instead of building one per run; the run then multiplexes
+	// onto it under ElectionID. Crash scenarios are rejected with a shared
+	// cluster — they would fail servers other elections depend on.
 	Cluster *electd.Cluster
 	// ElectionID namespaces this run's register state on a shared Cluster.
 	// Ignored (an owned cluster hosts exactly one election) otherwise.
 	ElectionID uint64
-	// NoBatch (TransportTCP with an owned cluster only) disables the
-	// client pool's frame coalescing: every quorum message travels as its
-	// own wire frame, the pre-batching behavior the benchmarks compare
+	// NoBatch (networked transports with an owned cluster only) disables
+	// the client pool's frame coalescing: every quorum message travels as
+	// its own wire frame, the pre-batching behavior the benchmarks compare
 	// against. On a shared Cluster the pool's own options govern.
 	NoBatch bool
+	// ConnShards (networked transports with an owned cluster only) is how
+	// many connections the client pool dials per server, elections hashed
+	// across them; 0 or 1 means one. On a shared Cluster the pool's own
+	// options govern.
+	ConnShards int
 	// Pool recycles whole Systems across runs instead of building and
 	// tearing one down per run — the campaign engine's high-throughput
 	// path. The pool's size and substrate shape must match the run (N and
@@ -179,23 +194,29 @@ func (cfg *Config) normalize() error {
 	switch cfg.Transport {
 	case "":
 		cfg.Transport = TransportChan
-	case TransportChan, TransportTCP:
+	case TransportChan, TransportTCP, TransportUDP:
 	default:
 		return fmt.Errorf("live: unknown transport %q", cfg.Transport)
 	}
-	if cfg.Transport != TransportTCP {
+	if !cfg.Transport.Networked() {
 		if cfg.Cluster != nil {
-			return fmt.Errorf("live: an electd cluster requires the TCP transport")
+			return fmt.Errorf("live: an electd cluster requires a networked transport (tcp or udp)")
 		}
 		if cfg.ElectionID != 0 {
-			return fmt.Errorf("live: election IDs exist only on the TCP transport")
+			return fmt.Errorf("live: election IDs exist only on networked transports")
 		}
 		if cfg.NoBatch {
-			return fmt.Errorf("live: NoBatch tunes the TCP transport's client pool; the %q transport has no frames to batch", cfg.Transport)
+			return fmt.Errorf("live: NoBatch tunes a networked transport's client pool; the %q transport has no frames to batch", cfg.Transport)
+		}
+		if cfg.ConnShards != 0 {
+			return fmt.Errorf("live: ConnShards shards a networked transport's connections; the %q transport has none", cfg.Transport)
 		}
 	} else if cfg.Cluster != nil {
 		if cfg.NoBatch {
 			return fmt.Errorf("live: NoBatch cannot apply to a shared cluster (its pool is already dialed); configure the cluster instead")
+		}
+		if cfg.ConnShards != 0 {
+			return fmt.Errorf("live: ConnShards cannot apply to a shared cluster (its pool is already dialed); configure the cluster instead")
 		}
 		if cfg.Cluster.N() != cfg.N {
 			return fmt.Errorf("live: shared cluster has %d servers, run wants n=%d", cfg.Cluster.N(), cfg.N)
@@ -208,7 +229,7 @@ func (cfg *Config) normalize() error {
 		if cfg.Pool.N() != cfg.N {
 			return fmt.Errorf("live: system pool holds %d-processor systems, run wants n=%d", cfg.Pool.N(), cfg.N)
 		}
-		if want := cfg.Transport != TransportTCP; cfg.Pool.Serving() != want {
+		if want := !cfg.Transport.Networked(); cfg.Pool.Serving() != want {
 			return fmt.Errorf("live: system pool serving=%v does not match transport %q", cfg.Pool.Serving(), cfg.Transport)
 		}
 	}
@@ -412,7 +433,7 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	if cfg.Pool != nil {
 		sys = cfg.Pool.Get(cfg.Seed, plan)
 	} else {
-		sys = newSystem(cfg.N, cfg.Seed, plan, cfg.Transport != TransportTCP)
+		sys = newSystem(cfg.N, cfg.Seed, plan, !cfg.Transport.Networked())
 	}
 	// Installed before any algorithm goroutine starts (pooled systems
 	// carry the previous run's recorder otherwise). The chan substrate
@@ -422,7 +443,7 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	// realistic campaign sizes.
 	sys.rec = cfg.Trace
 	sys.traceID = uint64(cfg.Seed)*2 + 1
-	if cfg.Transport == TransportTCP && (cfg.Cluster != nil || cfg.ElectionID != 0) {
+	if cfg.Transport.Networked() && (cfg.Cluster != nil || cfg.ElectionID != 0) {
 		sys.traceID = cfg.ElectionID
 	}
 
@@ -445,7 +466,7 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	var cluster *electd.Cluster
 	var clients []*electd.Client
 	comms := make([]rt.Comm, cfg.K)
-	if cfg.Transport == TransportTCP {
+	if cfg.Transport.Networked() {
 		cluster = cfg.Cluster
 		election := cfg.ElectionID
 		if cluster == nil && cfg.Trace != nil && election == 0 {
@@ -458,11 +479,13 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 			election = sys.traceID
 		}
 		if cluster == nil {
-			nw := transport.NewTCP()
-			nw.NoCoalesce = cfg.NoBatch
-			nw.Trace = cfg.Trace
-			cluster, err = electd.NewClusterWith(nw, cfg.N, electd.ClusterOptions{
-				Pool:   electd.PoolOptions{NoCoalesce: cfg.NoBatch, Trace: cfg.Trace},
+			spec := transport.Spec{
+				Name:    string(cfg.Transport),
+				Shards:  cfg.ConnShards,
+				NoBatch: cfg.NoBatch,
+				Trace:   cfg.Trace,
+			}
+			cluster, err = electd.NewClusterSpec(spec, cfg.N, electd.ClusterOptions{
 				Server: electd.ServerOptions{Trace: cfg.Trace},
 			})
 			if err != nil {

@@ -13,8 +13,10 @@ import (
 	"repro/internal/wire"
 )
 
-// networks under test: every Network implementation must pass the same
-// conformance suite.
+// networks under test: every stream-semantics Network implementation must
+// pass the same conformance suite. UDP is excluded on purpose — it cannot
+// promise that corrupt frames sever or that crashed listeners refuse dials
+// — and gets its own datagram conformance suite in udp_test.go.
 func networks() map[string]func() Network {
 	return map[string]func() Network{
 		"loopback": func() Network { return NewLoopback() },

@@ -1,0 +1,695 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// UDP is the datagram-backed Network: one UDP socket per endpoint, each
+// wire frame (plain or batch) riding as one datagram payload. The quorum
+// protocol is a natural datagram workload — requests are small, idempotent
+// register reads and writes — so the transport keeps datagram semantics
+// honestly: no ordering, no delivery guarantee, a corrupt or truncated
+// datagram is silently dropped (loss, the model's one link failure), and a
+// severed "connection" is just a closed socket. Reliability belongs one
+// layer up: the electd client pool retransmits quorum calls and dedups the
+// duplicate replies by default on this transport (see electd.NewPool),
+// which keeps the reliability machinery strictly below the quorum
+// semantics the paper's proofs use.
+//
+// The write path packs runs of small batchable frames headed for the same
+// peer into one batch-frame datagram, bounded by MaxDatagram — the
+// datagram analogue of the TCP write loop's coalescing — and ships the
+// resulting packets with one sendmmsg call per drain on Linux; the read
+// path pulls up to udpRecvBatch datagrams per recvmmsg. Non-Linux builds
+// fall back to portable ReadFrom/WriteTo loops (see udp_mmsg_portable.go).
+type UDP struct {
+	// Host is the bind address for Listen, without a port. Default
+	// "127.0.0.1" — loopback datagrams: real sockets, kernel buffers and
+	// genuine loss under overrun, no external reachability.
+	Host string
+	// NoCoalesce disables the write loops' frame packing: every frame is
+	// its own datagram. It exists for the benchmarks' unbatched baseline;
+	// production paths leave it off.
+	NoCoalesce bool
+	// Trace, when non-nil, records transport-phase spans on every endpoint
+	// this network creates and turns on wire stamping: each datagram ends
+	// with a send-time stamp so the receiver records wire transit
+	// (trace.PWire). Stamping changes the datagram format, so both
+	// endpoints must come from the same traced Network — which they do for
+	// in-process clusters, the only place tracing is wired.
+	Trace *trace.Recorder
+	// MaxDatagram bounds the byte size of one packed datagram; 0 means
+	// udpDefaultPack, a conservative single-MTU budget. A lone frame
+	// larger than the bound still travels as its own datagram (loopback
+	// and jumbo paths carry it); only the merging is bounded.
+	MaxDatagram int
+}
+
+// NewUDP returns the loopback-UDP network.
+func NewUDP() *UDP { return &UDP{Host: "127.0.0.1"} }
+
+// Listen implements Network on an ephemeral port.
+func (u *UDP) Listen(h Handler) (Listener, error) {
+	host := u.Host
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	return listenUDP(net.JoinHostPort(host, "0"), h, u.NoCoalesce, u.Trace, u.MaxDatagram)
+}
+
+// Dial implements Network: a connected UDP socket. There is no handshake,
+// so dialing succeeds whether or not a server is listening — an unreachable
+// server surfaces as message loss, exactly the model's failure mode; only
+// address resolution errors fail the dial.
+func (u *UDP) Dial(addr string, h Handler) (Conn, error) {
+	return dialUDP(addr, h, u.NoCoalesce, u.Trace, u.MaxDatagram)
+}
+
+const (
+	// udpQueueDepth bounds an endpoint's outbound packet queue; a full
+	// queue backpressures Send, mirroring socket buffers (and
+	// tcpQueueDepth).
+	udpQueueDepth = 256
+	// udpRecvBatch is how many datagrams one recvmmsg wakeup may pull.
+	udpRecvBatch = 8
+	// udpMaxDatagram is the receive-slot size and the largest frame the
+	// transport will put on the wire: the UDP payload ceiling rounded to a
+	// power of two. A frame beyond it cannot cross this transport and is
+	// dropped at Send — loss, reported to the caller.
+	udpMaxDatagram = 64 << 10
+	// udpDefaultPack is the default packing bound for merged datagrams: a
+	// conservative Ethernet-MTU budget, so a packed datagram never
+	// fragments on a real network path.
+	udpDefaultPack = 1400
+	// udpSockBuf is the socket buffer depth requested per endpoint. Quorum
+	// bursts are n small datagrams wide per participant, all arriving at
+	// once; the kernel grants min(this, rmem_max).
+	udpSockBuf = 4 << 20
+)
+
+// errFrameTooLarge reports a frame that exceeds the datagram ceiling; the
+// caller treats it as message loss, like any dead link.
+var errFrameTooLarge = errors.New("transport: frame exceeds the UDP datagram ceiling")
+
+// udpSlab backs one endpoint's receive slots (udpRecvBatch datagram-sized
+// buffers carved from one allocation). Slabs are recycled through a pool:
+// benchmark and campaign workloads build clusters — dozens of endpoints —
+// per election, and re-zeroing half a megabyte per endpoint would dominate
+// setup.
+var udpSlabPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, udpRecvBatch*udpMaxDatagram)
+		return &b
+	},
+}
+
+// pkt is one datagram in a batched send or receive: the payload and the
+// peer. An invalid (zero) addr means the endpoint's socket is connected
+// and the kernel routes.
+type pkt struct {
+	buf []byte
+	to  netip.AddrPort
+}
+
+// udpEndpoint is one UDP socket with its write and read loops — the shared
+// machinery under both a dialed client conn and a server listener. Sends
+// enqueue encoded frames; the write loop drains the queue, packs runs of
+// small same-destination frames into batch datagrams, and hands the packet
+// run to the platform sender (sendmmsg on Linux). The read loop pulls
+// datagram batches (recvmmsg on Linux) and hands each frame body to
+// dispatch.
+type udpEndpoint struct {
+	pc         *net.UDPConn
+	io         packetIO
+	rec        *trace.Recorder
+	noCoalesce bool
+	pack       int
+	connected  bool
+	// dispatch consumes one inbound frame body (length prefix already
+	// stripped and validated); src is the datagram's source address. It
+	// runs on the read loop.
+	dispatch func(src netip.AddrPort, body []byte)
+	onClose  func()
+
+	out       chan pkt
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newUDPEndpoint(pc *net.UDPConn, connected bool, noCoalesce bool, rec *trace.Recorder, pack int) (*udpEndpoint, error) {
+	if pack <= 0 {
+		pack = udpDefaultPack
+	}
+	// Deep socket buffers: a quorum broadcast is a burst of n datagrams per
+	// participant, and the stock ~200KiB rcvbuf overruns under n=32 bursts —
+	// every overrun is real loss that costs a full retransmit tick to
+	// recover. Best-effort: the kernel clamps to its rmem_max/wmem_max.
+	pc.SetReadBuffer(udpSockBuf)  //nolint:errcheck
+	pc.SetWriteBuffer(udpSockBuf) //nolint:errcheck
+	e := &udpEndpoint{
+		pc:         pc,
+		rec:        rec,
+		noCoalesce: noCoalesce,
+		pack:       pack,
+		connected:  connected,
+		out:        make(chan pkt, udpQueueDepth),
+		done:       make(chan struct{}),
+	}
+	io, err := newPacketIO(e)
+	if err != nil {
+		return nil, err
+	}
+	e.io = io
+	return e, nil
+}
+
+func (e *udpEndpoint) start() {
+	e.wg.Add(2)
+	go e.writeLoop()
+	go e.readLoop()
+}
+
+// send enqueues one encoded frame for the peer (zero to on a connected
+// socket), taking ownership of the buffer.
+func (e *udpEndpoint) send(frame []byte, to netip.AddrPort) error {
+	limit := udpMaxDatagram
+	if e.rec != nil {
+		limit -= wire.StampSize
+	}
+	if len(frame) > limit {
+		wire.PutBuf(frame)
+		return errFrameTooLarge
+	}
+	if e.rec != nil {
+		e.rec.Event(0, 0, trace.PEnqueue, int64(len(e.out)))
+	}
+	select {
+	case <-e.done:
+		wire.PutBuf(frame)
+		return ErrClosed
+	case e.out <- pkt{buf: frame, to: to}:
+		return nil
+	}
+}
+
+func (e *udpEndpoint) close() {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.pc.Close()
+		if e.onClose != nil {
+			e.onClose()
+		}
+	})
+}
+
+// writeLoop drains the outbound queue onto the socket: each wakeup picks up
+// every frame already queued (the queue accumulates exactly while the
+// previous syscall is in flight, so the busier the socket, the bigger the
+// batches), packs them into datagrams, and ships the whole run with as few
+// syscalls as the platform allows.
+func (e *udpEndpoint) writeLoop() {
+	defer e.wg.Done()
+	frames := make([]pkt, 0, 64)
+	pkts := make([]pkt, 0, 64)
+	for {
+		select {
+		case <-e.done:
+			return
+		case p := <-e.out:
+			frames = append(frames[:0], p)
+		drain:
+			for len(frames) < maxCoalesce {
+				select {
+				case p = <-e.out:
+					frames = append(frames, p)
+				default:
+					break drain
+				}
+			}
+			var drainT0 int64
+			if e.rec != nil {
+				drainT0 = trace.Now()
+			}
+			n := len(frames)
+			pkts = packDatagrams(pkts[:0], frames, e.pack, e.noCoalesce, e.rec != nil)
+			err := e.io.sendPackets(e, pkts)
+			for i := range pkts {
+				wire.PutBuf(pkts[i].buf)
+				pkts[i] = pkt{}
+			}
+			for i := range frames {
+				frames[i] = pkt{}
+			}
+			if err != nil {
+				e.close()
+				return
+			}
+			if e.rec != nil {
+				e.rec.Record(0, 0, trace.PWriteDrain, drainT0, trace.Now()-drainT0, int64(n))
+			}
+		}
+	}
+}
+
+// packDatagrams turns a drained run of encoded frames into the datagrams to
+// send: every maximal run of batchable frames headed for the same peer (two
+// or more, fitting the pack bound together) merges into one batch-frame
+// datagram — the datagram analogue of coalesceFrames — and everything else
+// passes through as its own datagram. Merged sources are recycled
+// immediately; every returned packet buffer is owned by the caller. With
+// stamp set, each datagram gets its send-time trace stamp appended.
+func packDatagrams(dst []pkt, frames []pkt, pack int, noCoalesce bool, stamp bool) []pkt {
+	for i := 0; i < len(frames); {
+		j, size := i, 0
+		if !noCoalesce {
+			for j < len(frames) && frames[j].to == frames[i].to &&
+				size+len(frames[j].buf) <= pack && wire.BatchableFrame(frames[j].buf) {
+				size += len(frames[j].buf)
+				j++
+			}
+		}
+		if j-i >= 2 {
+			merged, err := wire.AppendBatchHeader(wire.GetBuf(), j-i, size)
+			if err != nil {
+				// Unreachable under the pack bound; fall through frame by
+				// frame rather than dropping the run.
+				wire.PutBuf(merged)
+				j = i
+			} else {
+				hdr := len(merged)
+				for k := i; k < j; k++ {
+					merged = append(merged, frames[k].buf...)
+					wire.PutBuf(frames[k].buf)
+				}
+				countBatchOut(j-i, hdr+size)
+				dst = append(dst, pkt{buf: appendStamp(merged, stamp), to: frames[i].to})
+				i = j
+				continue
+			}
+		}
+		// A lone batchable frame, or an unbatchable one: its own datagram.
+		countOut(len(frames[i].buf))
+		dst = append(dst, pkt{buf: appendStamp(frames[i].buf, stamp), to: frames[i].to})
+		i++
+	}
+	return dst
+}
+
+// appendStamp suffixes one outgoing datagram with its send-time trace
+// stamp; a no-op when stamping is off.
+func appendStamp(buf []byte, stamp bool) []byte {
+	if !stamp {
+		return buf
+	}
+	var b [wire.StampSize]byte
+	wire.PutStamp(b[:], trace.Now())
+	return append(buf, b[:]...)
+}
+
+// readLoop pulls datagram batches off the socket and dispatches each frame
+// body. Datagrams are independent, so a corrupt or truncated one is
+// dropped alone — loss — rather than severing the endpoint; only a closed
+// socket ends the loop. Transient socket errors (an ICMP port-unreachable
+// surfacing as ECONNREFUSED on a connected socket, say) are likewise loss:
+// the endpoint survives them, which is what lets a client ride out a
+// server crash and reach the recovered server on the same socket.
+func (e *udpEndpoint) readLoop() {
+	defer e.wg.Done()
+	slab := udpSlabPool.Get().(*[]byte)
+	defer udpSlabPool.Put(slab)
+	bufs := make([][]byte, udpRecvBatch)
+	for i := range bufs {
+		bufs[i] = (*slab)[i*udpMaxDatagram : (i+1)*udpMaxDatagram]
+	}
+	lens := make([]int, udpRecvBatch)
+	srcs := make([]netip.AddrPort, udpRecvBatch)
+	for {
+		n, err := e.io.recvPackets(e, bufs, lens, srcs)
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				e.close()
+				return
+			}
+			continue // transient: datagram-level loss
+		}
+		for i := 0; i < n; i++ {
+			b := bufs[i][:lens[i]]
+			if e.rec != nil {
+				if len(b) < wire.StampSize {
+					continue // truncated: loss
+				}
+				sent := wire.GetStamp(b[len(b)-wire.StampSize:])
+				b = b[:len(b)-wire.StampSize]
+				e.rec.Record(0, 0, trace.PWire, sent, trace.Now()-sent, int64(len(b)))
+			}
+			// One length-prefixed frame per datagram: the prefix is
+			// redundant with the datagram length, which is exactly what
+			// makes it a truncation check.
+			size, un := binary.Uvarint(b)
+			if un <= 0 || int(size) != len(b)-un {
+				continue // corrupt or truncated: loss
+			}
+			body := b[un:]
+			countIn(len(body))
+			var decT0 int64
+			if e.rec != nil {
+				decT0 = trace.Now()
+			}
+			e.dispatch(srcs[i], body)
+			if e.rec != nil {
+				e.rec.Record(0, 0, trace.PReadDecode, decT0, trace.Now()-decT0, int64(len(body)))
+			}
+		}
+	}
+}
+
+// sendPacketsGeneric is the portable packet sender: one WriteTo (or Write,
+// on a connected socket) per datagram. Per-datagram errors are loss; only
+// a closed socket is fatal.
+func sendPacketsGeneric(e *udpEndpoint, pkts []pkt) error {
+	for _, p := range pkts {
+		var err error
+		if p.to.IsValid() {
+			_, err = e.pc.WriteToUDPAddrPort(p.buf, p.to)
+		} else {
+			_, err = e.pc.Write(p.buf)
+		}
+		if err != nil && errors.Is(err, net.ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvPacketsGeneric is the portable packet receiver: one blocking
+// ReadFrom per call.
+func recvPacketsGeneric(e *udpEndpoint, bufs [][]byte, lens []int, srcs []netip.AddrPort) (int, error) {
+	n, addr, err := e.pc.ReadFromUDPAddrPort(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	lens[0], srcs[0] = n, addr
+	return 1, nil
+}
+
+// udpConn is the dialed (client) side: Conn over one connected socket.
+type udpConn struct {
+	ep      *udpEndpoint
+	handler Handler
+	filter  atomic.Value // FrameFilter, installed via SetFilter
+}
+
+func dialUDP(addr string, h Handler, noCoalesce bool, rec *trace.Recorder, pack int) (Conn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := newUDPEndpoint(pc, true, noCoalesce, rec, pack)
+	if err != nil {
+		pc.Close()
+		return nil, err
+	}
+	c := &udpConn{ep: ep, handler: h}
+	ep.dispatch = c.dispatchBody
+	ep.start()
+	return c, nil
+}
+
+// SetFilter implements FilteredConn.
+func (c *udpConn) SetFilter(f FrameFilter) { c.filter.Store(f) }
+
+func (c *udpConn) loadFilter() FrameFilter {
+	if f, ok := c.filter.Load().(FrameFilter); ok {
+		return f
+	}
+	return nil
+}
+
+func (c *udpConn) dispatchBody(_ netip.AddrPort, body []byte) {
+	// A decode error is one bad datagram, not a broken stream: drop it.
+	dispatchGroup(c, c.handler, c.loadFilter(), body) //nolint:errcheck
+}
+
+// Send implements Conn.
+func (c *udpConn) Send(m *wire.Msg) error {
+	frame, err := wire.Append(wire.GetBuf(), m)
+	if err != nil {
+		wire.PutBuf(frame)
+		return err
+	}
+	return c.SendEncoded(frame)
+}
+
+// SendEncoded implements Conn, taking ownership of frame.
+func (c *udpConn) SendEncoded(frame []byte) error {
+	return c.ep.send(frame, netip.AddrPort{})
+}
+
+// Close implements Conn.
+func (c *udpConn) Close() error {
+	c.ep.close()
+	return nil
+}
+
+// UDPListener is the server-side UDP endpoint: one socket shared by every
+// peer, with a lightweight per-peer Conn materialized per source address so
+// handlers reply over "the connection the request arrived on" exactly as
+// they do on TCP — for a datagram socket that connection is the listener's
+// socket plus the peer's address.
+type UDPListener struct {
+	handler    Handler
+	rec        *trace.Recorder
+	noCoalesce bool
+	pack       int
+	addr       string // resolved listen address, fixed at listen time; Recover rebinds it
+	crashed    atomic.Bool
+
+	ep atomic.Pointer[udpEndpoint] // current socket; nil while crashed
+
+	mu      sync.Mutex
+	closed  bool
+	peers   map[netip.AddrPort]*udpPeerConn
+	readErr error         // why the read loop died, nil for Close/Crash; guarded by mu
+	done    chan struct{} // closed when the current read loop exits; swapped by Recover
+}
+
+// ListenUDP binds addr (host:port; port 0 for ephemeral) and serves inbound
+// frames to h, with write-side frame packing on.
+func ListenUDP(addr string, h Handler) (*UDPListener, error) {
+	return listenUDP(addr, h, false, nil, 0)
+}
+
+func listenUDP(addr string, h Handler, noCoalesce bool, rec *trace.Recorder, pack int) (*UDPListener, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	l := &UDPListener{
+		handler:    h,
+		rec:        rec,
+		noCoalesce: noCoalesce,
+		pack:       pack,
+		addr:       pc.LocalAddr().String(),
+		peers:      make(map[netip.AddrPort]*udpPeerConn),
+		done:       make(chan struct{}),
+	}
+	if err := l.arm(pc, l.done); err != nil {
+		pc.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// arm wraps a bound socket in an endpoint and starts its loops; done is
+// closed when the endpoint's read loop exits.
+func (l *UDPListener) arm(pc *net.UDPConn, done chan struct{}) error {
+	ep, err := newUDPEndpoint(pc, false, l.noCoalesce, l.rec, l.pack)
+	if err != nil {
+		return err
+	}
+	ep.dispatch = l.dispatchBody
+	ep.onClose = func() { close(done) }
+	l.ep.Store(ep)
+	ep.start()
+	return nil
+}
+
+// Addr implements Listener. Fixed at listen time (resolved port for
+// ephemeral binds), so it stays dialable across Crash/Recover cycles.
+func (l *UDPListener) Addr() string { return l.addr }
+
+// Done is closed when the serve loop has exited — after Close or Crash. A
+// daemon selects on it; re-read after any Recover, which arms a fresh
+// channel.
+func (l *UDPListener) Done() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.done
+}
+
+// Err reports why the serve loop exited: nil for a deliberate Close or
+// Crash. Meaningful once Done is closed.
+func (l *UDPListener) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readErr
+}
+
+// dispatchBody routes one inbound frame body to the handler via the
+// source's peer conn, so replies travel back to the right address (and the
+// replies of one inbound batch coalesce into one outbound datagram).
+func (l *UDPListener) dispatchBody(src netip.AddrPort, body []byte) {
+	if l.crashed.Load() {
+		return // a crashed node loses inbound messages silently
+	}
+	p := l.peer(src)
+	dispatchGroup(p, l.handler, nil, body) //nolint:errcheck // one bad datagram is loss, not severance
+}
+
+// peer returns the reply conn for one source address, creating it on first
+// contact. Peers carry no per-connection state beyond the address, so the
+// map is only a reuse cache; Crash clears it.
+func (l *UDPListener) peer(src netip.AddrPort) *udpPeerConn {
+	l.mu.Lock()
+	p := l.peers[src]
+	if p == nil {
+		p = &udpPeerConn{l: l, to: src}
+		l.peers[src] = p
+	}
+	l.mu.Unlock()
+	return p
+}
+
+// Crash implements Listener: drop the socket, forget the peers, lose
+// anything inbound or queued.
+func (l *UDPListener) Crash() {
+	l.crashed.Store(true)
+	ep := l.ep.Swap(nil)
+	l.mu.Lock()
+	l.peers = make(map[netip.AddrPort]*udpPeerConn)
+	l.mu.Unlock()
+	if ep != nil {
+		ep.close()
+		ep.wg.Wait()
+	}
+}
+
+// Recover implements Recoverer: rebind the original address and start
+// fresh loops. Clients that kept their sockets reach the server again
+// immediately; redialing (electd's Pool.Redial) works too. Fails if the
+// port was taken meanwhile or the listener was Closed rather than Crashed.
+func (l *UDPListener) Recover() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return net.ErrClosed
+	}
+	l.mu.Unlock()
+	laddr, err := net.ResolveUDPAddr("udp", l.addr)
+	if err != nil {
+		return err
+	}
+	pc, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	l.mu.Lock()
+	if l.closed { // Close raced the rebind
+		l.mu.Unlock()
+		pc.Close()
+		return net.ErrClosed
+	}
+	l.done = done
+	l.readErr = nil
+	l.mu.Unlock()
+	if err := l.arm(pc, done); err != nil {
+		pc.Close()
+		return err
+	}
+	l.crashed.Store(false)
+	return nil
+}
+
+// Close implements Listener: stop serving, drop the socket, wait for the
+// loops to drain.
+func (l *UDPListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	ep := l.ep.Swap(nil)
+	if ep != nil {
+		ep.close()
+		ep.wg.Wait()
+	}
+	return nil
+}
+
+// udpPeerConn is the Conn a server handler replies through: the listener's
+// socket aimed at one peer address. Closing it severs nothing — peers have
+// no connection state to sever — it just drops the reuse-cache entry.
+type udpPeerConn struct {
+	l  *UDPListener
+	to netip.AddrPort
+}
+
+// Send implements Conn.
+func (p *udpPeerConn) Send(m *wire.Msg) error {
+	frame, err := wire.Append(wire.GetBuf(), m)
+	if err != nil {
+		wire.PutBuf(frame)
+		return err
+	}
+	return p.SendEncoded(frame)
+}
+
+// SendEncoded implements Conn, taking ownership of frame. Replies after a
+// crash (or mid-Recover) are loss, like sends on any dead link.
+func (p *udpPeerConn) SendEncoded(frame []byte) error {
+	ep := p.l.ep.Load()
+	if ep == nil {
+		wire.PutBuf(frame)
+		return ErrClosed
+	}
+	return ep.send(frame, p.to)
+}
+
+// Close implements Conn.
+func (p *udpPeerConn) Close() error {
+	p.l.mu.Lock()
+	delete(p.l.peers, p.to)
+	p.l.mu.Unlock()
+	return nil
+}
+
+// packetIO is the platform seam for batched datagram syscalls: Linux moves
+// whole packet runs per syscall via sendmmsg/recvmmsg, everything else
+// loops over the portable net.UDPConn calls. recvPackets fills bufs (and
+// lens/srcs in parallel) and reports how many datagrams arrived; it blocks
+// until at least one does or the socket dies.
+type packetIO interface {
+	sendPackets(e *udpEndpoint, pkts []pkt) error
+	recvPackets(e *udpEndpoint, bufs [][]byte, lens []int, srcs []netip.AddrPort) (int, error)
+}

@@ -1,0 +1,207 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"net/netip"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// Batched datagram syscalls: sendmmsg/recvmmsg move a whole packet run per
+// kernel crossing, which is where the UDP transport's syscall saving comes
+// from — one drain of the write queue is one sendmmsg, one read wakeup
+// pulls up to udpRecvBatch datagrams. The stdlib syscall package has the
+// syscall numbers but not the mmsghdr plumbing (that lives in x/sys, which
+// this repo does not depend on), so the little that is needed is laid out
+// here for the 64-bit Linux ports and everything else takes the portable
+// path (udp_mmsg_portable.go).
+
+// mmsghdr mirrors the kernel's struct mmsghdr on 64-bit Linux: a msghdr
+// plus the per-packet byte count the kernel writes back on receive.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// linuxIO is the mmsg-backed packetIO of one endpoint: the raw fd hook and
+// the syscall scratch (headers, iovecs, sockaddr storage), reused across
+// calls so the steady state allocates nothing. fellBack flips on the first
+// ENOSYS/EOPNOTSUPP — kernels without the mmsg calls — after which the
+// portable loops serve.
+type linuxIO struct {
+	rc syscall.RawConn
+
+	rhdrs  [udpRecvBatch]mmsghdr
+	riovs  [udpRecvBatch]syscall.Iovec
+	rnames [udpRecvBatch]syscall.RawSockaddrAny
+
+	shdrs  []mmsghdr
+	siovs  []syscall.Iovec
+	snames []syscall.RawSockaddrAny
+
+	fellBack atomic.Bool
+}
+
+func newPacketIO(e *udpEndpoint) (packetIO, error) {
+	rc, err := e.pc.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	return &linuxIO{rc: rc}, nil
+}
+
+// sendPackets ships the run with as few sendmmsg calls as the kernel
+// accepts. A per-datagram error (ECONNREFUSED from a dead peer, EMSGSIZE,
+// ...) is that datagram's loss — skip it and keep going; only a closed
+// socket is fatal to the endpoint.
+func (lio *linuxIO) sendPackets(e *udpEndpoint, pkts []pkt) error {
+	if len(pkts) == 0 {
+		return nil
+	}
+	if lio.fellBack.Load() {
+		return sendPacketsGeneric(e, pkts)
+	}
+	if cap(lio.shdrs) < len(pkts) {
+		lio.shdrs = make([]mmsghdr, len(pkts))
+		lio.siovs = make([]syscall.Iovec, len(pkts))
+		lio.snames = make([]syscall.RawSockaddrAny, len(pkts))
+	}
+	hdrs := lio.shdrs[:len(pkts)]
+	for i := range pkts {
+		lio.siovs[i].Base = &pkts[i].buf[0]
+		lio.siovs[i].Len = uint64(len(pkts[i].buf))
+		h := &hdrs[i]
+		*h = mmsghdr{}
+		h.hdr.Iov = &lio.siovs[i]
+		h.hdr.Iovlen = 1
+		if pkts[i].to.IsValid() {
+			h.hdr.Name = (*byte)(unsafe.Pointer(&lio.snames[i]))
+			h.hdr.Namelen = putRawSockaddr(&lio.snames[i], pkts[i].to)
+		}
+	}
+	sent := 0
+	for sent < len(pkts) {
+		var n uintptr
+		var errno syscall.Errno
+		werr := lio.rc.Write(func(fd uintptr) bool {
+			for {
+				n, _, errno = syscall.Syscall6(sysSENDMMSG, fd,
+					uintptr(unsafe.Pointer(&hdrs[sent])), uintptr(len(pkts)-sent), 0, 0, 0)
+				if errno == syscall.EINTR {
+					continue
+				}
+				return errno != syscall.EAGAIN
+			}
+		})
+		if werr != nil {
+			return werr // socket closed under the write loop
+		}
+		switch {
+		case errno == 0 && n > 0:
+			sent += int(n)
+		case errno == syscall.ENOSYS || errno == syscall.EOPNOTSUPP:
+			lio.fellBack.Store(true)
+			return sendPacketsGeneric(e, pkts[sent:])
+		default:
+			sent++ // this datagram is loss; move on
+		}
+	}
+	runtime.KeepAlive(pkts)
+	return nil
+}
+
+// recvPackets blocks until at least one datagram arrives (riding the
+// runtime poller through RawConn.Read), then drains up to udpRecvBatch in
+// one recvmmsg. Transient socket errors surface to the read loop, which
+// treats them as loss.
+func (lio *linuxIO) recvPackets(e *udpEndpoint, bufs [][]byte, lens []int, srcs []netip.AddrPort) (int, error) {
+	if lio.fellBack.Load() {
+		return recvPacketsGeneric(e, bufs, lens, srcs)
+	}
+	k := len(bufs)
+	if k > udpRecvBatch {
+		k = udpRecvBatch
+	}
+	for i := 0; i < k; i++ {
+		lio.riovs[i].Base = &bufs[i][0]
+		lio.riovs[i].Len = uint64(len(bufs[i]))
+		h := &lio.rhdrs[i]
+		*h = mmsghdr{}
+		h.hdr.Iov = &lio.riovs[i]
+		h.hdr.Iovlen = 1
+		h.hdr.Name = (*byte)(unsafe.Pointer(&lio.rnames[i]))
+		h.hdr.Namelen = uint32(unsafe.Sizeof(lio.rnames[i]))
+	}
+	var n uintptr
+	var errno syscall.Errno
+	rerr := lio.rc.Read(func(fd uintptr) bool {
+		for {
+			n, _, errno = syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+				uintptr(unsafe.Pointer(&lio.rhdrs[0])), uintptr(k), 0, 0, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			return errno != syscall.EAGAIN
+		}
+	})
+	if rerr != nil {
+		return 0, rerr // socket closed
+	}
+	if errno != 0 {
+		if errno == syscall.ENOSYS || errno == syscall.EOPNOTSUPP {
+			lio.fellBack.Store(true)
+			return recvPacketsGeneric(e, bufs, lens, srcs)
+		}
+		return 0, errno // transient (ICMP unreachable, ...): loss
+	}
+	for i := 0; i < int(n); i++ {
+		lens[i] = int(lio.rhdrs[i].n)
+		if e.connected {
+			srcs[i] = netip.AddrPort{}
+		} else {
+			srcs[i] = rawToAddrPort(&lio.rnames[i])
+		}
+	}
+	runtime.KeepAlive(bufs)
+	return int(n), nil
+}
+
+// putRawSockaddr encodes one destination into sockaddr storage for a
+// msghdr, returning the kernel-facing length. Ports travel in network byte
+// order inside the raw struct.
+func putRawSockaddr(rsa *syscall.RawSockaddrAny, ap netip.AddrPort) uint32 {
+	port := ap.Port()
+	if a := ap.Addr(); a.Is4() || a.Is4In6() {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(port>>8), byte(port)
+		sa.Addr = a.As4()
+		return syscall.SizeofSockaddrInet4
+	}
+	sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0], p[1] = byte(port>>8), byte(port)
+	sa.Addr = ap.Addr().As16()
+	return syscall.SizeofSockaddrInet6
+}
+
+// rawToAddrPort decodes a received datagram's source address.
+func rawToAddrPort(rsa *syscall.RawSockaddrAny) netip.AddrPort {
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), uint16(p[0])<<8|uint16(p[1]))
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr).Unmap(), uint16(p[0])<<8|uint16(p[1]))
+	}
+	return netip.AddrPort{}
+}

@@ -1,0 +1,22 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+import "net/netip"
+
+// The portable datagram path: plain net.UDPConn reads and writes, one
+// syscall per datagram. Everything above the packetIO seam — packing,
+// framing, stamping, the reliability layered on by the electd pool — is
+// identical to the Linux build; only the batched-syscall saving is gone.
+
+type genericIO struct{}
+
+func newPacketIO(*udpEndpoint) (packetIO, error) { return genericIO{}, nil }
+
+func (genericIO) sendPackets(e *udpEndpoint, pkts []pkt) error {
+	return sendPacketsGeneric(e, pkts)
+}
+
+func (genericIO) recvPackets(e *udpEndpoint, bufs [][]byte, lens []int, srcs []netip.AddrPort) (int, error) {
+	return recvPacketsGeneric(e, bufs, lens, srcs)
+}

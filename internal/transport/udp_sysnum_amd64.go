@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package transport
+
+// The stdlib syscall table for linux/amd64 was frozen before sendmmsg
+// (kernel 3.0) landed, so its number is pinned here; recvmmsg made the
+// freeze and comes from the package. x86-64 syscall numbers are ABI — they
+// never change.
+const sysSENDMMSG = 307

@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package transport
+
+import "syscall"
+
+const sysSENDMMSG = syscall.SYS_SENDMMSG

@@ -42,8 +42,28 @@ func GetMsg() *Msg {
 // PutMsg recycles a message. The caller must be its terminal consumer:
 // nothing may reference the message afterwards. Slices the message pointed
 // to (a view's entries, say) stay valid — recycling drops the references,
-// it never reuses their arrays.
+// it never reuses their arrays. Consumers that own the entries too should
+// use RecycleMsg, which keeps the entry array for the next decode.
 func PutMsg(m *Msg) {
 	*m = Msg{}
+	msgPool.Put(m)
+}
+
+// RecycleMsg recycles a message AND its entry storage: the Entries array
+// rides back into the pool and the next Decode on this message reuses its
+// capacity instead of allocating — the arena that takes per-entry
+// allocation out of the server's propagate path and the client's discard
+// paths. The bar is higher than PutMsg's: the caller must own everything
+// the message references — nothing may retain m.Entries or any sub-slice
+// of it. A consumer that hands entries onward (Collect's views keep their
+// reply's entries alive) must use PutMsg, which drops the array.
+func RecycleMsg(m *Msg) {
+	// Clear the whole capacity, not just the live window: a shorter decode
+	// shrinks len below an earlier one, and entries parked in [len, cap)
+	// would otherwise pin their rt.Values for the arena's lifetime.
+	entries := m.Entries[:cap(m.Entries)]
+	clear(entries)
+	*m = Msg{}
+	m.Entries = entries[:0]
 	msgPool.Put(m)
 }

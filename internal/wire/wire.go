@@ -563,7 +563,14 @@ func (m *Msg) decode(body []byte) error {
 			return fmt.Errorf("wire: entry count %d exceeds remaining %d bytes", count, len(d.b))
 		}
 		if count > 0 {
-			m.Entries = make([]rt.Entry, count)
+			// Reuse the entry arena a RecycleMsg left behind when it is big
+			// enough; elements in [len, cap) are zero by the recycle
+			// contract, and the loop below overwrites [0, count) entirely.
+			if uint64(cap(m.Entries)) >= count {
+				m.Entries = m.Entries[:count]
+			} else {
+				m.Entries = make([]rt.Entry, count)
+			}
 			for i := range m.Entries {
 				owner, err := d.procID()
 				if err != nil {

@@ -81,12 +81,16 @@ const (
 	Sim Backend = "sim"
 	// Live runs the same algorithms on real OS-scheduled goroutines with
 	// channel-backed quorums: wall-clock time, genuine contention, no
-	// adversary control. Safety properties hold on both backends.
+	// adversary control. Safety properties hold on both backends. The comm
+	// substrate is orthogonal — pick it with WithTransport (ChanTransport,
+	// TCPTransport or UDPTransport).
 	Live Backend = "live"
-	// BackendTCP is shorthand for the Live backend with the TCP transport:
-	// every communicate call crosses loopback TCP sockets to electd quorum
-	// servers through the internal/wire codec. Equivalent to
-	// WithBackend(Live) plus WithTransport(TCPTransport).
+	// BackendTCP is shorthand for WithBackend(Live) plus
+	// WithTransport(TCPTransport).
+	//
+	// Deprecated: backend and transport are independent axes; select them
+	// separately with WithBackend(Live) and WithTransport. BackendTCP
+	// remains as an alias and is folded into that pair.
 	BackendTCP Backend = "live-tcp"
 )
 
@@ -102,6 +106,11 @@ const (
 	// TCPTransport routes quorum traffic through electd servers over
 	// loopback TCP: a real network boundary under the same algorithms.
 	TCPTransport = live.TransportTCP
+	// UDPTransport routes quorum traffic through electd servers over
+	// loopback UDP datagrams: the same wire frames packed into datagrams
+	// with batched syscalls, and the client pool's retransmit-and-dedup as
+	// the reliability layer, strictly below the quorum semantics.
+	UDPTransport = live.TransportUDP
 )
 
 // config collects the run parameters; zero values select defaults.
@@ -138,12 +147,13 @@ func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = 
 // schedules exist only on the Sim backend.
 func WithSchedule(s Schedule) Option { return func(c *config) { c.schedule = s } }
 
-// WithBackend selects the execution backend: Sim (default), Live, or
-// BackendTCP (Live over the TCP transport).
+// WithBackend selects the execution backend: Sim (default) or Live. The
+// deprecated BackendTCP alias is accepted and folded into Live +
+// TCPTransport.
 func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 
 // WithTransport selects the Live backend's comm substrate: ChanTransport
-// (default) or TCPTransport. Requires WithBackend(Live).
+// (default), TCPTransport or UDPTransport. Requires WithBackend(Live).
 func WithTransport(t Transport) Option { return func(c *config) { c.transport = t } }
 
 // WithFaults sets the crash budget used by the Crashing schedule.
@@ -206,7 +216,7 @@ func (c config) validate() error {
 		return fmt.Errorf("repro: transport %q requires the Live backend (the Sim kernel has no network)", c.transport)
 	}
 	switch c.transport {
-	case "", ChanTransport, TCPTransport:
+	case "", ChanTransport, TCPTransport, UDPTransport:
 	default:
 		return fmt.Errorf("repro: unknown transport %q", c.transport)
 	}
