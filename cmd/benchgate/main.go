@@ -2,12 +2,25 @@
 // checked-in baseline and fails (exit 1) on regressions beyond a threshold
 // in the gated metrics — the CI bench job's regression gate.
 //
-// Both files hold the repository's benchmark-metric schema (docs/BENCH.md):
-// either the legacy flat JSON array of {"name": ..., "value": ...} objects,
-// or the current object form {"metrics": [...], "phases": [...]} whose
-// phases carry per-phase latency-attribution baselines (internal/trace
-// breakdowns) alongside the scalar metrics. benchgate gates only the
-// scalar metrics; the phases ride along as recorded context for perf PRs.
+// Both files hold the repository's benchmark-metric schema (docs/BENCH.md).
+// Three generations parse: the legacy flat JSON array of {"name": ...,
+// "value": ...} objects, the object form {"metrics": [...], "phases":
+// [...]}, and the current host-profile form {"profiles": [{"host":
+// {cores, gomaxprocs, goos, goarch}, "metrics": [...], "phases": [...]}]}.
+// benchgate gates only the scalar metrics; the phases ride along as
+// recorded context for perf PRs.
+//
+// Contention numbers are host-shaped, so profile selection (-host) decides
+// which section of a profiled file is compared: "auto" (the default) picks
+// the profile measured on a machine like this one (cores, goos, goarch
+// equal), "cores=N" picks by core count, and "any" requires the file to
+// hold exactly one profile. Legacy files count as one wildcard profile
+// matching every host. When the *baseline* holds no matching profile —
+// the checked-in numbers came from a different machine shape — the
+// baseline compare is skipped with a note and exit 0: comparing a
+// single-core container's curve against a many-core runner's would gate
+// on hardware, not code. The -ratio gates are unaffected: they pair
+// variants inside the current file, where hardware cancels out.
 //
 // Every metric present in both files is printed benchstat-style with its
 // delta; only metrics matching -gate are enforced — by default the latency
@@ -39,7 +52,9 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -47,6 +62,69 @@ import (
 type metric struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
+}
+
+// hostProfile keys one profile section of a BENCH_*.json file: the machine
+// shape its numbers were measured on. The zero value is the wildcard
+// profile legacy (unprofiled) files are treated as.
+type hostProfile struct {
+	Cores      int    `json:"cores"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	Goos       string `json:"goos"`
+	Goarch     string `json:"goarch"`
+}
+
+func (h hostProfile) wildcard() bool { return h == hostProfile{} }
+
+func (h hostProfile) String() string {
+	if h.wildcard() {
+		return "unprofiled (legacy schema, matches any host)"
+	}
+	return fmt.Sprintf("cores=%d gomaxprocs=%d %s/%s", h.Cores, h.Gomaxprocs, h.Goos, h.Goarch)
+}
+
+// hostSelector decides which profile of a file to compare.
+type hostSelector struct {
+	mode  string // "auto", "any", or "cores"
+	cores int    // for mode "cores"
+}
+
+// parseHostSelector parses the -host flag.
+func parseHostSelector(s string) (hostSelector, error) {
+	switch {
+	case s == "auto":
+		return hostSelector{mode: "auto"}, nil
+	case s == "any":
+		return hostSelector{mode: "any"}, nil
+	case strings.HasPrefix(s, "cores="):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "cores="))
+		if err != nil || n <= 0 {
+			return hostSelector{}, fmt.Errorf("-host %q: want cores=<positive int>", s)
+		}
+		return hostSelector{mode: "cores", cores: n}, nil
+	default:
+		return hostSelector{}, fmt.Errorf("-host %q: want auto, any, or cores=<n>", s)
+	}
+}
+
+// matches reports whether a profile satisfies the selector. Wildcard
+// profiles (legacy files) match everything. "auto" matches on machine
+// shape — cores, goos, goarch — but not gomaxprocs: an explicitly lowered
+// or raised GOMAXPROCS is an experiment, and its profile is selected
+// explicitly (cores=...), never silently.
+func (sel hostSelector) matches(h hostProfile) bool {
+	if h.wildcard() {
+		return true
+	}
+	switch sel.mode {
+	case "auto":
+		return h.Cores == runtime.NumCPU() && h.Goos == runtime.GOOS && h.Goarch == runtime.GOARCH &&
+			h.Gomaxprocs == h.Cores
+	case "cores":
+		return h.Cores == sel.cores
+	default: // "any"
+		return true
+	}
 }
 
 // row is one comparison line.
@@ -96,41 +174,69 @@ func main() {
 	ratioPairs := flag.String("ratio", "", "comma-separated traced:untraced prefix pairs gated against each other inside the current file")
 	ratioGate := flag.String("ratio-gate", `allocs$`, "regexp selecting the metrics the -ratio pairs gate")
 	ratioThreshold := flag.Float64("ratio-threshold", 0.25, "fractional traced/untraced overhead beyond which a -ratio pair fails")
+	hostFlag := flag.String("host", "auto", "profile selection for profiled files: auto, any, or cores=<n>")
 	flag.Parse()
 	if *currentPath == "" || (*baselinePath == "" && *ratioPairs == "") {
 		fmt.Fprintln(os.Stderr, "benchgate: -current plus -baseline and/or -ratio are required")
 		os.Exit(2)
 	}
-	current, err := load(*currentPath)
+	sel, err := parseHostSelector(*hostFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
+	current, ok, note, err := load(*currentPath, sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		// The current file is this run's own output; failing to find this
+		// host in it means the harness and gate disagree — a real error.
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %s\n", *currentPath, note)
+		os.Exit(2)
+	}
+	if note != "" {
+		fmt.Printf("current  %s (%s)\n", *currentPath, note)
+	}
 	failures := 0
 	if *baselinePath != "" {
-		baseline, err := load(*baselinePath)
+		baseline, ok, note, err := load(*baselinePath, sel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
 		}
-		rows := compare(baseline, current, regexp.MustCompile(*gatePat), regexp.MustCompile(*higherPat), *threshold)
-		if len(rows) == 0 {
-			fmt.Fprintln(os.Stderr, "benchgate: no shared metrics between baseline and current")
-			os.Exit(2)
+		if !ok {
+			// The checked-in baseline was measured on a different machine
+			// shape: comparing across shapes would gate on hardware, not
+			// code. Skip the baseline compare (the -ratio gates below still
+			// run — they pair variants inside the current file).
+			fmt.Printf("baseline %s: %s\nbaseline compare skipped (no comparable host profile)\n", *baselinePath, note)
+			baseline = nil
 		}
-		fmt.Printf("%-44s %14s %14s %9s\n", "metric", "old", "new", "delta")
-		for _, r := range rows {
-			mark := " "
-			if r.gated {
-				mark = "*"
-				if r.failed {
-					mark = "!"
-					failures++
-				}
+		if baseline != nil {
+			if note != "" {
+				fmt.Printf("baseline %s (%s)\n", *baselinePath, note)
 			}
-			fmt.Printf("%-44s %14.6g %14.6g %+8.1f%% %s\n", r.name, r.old, r.new, 100*r.delta, mark)
+			rows := compare(baseline, current, regexp.MustCompile(*gatePat), regexp.MustCompile(*higherPat), *threshold)
+			if len(rows) == 0 {
+				fmt.Fprintln(os.Stderr, "benchgate: no shared metrics between baseline and current")
+				os.Exit(2)
+			}
+			fmt.Printf("%-44s %14s %14s %9s\n", "metric", "old", "new", "delta")
+			for _, r := range rows {
+				mark := " "
+				if r.gated {
+					mark = "*"
+					if r.failed {
+						mark = "!"
+						failures++
+					}
+				}
+				fmt.Printf("%-44s %14.6g %14.6g %+8.1f%% %s\n", r.name, r.old, r.new, 100*r.delta, mark)
+			}
+			fmt.Printf("\n(* gated; ! regression beyond %.0f%%; positive delta = worse)\n", 100**threshold)
 		}
-		fmt.Printf("\n(* gated; ! regression beyond %.0f%%; positive delta = worse)\n", 100**threshold)
 	}
 	if *ratioPairs != "" {
 		rows, err := compareRatios(current, strings.Split(*ratioPairs, ","), regexp.MustCompile(*ratioGate), *ratioThreshold)
@@ -159,42 +265,68 @@ func main() {
 	}
 }
 
-// load reads one BENCH_*.json metric file. Both schema generations parse:
-// the legacy flat array of metrics, and the object form whose "metrics"
-// key holds the same array next to the "phases" attribution baselines
-// (which benchgate ignores — they are context, not gated numbers).
-func load(path string) (map[string]float64, error) {
+// load reads one BENCH_*.json metric file and selects the profile the
+// selector asks for. All three schema generations parse: the legacy flat
+// array of metrics and the {"metrics": [...]} object form become one
+// wildcard profile; the {"profiles": [...]} form is searched for a
+// matching host. ok is false — with the available profiles described in
+// note — when a profiled file holds no match; the caller decides whether
+// that is a skip (baseline) or an error (current). The "phases"
+// attribution baselines are ignored throughout — context, not gated
+// numbers.
+func load(path string, sel hostSelector) (out map[string]float64, ok bool, note string, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, false, "", err
 	}
-	ms, err := parseMetrics(raw)
+	ms, ok, note, err := parseMetrics(raw, sel)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, false, "", fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]float64, len(ms))
+	if !ok {
+		return nil, false, note, nil
+	}
+	out = make(map[string]float64, len(ms))
 	for _, m := range ms {
 		out[m.Name] = m.Value
 	}
-	return out, nil
+	return out, true, note, nil
 }
 
-// parseMetrics decodes either BENCH_*.json schema generation.
-func parseMetrics(raw []byte) ([]metric, error) {
-	var ms []metric
+// parseMetrics decodes any BENCH_*.json schema generation and applies the
+// profile selector; see load.
+func parseMetrics(raw []byte, sel hostSelector) (ms []metric, ok bool, note string, err error) {
 	if err := json.Unmarshal(raw, &ms); err == nil {
-		return ms, nil
+		return ms, true, "", nil // legacy flat array: wildcard profile
 	}
 	var obj struct {
-		Metrics []metric `json:"metrics"`
+		Metrics  []metric `json:"metrics"`
+		Profiles []struct {
+			Host    hostProfile `json:"host"`
+			Metrics []metric    `json:"metrics"`
+		} `json:"profiles"`
 	}
 	if err := json.Unmarshal(raw, &obj); err != nil {
-		return nil, err
+		return nil, false, "", err
 	}
-	if obj.Metrics == nil {
-		return nil, fmt.Errorf("neither a metric array nor an object with a \"metrics\" key")
+	switch {
+	case obj.Profiles != nil:
+		if sel.mode == "any" && len(obj.Profiles) > 1 {
+			return nil, false, "", fmt.Errorf("-host any needs exactly one profile, file holds %d", len(obj.Profiles))
+		}
+		var hosts []string
+		for _, p := range obj.Profiles {
+			if sel.matches(p.Host) {
+				return p.Metrics, true, fmt.Sprintf("profile: %s", p.Host), nil
+			}
+			hosts = append(hosts, p.Host.String())
+		}
+		return nil, false, fmt.Sprintf("no profile matches this host; file holds: %s", strings.Join(hosts, "; ")), nil
+	case obj.Metrics != nil:
+		return obj.Metrics, true, "", nil // unprofiled object form: wildcard
+	default:
+		return nil, false, "", fmt.Errorf("neither a metric array nor an object with a \"metrics\" or \"profiles\" key")
 	}
-	return obj.Metrics, nil
 }
 
 // ratioRow is one paired-variant comparison inside the current file.

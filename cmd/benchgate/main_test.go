@@ -2,6 +2,9 @@ package main
 
 import (
 	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -122,22 +125,100 @@ func TestImprovementsAndNewMetricsPass(t *testing.T) {
 	}
 }
 
-// TestParseMetricsBothSchemas: the legacy flat metric array and the object
-// form with a phases section both load; a JSON object without "metrics" is
-// rejected rather than silently read as zero metrics.
-func TestParseMetricsBothSchemas(t *testing.T) {
+// TestParseMetricsAllSchemas: the legacy flat metric array, the object form
+// with a phases section, and the host-profiled form all load; a JSON object
+// without "metrics" or "profiles" is rejected rather than silently read as
+// zero metrics. The two legacy generations count as wildcard profiles, so
+// they load under any selector.
+func TestParseMetricsAllSchemas(t *testing.T) {
+	auto := hostSelector{mode: "auto"}
 	flat := []byte(`[{"name":"a","value":1},{"name":"b","value":2}]`)
 	obj := []byte(`{"metrics":[{"name":"a","value":1}],"phases":[{"meta":{"name":"t13/tcp/n=32"},"breakdown":{"phases":[]}}]}`)
-	ms, err := parseMetrics(flat)
-	if err != nil || len(ms) != 2 {
-		t.Fatalf("flat schema: err=%v, %d metrics", err, len(ms))
+	prof := []byte(`{"profiles":[{"host":{"cores":` + itoa(runtime.NumCPU()) + `,"gomaxprocs":` + itoa(runtime.NumCPU()) +
+		`,"goos":"` + runtime.GOOS + `","goarch":"` + runtime.GOARCH + `"},"metrics":[{"name":"p","value":3}],"phases":[]}]}`)
+	ms, ok, _, err := parseMetrics(flat, auto)
+	if err != nil || !ok || len(ms) != 2 {
+		t.Fatalf("flat schema: err=%v ok=%v, %d metrics", err, ok, len(ms))
 	}
-	ms, err = parseMetrics(obj)
-	if err != nil || len(ms) != 1 || ms[0].Name != "a" {
-		t.Fatalf("object schema: err=%v, metrics=%+v", err, ms)
+	ms, ok, _, err = parseMetrics(obj, auto)
+	if err != nil || !ok || len(ms) != 1 || ms[0].Name != "a" {
+		t.Fatalf("object schema: err=%v ok=%v, metrics=%+v", err, ok, ms)
 	}
-	if _, err := parseMetrics([]byte(`{"something":"else"}`)); err == nil {
-		t.Error("object without a metrics key accepted")
+	ms, ok, _, err = parseMetrics(prof, auto)
+	if err != nil || !ok || len(ms) != 1 || ms[0].Name != "p" {
+		t.Fatalf("profiled schema: err=%v ok=%v, metrics=%+v", err, ok, ms)
+	}
+	if _, _, _, err := parseMetrics([]byte(`{"something":"else"}`), auto); err == nil {
+		t.Error("object without a metrics or profiles key accepted")
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestHostSelection: profile matching across the three -host modes, the
+// no-match skip signal, and the any-mode single-profile requirement.
+func TestHostSelection(t *testing.T) {
+	// Two profiles, neither shaped like this host (cores counts no real
+	// machine has, and a foreign goos for the matching-core one).
+	foreign := []byte(`{"profiles":[
+		{"host":{"cores":100001,"gomaxprocs":100001,"goos":"linux","goarch":"amd64"},"metrics":[{"name":"x","value":1}]},
+		{"host":{"cores":` + itoa(runtime.NumCPU()) + `,"gomaxprocs":` + itoa(runtime.NumCPU()) + `,"goos":"plan9","goarch":"arm"},"metrics":[{"name":"y","value":2}]}]}`)
+
+	// auto finds no profile: not an error, ok=false with a note naming what
+	// the file holds — the caller's skip path.
+	ms, ok, note, err := parseMetrics(foreign, hostSelector{mode: "auto"})
+	if err != nil || ok || ms != nil {
+		t.Fatalf("auto vs foreign profiles: err=%v ok=%v ms=%+v", err, ok, ms)
+	}
+	if !strings.Contains(note, "cores=100001") || !strings.Contains(note, "plan9") {
+		t.Errorf("no-match note should list the file's profiles, got %q", note)
+	}
+
+	// cores=N selects by core count regardless of goos.
+	ms, ok, _, err = parseMetrics(foreign, hostSelector{mode: "cores", cores: 100001})
+	if err != nil || !ok || len(ms) != 1 || ms[0].Name != "x" {
+		t.Fatalf("cores=100001: err=%v ok=%v ms=%+v", err, ok, ms)
+	}
+
+	// any refuses a multi-profile file (which profile would it mean?), but
+	// accepts a single-profile file no matter the shape.
+	if _, _, _, err := parseMetrics(foreign, hostSelector{mode: "any"}); err == nil {
+		t.Error("-host any accepted a two-profile file")
+	}
+	single := []byte(`{"profiles":[{"host":{"cores":100001,"gomaxprocs":100001,"goos":"plan9","goarch":"arm"},"metrics":[{"name":"x","value":1}]}]}`)
+	ms, ok, _, err = parseMetrics(single, hostSelector{mode: "any"})
+	if err != nil || !ok || len(ms) != 1 {
+		t.Fatalf("-host any vs single profile: err=%v ok=%v ms=%+v", err, ok, ms)
+	}
+
+	// auto skips a profile measured under a non-default GOMAXPROCS even on
+	// matching hardware: that run was an experiment, selected only explicitly.
+	experiment := []byte(`{"profiles":[{"host":{"cores":` + itoa(runtime.NumCPU()) + `,"gomaxprocs":` + itoa(4*runtime.NumCPU()) +
+		`,"goos":"` + runtime.GOOS + `","goarch":"` + runtime.GOARCH + `"},"metrics":[{"name":"x","value":1}]}]}`)
+	if _, ok, _, err := parseMetrics(experiment, hostSelector{mode: "auto"}); err != nil || ok {
+		t.Errorf("auto matched a gomaxprocs!=cores experiment profile: err=%v ok=%v", err, ok)
+	}
+}
+
+// TestParseHostSelector: flag syntax for the three modes.
+func TestParseHostSelector(t *testing.T) {
+	for _, good := range []struct {
+		in   string
+		want hostSelector
+	}{
+		{"auto", hostSelector{mode: "auto"}},
+		{"any", hostSelector{mode: "any"}},
+		{"cores=4", hostSelector{mode: "cores", cores: 4}},
+	} {
+		got, err := parseHostSelector(good.in)
+		if err != nil || got != good.want {
+			t.Errorf("parseHostSelector(%q) = %+v, %v; want %+v", good.in, got, err, good.want)
+		}
+	}
+	for _, bad := range []string{"", "cores=", "cores=zero", "cores=-1", "cores=0", "everything"} {
+		if _, err := parseHostSelector(bad); err == nil {
+			t.Errorf("parseHostSelector(%q) accepted", bad)
+		}
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	rtrace "runtime/trace"
 	"strings"
 	"sync"
@@ -76,6 +77,7 @@ func main() {
 		maxLive   = flag.Int("max-live", 4096, "serve: per-shard live election bound; above it new elections get busy replies (0: unbounded)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "serve: graceful drain deadline on SIGTERM/SIGINT")
 		pprofOn   = flag.Bool("pprof", false, "serve: expose net/http/pprof and runtime/trace start/stop under /debug on the -admin server")
+		mutexFrac = flag.Int("mutex-fraction", 0, "serve: sample 1/n of mutex contention and blocking events into /debug/pprof/{mutex,block} (0: off; requires -pprof)")
 		traceOn   = flag.Bool("trace", false, "serve: record per-phase server spans into a flight recorder; per-phase histograms appear in /metrics")
 		servers   = flag.String("servers", "", "elect: comma-separated server addresses, in replica-id order")
 		n         = flag.Int("n", 3, "demo/soak: number of quorum servers")
@@ -92,7 +94,7 @@ func main() {
 	var err error
 	switch {
 	case *serve:
-		err = runServe(spec, *id, *listen, *admin, *ttl, *maxLive, *drainWait, *pprofOn, *traceOn)
+		err = runServe(spec, *id, *listen, *admin, *ttl, *maxLive, *drainWait, *pprofOn, *traceOn, *mutexFrac)
 	case *elect:
 		err = runElect(spec, strings.Split(*servers, ","), *k, *elections, *seed, *algo)
 	case *demo:
@@ -111,9 +113,20 @@ func main() {
 // runServe hosts one register replica until signalled, then drains. The
 // error it returns — drain deadline passed, admin server died, accept loop
 // died — is the process's non-zero exit.
-func runServe(spec transport.Spec, id int, addr, admin string, ttl time.Duration, maxLive int, drainWait time.Duration, pprofOn, traceOn bool) error {
+func runServe(spec transport.Spec, id int, addr, admin string, ttl time.Duration, maxLive int, drainWait time.Duration, pprofOn, traceOn bool, mutexFrac int) error {
 	if id < 0 {
 		return fmt.Errorf("server id %d must be non-negative", id)
+	}
+	if mutexFrac > 0 {
+		// Arm the runtime's contention profilers: /debug/pprof/mutex and
+		// /debug/pprof/block (mounted by -pprof's pprof.Index) stay empty
+		// until these rates are non-zero. Sampling 1/n of events costs the
+		// sampled paths a stack capture — off by default; profiling runs
+		// opt in. This is how the lock-free claim gets verified against a
+		// running daemon: under steady load the mutex profile shows no
+		// samples in Server.Handle (see docs/ELECTD.md).
+		runtime.SetMutexProfileFraction(mutexFrac)
+		runtime.SetBlockProfileRate(mutexFrac)
 	}
 	reg := obs.NewRegistry()
 	obs.RegisterRuntime(reg)

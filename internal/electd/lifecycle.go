@@ -60,7 +60,8 @@ type ServerOptions struct {
 func NewServerOpts(id rt.ProcID, opts ServerOptions) *Server {
 	s := &Server{id: id, opts: opts}
 	for i := range s.shards {
-		s.shards[i].elections = make(map[uint64]*store)
+		empty := electionMap{}
+		s.shards[i].live.Store(&empty)
 	}
 	if opts.Metrics != nil {
 		s.registerMetrics(opts.Metrics)
@@ -113,22 +114,29 @@ func (s *Server) sweepLoop() {
 // half), and shards still above MaxLivePerShard afterwards lose their
 // least-recently-used instances down to the bound. It returns how many
 // instances were evicted. Drain calls this directly with its own bar.
+//
+// Eviction mutates under the shard mutex by republishing the map without
+// the victims — lifecycle stays locked, the request paths stay lock-free,
+// and requests mid-flight on the old map finish against state the sweeper
+// merely unpublished (exactly a crash of that replica's copy, which the
+// quorum model already tolerates).
 func (s *Server) sweepOnce(idle time.Duration) int {
 	now := time.Now().UnixNano()
 	total := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
+		cur := sh.instances()
+		doomed := map[uint64]bool{}
 		if idle > 0 {
 			cutoff := now - int64(idle)
-			for id, st := range sh.elections {
-				if st.last <= cutoff {
-					delete(sh.elections, id)
-					total++
+			for id, st := range cur {
+				if st.last.Load() <= cutoff {
+					doomed[id] = true
 				}
 			}
 		}
-		if bound := s.opts.MaxLivePerShard; bound > 0 && len(sh.elections) > bound {
+		if bound := s.opts.MaxLivePerShard; bound > 0 && len(cur)-len(doomed) > bound {
 			// LRU eviction down to the bound: sort the survivors by idle
 			// clock and drop the oldest. Shards are small (the bound caps
 			// them), so the sort is cheap and only runs on over-full shards.
@@ -136,15 +144,26 @@ func (s *Server) sweepOnce(idle time.Duration) int {
 				id   uint64
 				last int64
 			}
-			recs := make([]rec, 0, len(sh.elections))
-			for id, st := range sh.elections {
-				recs = append(recs, rec{id, st.last})
+			recs := make([]rec, 0, len(cur))
+			for id, st := range cur {
+				if !doomed[id] {
+					recs = append(recs, rec{id, st.last.Load()})
+				}
 			}
 			sort.Slice(recs, func(a, b int) bool { return recs[a].last < recs[b].last })
 			for _, r := range recs[:len(recs)-bound] {
-				delete(sh.elections, r.id)
-				total++
+				doomed[r.id] = true
 			}
+		}
+		if len(doomed) > 0 {
+			next := make(electionMap, len(cur)-len(doomed))
+			for id, st := range cur {
+				if !doomed[id] {
+					next[id] = st
+				}
+			}
+			sh.live.Store(&next)
+			total += len(doomed)
 		}
 		sh.mu.Unlock()
 	}

@@ -1,0 +1,259 @@
+package electd
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// discardConn is a transport.Conn stub that recycles reply frames, for
+// driving Server.Handle from internal tests.
+type discardConn struct{}
+
+func (discardConn) Send(*wire.Msg) error { return nil }
+func (discardConn) SendEncoded(frame []byte) error {
+	wire.PutBuf(frame)
+	return nil
+}
+func (discardConn) Close() error { return nil }
+
+var _ transport.Conn = discardConn{}
+
+// propagateFrame builds one single-entry propagate request.
+func propagateFrame(election uint64, reg string, owner rt.ProcID, seq uint64, val rt.Value) *wire.Msg {
+	return &wire.Msg{
+		Kind: wire.KindPropagate, Election: election, Call: seq, From: owner, Reg: reg,
+		Entries: []rt.Entry{{Reg: reg, Owner: owner, Seq: seq, Val: val}},
+	}
+}
+
+// sameShardElections returns count distinct election IDs that all hash to
+// one shard, so a churn test concentrates every operation on a single
+// stripe instead of spreading across sixteen.
+func sameShardElections(count int) []uint64 {
+	want := electionShard(1)
+	ids := make([]uint64, 0, count)
+	for id := uint64(1); len(ids) < count; id++ {
+		if electionShard(id) == want {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// TestSteadyStateHotPathTakesNoLock is the acceptance check of the
+// lock-free pass, stated as a counted fact rather than a claim: once an
+// election instance exists, concurrent propagates and collects — the
+// steady state — acquire the shard mutex exactly zero times. LockedOps
+// counts every request-path acquisition (instance admission only), so a
+// zero delta across the hammering window is the assertion.
+func TestSteadyStateHotPathTakesNoLock(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	srv := NewServer(0)
+	conn := discardConn{}
+
+	const elections = 8
+	for e := uint64(1); e <= elections; e++ {
+		srv.Handle(conn, propagateFrame(e, "r", 1, 1, 0))
+	}
+	created := srv.LockedOps()
+	if created != elections {
+		t.Fatalf("LockedOps after creating %d instances = %d, want %d", elections, created, elections)
+	}
+
+	const workers = 8
+	const opsPerWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := rt.ProcID(w + 2)
+			for i := 0; i < opsPerWorker; i++ {
+				e := uint64(1 + (w+i)%elections)
+				if i%3 == 0 {
+					srv.Handle(conn, &wire.Msg{Kind: wire.KindCollect, Election: e, Call: uint64(i), From: owner, Reg: "r"})
+				} else {
+					srv.Handle(conn, propagateFrame(e, "r", owner, uint64(i+2), i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := srv.LockedOps(); got != created {
+		t.Fatalf("steady-state hot path acquired the shard mutex %d time(s); want 0 (LockedOps %d → %d)", got-created, created, got)
+	}
+	if got := srv.Served(); got < int64(elections+workers*opsPerWorker) {
+		t.Fatalf("Served() = %d, want ≥ %d", got, elections+workers*opsPerWorker)
+	}
+}
+
+// TestSnapshotImmutableUnderWinningMerge pins the RCU contract: a
+// published snapshot handed to a reader never changes afterwards, no
+// matter how many winning merges race with and follow the read. The
+// retained encoding must stay byte-identical to the copy taken at read
+// time, while fresh reads must observe the new writes.
+func TestSnapshotImmutableUnderWinningMerge(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	st := newStore()
+	for owner := rt.ProcID(0); owner < 4; owner++ {
+		st.merge(rt.Entry{Reg: "r", Owner: owner, Seq: 1, Val: int(owner)})
+	}
+	tail, _ := st.snapshotTail("r")
+	retained := tail
+	pinned := append([]byte(nil), tail...)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(owner rt.ProcID) {
+			defer wg.Done()
+			for seq := uint64(2); seq < 400; seq++ {
+				st.merge(rt.Entry{Reg: "r", Owner: owner, Seq: seq, Val: int(seq)})
+				if seq%16 == 0 {
+					st.snapshotTail("r") // concurrent rebuild/republish traffic
+				}
+			}
+		}(rt.ProcID(w))
+	}
+	wg.Wait()
+
+	if !bytes.Equal(retained, pinned) {
+		t.Fatalf("published snapshot mutated under racing merges:\n  at read: %x\n  now:     %x", pinned, retained)
+	}
+	fresh, _ := st.snapshotTail("r")
+	if bytes.Equal(fresh, pinned) {
+		t.Fatalf("snapshot after %d winning merges is byte-identical to the pre-merge one", 4*398)
+	}
+	// The fresh snapshot must carry the final sequence numbers.
+	snap := st.array("r").snap.Load()
+	if snap == nil {
+		t.Fatal("no published snapshot after collects")
+	}
+	for _, e := range snap.entries {
+		if e.Seq != 399 {
+			t.Fatalf("entry owner=%d seq=%d after merges up to 399", e.Owner, e.Seq)
+		}
+	}
+}
+
+// TestOneShardChurnCollectPropagateEvictRestart aims every operation the
+// server supports at a single shard at once: steady-state propagates and
+// collects, instance creation, explicit removal, TTL/LRU sweeping, and
+// crash/restart — the lifecycle half mutating the published map under the
+// shard mutex while the hot path reads it lock-free. Run under -race this
+// is the memory-model check for the RCU map; the invariant checked here
+// is merely that nothing deadlocks, panics, or loses the shard's served
+// accounting.
+func TestOneShardChurnCollectPropagateEvictRestart(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	srv := NewServerOpts(0, ServerOptions{
+		TTL:             2 * time.Millisecond,
+		SweepInterval:   time.Millisecond,
+		MaxLivePerShard: 8,
+	})
+	defer srv.Close()
+	conn := discardConn{}
+	ids := sameShardElections(16)
+
+	stop := make(chan struct{})
+	time.AfterFunc(150*time.Millisecond, func() { close(stop) })
+	var wg sync.WaitGroup
+
+	// Steady-state + creation traffic: propagates recreate whatever the
+	// sweeper or the evictor goroutine tears down.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := rt.ProcID(w + 1)
+			for seq := uint64(1); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := ids[int(seq)%len(ids)]
+				srv.Handle(conn, propagateFrame(e, "r", owner, seq, w))
+				srv.Handle(conn, &wire.Msg{Kind: wire.KindCollect, Election: e, Call: seq, From: owner, Reg: "r"})
+			}
+		}(w)
+	}
+	// Eviction churn: explicit removal racing the sweeper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srv.RemoveElection(ids[i%len(ids)])
+		}
+	}()
+	// Restart churn: the crash flag flips while requests are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srv.Crash()
+			srv.Restart()
+		}
+	}()
+	wg.Wait()
+
+	srv.Restart()
+	served := srv.Served()
+	srv.Handle(conn, &wire.Msg{Kind: wire.KindCollect, Election: ids[0], Call: 1, From: 1, Reg: "r"})
+	if got := srv.Served(); got != served+1 {
+		t.Fatalf("served accounting drifted: %d → %d after one request", served, got)
+	}
+	if srv.Started() == 0 || srv.Evicted()+srv.removed.Load() == 0 {
+		t.Fatalf("churn test exercised nothing: started=%d evicted=%d removed=%d",
+			srv.Started(), srv.Evicted(), srv.removed.Load())
+	}
+}
+
+// TestAdmissionControlExactUnderRace: MaxLivePerShard is enforced with an
+// exact count even when many creators race for the last slots — the one
+// job the remaining request-path lock exists to do.
+func TestAdmissionControlExactUnderRace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const bound = 4
+	srv := NewServerOpts(0, ServerOptions{MaxLivePerShard: bound})
+	defer srv.Close()
+	conn := discardConn{}
+	ids := sameShardElections(32)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(owner rt.ProcID) {
+			defer wg.Done()
+			for _, e := range ids {
+				srv.Handle(conn, propagateFrame(e, "r", owner, 1, 0))
+			}
+		}(rt.ProcID(w + 1))
+	}
+	wg.Wait()
+
+	if got := srv.Elections(); got != bound {
+		t.Fatalf("shard holds %d instances, want exactly the bound %d", got, bound)
+	}
+	if srv.Shed() == 0 {
+		t.Fatal("no propagate was shed despite 32 elections racing for 4 slots")
+	}
+}

@@ -496,6 +496,11 @@ func (pl *Pool) NewComm(p rt.Procer, election uint64, delay func(server int) tim
 		// The pool's baseline resend period (set on lossy transports);
 		// SetFaults may arm a plan-specific one on top, never disarm this.
 		retransmit: pl.defaultRetransmit,
+		// A per-client jitter stream (xorshift64) decorrelates retransmit
+		// timers across participants and elections: seeded from both IDs
+		// so equal configurations still tick at different phases. The ^1
+		// guards the all-zero state xorshift cannot leave.
+		jit: (uint64(p.ID())+1)*0x9E3779B97F4A7C15 ^ election ^ 1,
 	}
 }
 
@@ -530,6 +535,7 @@ type Client struct {
 	drop       func(server int) bool // request-direction loss; algorithm goroutine
 	replyDrop  func(server int) bool // reply-direction loss; any read loop (must be concurrency-safe)
 	retransmit time.Duration         // quorum-wait resend period; 0 = never resend
+	jit        uint64                // xorshift64 retransmit-jitter state; algorithm goroutine
 	noq        <-chan struct{}       // closed when this client is provably starved of quorums
 	noqProc    int                   // participant id reported in the NoQuorumError
 
@@ -567,6 +573,21 @@ func (c *Client) SetFaults(fp FaultProfile) {
 		c.retransmit = fp.Retransmit
 	}
 	c.noq, c.noqProc = fp.NoQuorum, fp.Proc
+}
+
+// jitter stretches a retransmit period by a uniform 0–25%, advancing the
+// client's xorshift64 stream. Strictly upward on purpose: spreading the
+// phase is what breaks resend synchronization, and firing *early* would
+// add spurious duplicates on quorum calls that were about to complete
+// anyway. Runs on the algorithm goroutine only (the jit state is
+// unsynchronized scratch, like the rest of the client's arena).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	x := c.jit
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.jit = x
+	return d + d*time.Duration(x%256)/1024
 }
 
 // SetRound records the protocol round in progress, so subsequent spans
@@ -743,7 +764,7 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 		var tickC <-chan time.Time
 		period := c.retransmit
 		if period > 0 {
-			tmr = time.NewTimer(period)
+			tmr = time.NewTimer(c.jitter(period))
 			defer tmr.Stop()
 			tickC = tmr.C
 		}
@@ -760,14 +781,18 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 				c.replies = append(c.replies, r)
 			case <-tickC:
 				// Resend — but only to servers that haven't answered this
-				// call, and with the period doubling each round (capped).
-				// A blanket fixed-period rebroadcast amplifies itself on a
-				// loss-free substrate: a call that merely runs slow under
-				// load re-floods all n servers every tick, slowing the
-				// others past their ticks in turn. Selective + backed-off
-				// resends still carry the call across partitions, flaky
-				// links, and crash-recovery windows; duplicate replies are
-				// deduped by the router.
+				// call, and with the period doubling each round (capped)
+				// plus 0–25% jitter. A blanket fixed-period rebroadcast
+				// amplifies itself on a loss-free substrate: a call that
+				// merely runs slow under load re-floods all n servers every
+				// tick, slowing the others past their ticks in turn — and
+				// with many concurrent elections sharing connections,
+				// unjittered timers synchronize into resend bursts that
+				// convoy the datagram sockets, which is exactly the udp
+				// degradation T15 measured at conc=64. Selective, backed-off,
+				// desynchronized resends still carry the call across
+				// partitions, flaky links, and crash-recovery windows;
+				// duplicate replies are deduped by the router.
 				if rec != nil {
 					resends++
 					rec.Event(c.election, c.round, trace.PRetransmit, resends)
@@ -779,10 +804,10 @@ func (c *Client) rpc(m *wire.Msg, keep bool) []*wire.Msg {
 				copy(skip, p.seen)
 				sh.mu.Unlock()
 				broadcast(skip)
-				if period < c.retransmit<<4 {
+				if period < c.retransmit<<6 {
 					period *= 2
 				}
-				tmr.Reset(period)
+				tmr.Reset(c.jitter(period))
 			case <-c.noq:
 				// The plan proved this client can never reach a quorum
 				// again, and the grace period is over: abort with the typed

@@ -49,25 +49,47 @@ type reply struct {
 	view rt.View
 }
 
-// cell is one register-array slot: owner-versioned so stale propagations
-// never overwrite fresh ones (higher sequence numbers win).
-type cell struct {
-	seq uint64
-	val rt.Value
+// cellSlot is one register-array slot — a CAS cell holding the freshest
+// entry written for its owner (owner-versioned: higher sequence numbers
+// win; nil is ⊥, never written). Slots are allocated once per array (the
+// backend knows n) and only the entry pointer moves. The pointed-to
+// entries are *adopted*, never allocated: a propagate's one-entry payload
+// is already allocated per call and shared immutably with every server
+// goroutine (see Comm.Propagate), so the cell points into that payload
+// and the whole merge path adds zero allocations.
+type cellSlot struct {
+	v atomic.Pointer[rt.Entry]
 }
 
-// regArray is one named register array with a cell per processor, plus a
-// version-tagged snapshot cache mirroring the sim backend's store: collect
-// replies during a quiescent spell share one immutable entry slice (and its
-// precomputed wire size) instead of re-copying the array per reply, which
-// dominates the server goroutines' work and allocations at large n.
+// regArray is one named register array with a CAS cell per processor
+// beneath an RCU-published snapshot, the live-backend twin of the electd
+// server's store (see internal/electd/regstore.go for the full memory-model
+// argument): merges CAS the owner's cell and bump version; collects load
+// the published snapshot with one atomic read and rebuild + republish only
+// when a merge has won since it was built. Collect replies during a
+// quiescent spell therefore share one immutable entry slice (and its
+// precomputed wire size), and neither the server goroutine nor the
+// algorithm goroutine ever takes a lock for register state — the paper's
+// atomic-register model, made literal.
 type regArray struct {
-	cells    []cell
-	version  uint64 // bumped on every effective write
-	snapVer  uint64 // version the cached snapshot was built at
-	snap     []rt.Entry
-	snapSize int // cached total WireSize of snap
+	version atomic.Uint64
+	cells   []cellSlot // fixed length n; slots never move
+	snap    atomic.Pointer[liveSnap]
 }
+
+// liveSnap is the RCU-published snapshot of one array: non-⊥ cells in
+// owner order plus their precomputed total WireSize, valid at array
+// version ver. Published snapshots are immutable.
+type liveSnap struct {
+	ver     uint64
+	entries []rt.Entry
+	size    int
+}
+
+// regDir is the immutable published register directory of one processor
+// (name → array). Adding an array — once per register name — copies the
+// directory and CASes the pointer.
+type regDir = map[string]*regArray
 
 // crashSignal unwinds a crashed processor's algorithm goroutine: the
 // backend panics with it at the processor's next interaction (communicate,
@@ -137,8 +159,9 @@ func newSystem(n int, seed int64, plan *fault.Plan, serve bool) *System {
 			// replies go to buffered per-call channels, so every send
 			// eventually completes.
 			inbox: make(chan request, n),
-			regs:  make(map[string]*regArray),
 		}
+		dir := regDir{}
+		p.regs.Store(&dir)
 		if plan != nil {
 			// A separate delay-sampling PRNG, also algorithm-goroutine
 			// owned: injected latency must not perturb the coin-flip
@@ -246,8 +269,8 @@ func (sys *System) Shutdown() {
 
 // Proc is a processor handle of the live backend; it implements rt.Procer.
 // Algorithm-facing methods must be called from the processor's single
-// algorithm goroutine; the server goroutine only touches the mutex-guarded
-// store and raw mailbox.
+// algorithm goroutine; the server goroutine touches only the lock-free
+// register store and the mutex-guarded raw mailbox.
 type Proc struct {
 	id  rt.ProcID
 	sys *System
@@ -268,10 +291,14 @@ type Proc struct {
 	noq   <-chan struct{}
 	inbox chan request
 
+	// regs is the RCU register directory: lock-free for every reader and
+	// writer (see regArray). It lives outside the mutex — register state
+	// is not Await-visible; see Await.
+	regs atomic.Pointer[regDir]
+
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast whenever guarded state changes
-	regs      map[string]*regArray
-	raw       []any // generic Send mailbox, consumed via Await conditions
+	raw       []any      // generic Send mailbox, consumed via Await conditions
 	published any
 
 	commCalls int // algorithm-goroutine-local; read after the run joins
@@ -322,9 +349,13 @@ func (p *Proc) AwaitRaw(want int) {
 
 // Await implements rt.Procer: it parks the algorithm goroutine until cond()
 // holds. The condition is evaluated under the processor's mutex and
-// re-checked whenever guarded state changes (message arrival, register
-// merge), so it must be a pure function of processor-local state and must
-// not itself take the mutex.
+// re-checked whenever guarded state changes (raw-message arrival, crash),
+// so it must be a pure function of mutex-guarded processor-local state and
+// must not itself take the mutex. Register state is NOT guarded state:
+// merges are lock-free and wake nobody, so a condition must never read the
+// register store — none of the paper's algorithms do (their only waiting
+// primitive is the quorum wait inside communicate, which has its own
+// channel-based signalling).
 func (p *Proc) Await(cond func() bool) {
 	if cond == nil {
 		panic("live: Await requires a non-nil condition; use Pause")
@@ -402,58 +433,98 @@ func (p *Proc) Published() any {
 // valid once its algorithm goroutine has returned.
 func (p *Proc) CommCalls() int { return p.commCalls }
 
-// array returns the register array for reg, creating it on first use.
-// Callers must hold p.mu.
+// array returns the register array for reg, creating and publishing it on
+// first use. Lock-free: creation copies the directory and CASes the
+// pointer, retrying if a concurrent creator won (and adopting its array).
 func (p *Proc) array(reg string) *regArray {
-	arr := p.regs[reg]
-	if arr == nil {
-		arr = &regArray{cells: make([]cell, p.sys.n)}
-		p.regs[reg] = arr
+	for {
+		dirp := p.regs.Load()
+		if arr := (*dirp)[reg]; arr != nil {
+			return arr
+		}
+		next := make(regDir, len(*dirp)+1)
+		for k, v := range *dirp {
+			next[k] = v
+		}
+		arr := &regArray{cells: make([]cellSlot, p.sys.n)}
+		next[reg] = arr
+		if p.regs.CompareAndSwap(dirp, &next) {
+			return arr
+		}
 	}
-	return arr
 }
 
 // merge applies an entry if it is newer than the local cell (writer
-// versioning, identical to the sim backend's store). Callers must hold p.mu.
-func (p *Proc) merge(e rt.Entry) {
+// versioning, identical to the sim backend's store), via a CAS retry loop
+// on the owner's cell. Lock-free; safe from any goroutine. The entry is
+// adopted by reference — e must stay valid and unmutated forever (request
+// payloads satisfy this: they are allocated per propagate call and never
+// reused), which is what keeps the merge path allocation-free.
+func (p *Proc) merge(e *rt.Entry) {
 	arr := p.array(e.Reg)
-	if e.Seq > arr.cells[e.Owner].seq {
-		arr.cells[e.Owner] = cell{seq: e.Seq, val: e.Val}
-		arr.version++
+	s := &arr.cells[e.Owner]
+	for {
+		cur := s.v.Load()
+		if cur != nil && e.Seq <= cur.Seq {
+			return // stale: a newer (or equal) write already holds the cell
+		}
+		if s.v.CompareAndSwap(cur, e) {
+			arr.version.Add(1)
+			return
+		}
 	}
 }
 
-// snapshotLocked returns the non-⊥ cells of reg as entries in owner order,
-// rebuilding the cached slice only when a merge has won since it was built.
-// Callers must hold p.mu; the returned slice is shared with every other
-// reader of the same version and must be treated as immutable (a winning
-// merge replaces it rather than mutating it, so handing it to concurrent
-// repliers is safe).
-func (p *Proc) snapshotLocked(reg string) []rt.Entry {
-	entries, _ := p.snapshotSizedLocked(reg)
+// snapshot returns the non-⊥ cells of reg as entries in owner order. The
+// returned slice is an RCU-published immutable snapshot shared with every
+// other reader of the same version — a winning merge replaces it rather
+// than mutating it, so handing it to concurrent repliers is safe.
+// Lock-free; safe from any goroutine.
+func (p *Proc) snapshot(reg string) []rt.Entry {
+	entries, _ := p.snapshotSized(reg)
 	return entries
 }
 
-// snapshotSizedLocked is snapshotLocked plus the snapshot's total entry
-// WireSize, cached alongside it so per-reply byte accounting never re-walks
-// the entries. Callers must hold p.mu.
-func (p *Proc) snapshotSizedLocked(reg string) ([]rt.Entry, int) {
-	arr := p.regs[reg]
+// snapshotSized is snapshot plus the snapshot's total entry WireSize,
+// cached alongside it so per-reply byte accounting never re-walks the
+// entries. The common case is one atomic load of the published snapshot;
+// after a winning merge the caller rebuilds from the CAS cells and
+// re-publishes. Version is loaded before the cells are gathered, so a
+// snapshot tagged V contains every merge version V counted (Go atomics
+// are sequentially consistent); at worst a build is fresher than its tag
+// and the next reader rebuilds once more.
+func (p *Proc) snapshotSized(reg string) ([]rt.Entry, int) {
+	dirp := p.regs.Load()
+	arr := (*dirp)[reg]
 	if arr == nil {
 		return nil, 0
 	}
-	if arr.snapVer != arr.version {
-		arr.snap, arr.snapSize = nil, 0
-		for owner, c := range arr.cells {
-			if c.seq > 0 {
-				e := rt.Entry{Reg: reg, Owner: rt.ProcID(owner), Seq: c.seq, Val: c.val}
-				arr.snap = append(arr.snap, e)
-				arr.snapSize += e.WireSize()
-			}
-		}
-		arr.snapVer = arr.version
+	ver := arr.version.Load()
+	old := arr.snap.Load()
+	if old != nil && old.ver == ver {
+		return old.entries, old.size
 	}
-	return arr.snap, arr.snapSize
+	// Sized for the worst case (every cell non-⊥) so the gather never
+	// reallocates mid-append — one slice allocation per rebuild.
+	entries := make([]rt.Entry, 0, len(arr.cells))
+	size := 0
+	for owner := range arr.cells {
+		if ep := arr.cells[owner].v.Load(); ep != nil {
+			entries = append(entries, *ep)
+			size += ep.WireSize()
+		}
+	}
+	if len(entries) == 0 {
+		entries = nil
+	}
+	snap := &liveSnap{ver: ver, entries: entries, size: size}
+	// Publish unless a fresher snapshot already landed: CAS from the
+	// observed old value so concurrent rebuilds never clobber each other;
+	// a lost race costs nothing — this build still serves this reply.
+	if old == nil || old.ver <= ver {
+		arr.snap.CompareAndSwap(old, snap)
+	}
+	return entries, size
 }
 
 // serve is the server goroutine: the reactive half of the processor. It
@@ -480,21 +551,16 @@ func (p *Proc) serve() {
 		}
 		switch req.kind {
 		case propagateReq:
-			p.mu.Lock()
-			for _, e := range req.entries {
-				p.merge(e)
+			for i := range req.entries {
+				p.merge(&req.entries[i])
 			}
-			p.cond.Broadcast()
-			p.mu.Unlock()
 			select {
 			case req.reply <- reply{from: p.id}:
 			default:
 			}
 			p.sys.bytes.Add(int64((&wire.Msg{Kind: wire.KindAck, Call: req.call, From: p.id}).WireSize()))
 		case collectReq:
-			p.mu.Lock()
-			entries, size := p.snapshotSizedLocked(req.reg)
-			p.mu.Unlock()
+			entries, size := p.snapshotSized(req.reg)
 			select {
 			case req.reply <- reply{from: p.id, view: rt.View{From: p.id, Entries: entries}}:
 			default:

@@ -49,13 +49,18 @@ func (sys *System) Reset(seed int64, plan *fault.Plan) {
 		p.crashed.Store(false)
 		p.down.Store(false)
 		p.noq = nil
-		p.mu.Lock()
-		for _, arr := range p.regs {
+		for _, arr := range *p.regs.Load() {
 			// Keep the allocated arrays — register names repeat across runs
-			// of the same algorithm — but restore construction state.
-			clear(arr.cells)
-			arr.version, arr.snapVer, arr.snap, arr.snapSize = 0, 0, nil, 0
+			// of the same algorithm — but restore construction state. The
+			// system is quiescent, but the stores stay atomic so the race
+			// detector sees the same access discipline the hot path uses.
+			for i := range arr.cells {
+				arr.cells[i].v.Store(nil)
+			}
+			arr.version.Store(0)
+			arr.snap.Store(nil)
 		}
+		p.mu.Lock()
 		p.raw = nil
 		p.published = nil
 		p.mu.Unlock()

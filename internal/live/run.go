@@ -559,6 +559,15 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 	var crashMu sync.Mutex
 	finished := false
 	if plan != nil {
+		// A recovery always follows its paired crash in *timer* order
+		// (RecoverAfter > 0), but AfterFunc callbacks run on independent
+		// goroutines: on an oversubscribed host both timers can expire
+		// before either callback is scheduled, and the recovery can then
+		// run first — Restart would wait for a listener whose crash is
+		// blocked behind crashMu, a deadlock. landed records which crashes
+		// have actually executed (guarded by crashMu) so a too-early
+		// recovery can step aside and retry instead.
+		landed := make([]bool, cfg.N)
 		timers := make([]*time.Timer, 0, len(plan.Crashes)+len(plan.Recoveries)+len(noq))
 		for _, cr := range plan.Crashes {
 			id := rt.ProcID(cr.Proc)
@@ -575,14 +584,24 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 					// (Shared clusters admit only link faults at normalize.)
 					cluster.Crash(id)
 				}
+				landed[int(id)] = true
 			}))
 		}
 		for _, rc := range plan.Recoveries {
 			id := rt.ProcID(rc.Proc)
-			timers = append(timers, time.AfterFunc(rc.At, func() {
+			var rejoin func()
+			rejoin = func() {
 				crashMu.Lock()
 				defer crashMu.Unlock()
 				if finished {
+					return
+				}
+				if !landed[int(id)] {
+					// Fired before the paired crash landed (see above) —
+					// let the crash through and come back. The retry timer
+					// escapes the Stop sweep below on purpose: once the
+					// run finishes, the finished guard makes it a no-op.
+					time.AfterFunc(time.Millisecond, rejoin)
 					return
 				}
 				// Only the replica half rejoins: the crashed participant's
@@ -596,7 +615,8 @@ func run(cfg Config, algo func(p *Proc, c rt.Comm, i int)) (Result, error) {
 				} else {
 					sys.Recover(id)
 				}
-			}))
+			}
+			timers = append(timers, time.AfterFunc(rc.At, rejoin))
 		}
 		for i, ch := range noq {
 			if ch == nil {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/metrics"
 	"strings"
 )
 
@@ -115,11 +116,21 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// mutexWaitSample is the runtime/metrics sample RegisterRuntime re-reads
+// per scrape: the process-wide cumulative time goroutines have spent
+// blocked on sync.Mutex/RWMutex. Unlike the pprof mutex profile it needs
+// no sampling fraction armed — the runtime maintains it always — so it is
+// the scrape-able contended-ns number perf PRs diff before/after.
+var mutexWaitName = "/sync/mutex/wait/total:seconds"
+
 // RegisterRuntime adds the Go runtime's health gauges to the registry via
 // one collector (a single ReadMemStats per scrape): heap bytes/objects,
-// cumulative allocation, GC runs and live goroutines — the counters the
-// soak harness's flat-heap assertion reads from the outside.
+// cumulative allocation, GC runs, live goroutines — the counters the
+// soak harness's flat-heap assertion reads from the outside — plus the
+// cumulative mutex-contention wait (go_mutex_wait_ns_total), the measured
+// before/after number of the lock-free register-store work.
 func RegisterRuntime(r *Registry) {
+	sample := []metrics.Sample{{Name: mutexWaitName}}
 	r.RegisterCollector(func(s *Snapshot) {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
@@ -132,5 +143,10 @@ func RegisterRuntime(r *Registry) {
 			Point{Name: "go_alloc_bytes_total", Value: int64(m.TotalAlloc)},
 			Point{Name: "go_gc_runs_total", Value: int64(m.NumGC)},
 		)
+		metrics.Read(sample)
+		if sample[0].Value.Kind() == metrics.KindFloat64 {
+			s.Counters = append(s.Counters,
+				Point{Name: "go_mutex_wait_ns_total", Value: int64(sample[0].Value.Float64() * 1e9)})
+		}
 	})
 }

@@ -156,15 +156,29 @@ type cell struct {
 	val Value
 }
 
-// regArray holds one register array plus a version-tagged snapshot cache:
-// collect replies during a quiescent spell share one immutable entry slice
-// instead of re-copying the array per reply, which dominates large-n runs.
+// regArray holds one register array plus a published version-tagged
+// snapshot: collect replies during a quiescent spell share one immutable
+// entry slice instead of re-copying the array per reply, which dominates
+// large-n runs. The shape — immutable snapshot bundle behind a pointer,
+// lazily invalidated by the write version — deliberately mirrors the
+// lock-free stores of the live backend and the electd server; the sim
+// kernel is deterministic and single-threaded, so the pointer needs no
+// atomics, but keeping the same publication discipline keeps the three
+// backends line-for-line comparable.
 type regArray struct {
-	cells    []cell
-	version  uint64 // bumped on every effective write
-	snapVer  uint64 // version the cached snapshot was built at
-	snap     []Entry
-	snapSize int // cached total WireSize of snap
+	cells   []cell
+	version uint64    // bumped on every effective write
+	snap    *snapshot // published snapshot; nil or stale ⇒ rebuild
+}
+
+// snapshot is one published register-array view: the non-⊥ cells in owner
+// order plus their precomputed total WireSize, valid at array version ver.
+// Published snapshots are immutable — a winning merge makes them stale,
+// never different.
+type snapshot struct {
+	ver     uint64
+	entries []Entry
+	size    int
 }
 
 // NewStore creates the store for processor id in a system of n processors.
@@ -239,15 +253,24 @@ func (s *Store) merge(e Entry) {
 }
 
 // Snapshot returns the non-⊥ cells of a register array as entries, in owner
-// order. The slice is cached per register version and shared across
-// callers: it and the values it references must be treated as immutable.
+// order. The slice belongs to the published snapshot, shared across callers
+// of the same version: it and the values it references must be treated as
+// immutable.
 func (s *Store) Snapshot(reg string) []Entry {
+	entries, _ := s.snapshotSized(reg)
+	return entries
+}
+
+// snapshotSized returns the published snapshot together with its total wire
+// size, so per-ack accounting does not re-walk the entries. A stale (or
+// absent) publication is rebuilt from the cells and republished.
+func (s *Store) snapshotSized(reg string) ([]Entry, int) {
 	arr := s.regs[reg]
 	if arr == nil {
-		return nil
+		return nil, 0
 	}
-	if arr.snapVer == arr.version && arr.snap != nil {
-		return arr.snap
+	if sn := arr.snap; sn != nil && sn.ver == arr.version {
+		return sn.entries, sn.size
 	}
 	out := make([]Entry, 0, s.n)
 	size := 0
@@ -258,21 +281,8 @@ func (s *Store) Snapshot(reg string) []Entry {
 			out = append(out, e)
 		}
 	}
-	arr.snap = out
-	arr.snapVer = arr.version
-	arr.snapSize = size
-	return out
-}
-
-// snapshotSized returns the cached snapshot together with its total wire
-// size, so per-ack accounting does not re-walk the entries.
-func (s *Store) snapshotSized(reg string) ([]Entry, int) {
-	entries := s.Snapshot(reg)
-	arr := s.regs[reg]
-	if arr == nil {
-		return entries, 0
-	}
-	return entries, arr.snapSize
+	arr.snap = &snapshot{ver: arr.version, entries: out, size: size}
+	return out, size
 }
 
 // Local returns this store's current value for owner j's cell of register
